@@ -1,0 +1,56 @@
+"""Ablation benches: block size, sequential part, vote policy, UCB C."""
+
+from repro.harness.ablations import (
+    BlockSizeConfig,
+    UcbConfig,
+    VotePolicyConfig,
+    run_block_size_ablation,
+    run_divergence_ablation,
+    run_seq_part_ablation,
+    run_ucb_ablation,
+    run_vote_policy_ablation,
+)
+
+
+def test_ablation_block_size(run_once):
+    cfg = BlockSizeConfig.for_tier()
+    result = run_once(run_block_size_ablation, cfg)
+    print()
+    print(result.render())
+    for ratio in result.win_ratio.values():
+        assert 0.0 <= ratio <= 1.0
+
+
+def test_ablation_sequential_part(run_once):
+    result = run_once(run_seq_part_ablation)
+    print()
+    print(result.render())
+    # The serial share must grow with the number of trees until the
+    # kernel waves grow proportionally too (the paper's Amdahl term).
+    assert result.seq_fraction[0] < result.seq_fraction[3]
+    assert all(0.0 <= f < 1.0 for f in result.seq_fraction)
+
+
+def test_ablation_divergence(run_once):
+    result = run_once(run_divergence_ablation)
+    print()
+    print(result.render())
+    assert all(0.0 < e <= 1.0 for e in result.mean_efficiency)
+    # Opening launches are the most uniform (longest common playouts).
+    assert result.mean_efficiency[0] >= result.mean_efficiency[-1] - 0.05
+
+
+def test_ablation_vote_policy(run_once):
+    cfg = VotePolicyConfig.for_tier()
+    result = run_once(run_vote_policy_ablation, cfg)
+    print()
+    print(result.render())
+    assert set(result.win_ratio) == set(cfg.policies)
+
+
+def test_ablation_ucb_c(run_once):
+    cfg = UcbConfig.for_tier()
+    result = run_once(run_ucb_ablation, cfg)
+    print()
+    print(result.render())
+    assert set(result.win_ratio) == set(cfg.c_values)

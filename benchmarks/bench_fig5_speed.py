@@ -1,0 +1,33 @@
+"""Figure 5 bench: playouts/s vs GPU threads for all three schemes.
+
+Regenerates the paper's throughput figure and asserts its shape:
+throughput rises with threads; leaf(64) is the fastest raw simulator at
+scale; block(32) pays the largest CPU-sequential tax.
+"""
+
+from repro.harness.fig5_speed import Fig5Config, run_fig5
+
+
+def test_fig5_speed(run_once):
+    cfg = Fig5Config.for_tier()
+    result = run_once(run_fig5, cfg)
+    print()
+    print(result.render())
+
+    threads = cfg.thread_counts
+    leaf = result.series["leaf(bs=64)"]
+    block32 = result.series["block(bs=32)"]
+
+    # Throughput must grow strongly from the smallest to the largest
+    # grid for every scheme (the rising left side of Figure 5).
+    for series in result.series.values():
+        assert series[-1] > 5 * series[0]
+
+    # The block(32) CPU sequential part must show up as a deficit
+    # against leaf(64) at the largest measured grid.
+    assert block32[-1] < leaf[-1]
+
+    # Calibration envelope: peak in the paper's decade (~1e5..1e6+
+    # playouts/s once past a few hundred threads).
+    if threads[-1] >= 1024:
+        assert 1e5 < leaf[-1] < 5e6

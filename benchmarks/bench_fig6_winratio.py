@@ -1,0 +1,34 @@
+"""Figure 6 bench: win ratio vs threads against 1-core sequential MCTS.
+
+Shape assertions are tier-aware: the quick tier has too few games for
+statistical claims, so it only checks structure and that GPU schemes
+are not losing badly at the larger grid; richer tiers check the rise
+with thread count.
+"""
+
+from repro.harness.fig6_winratio import Fig6Config, run_fig6
+
+
+def test_fig6_winratio(run_once):
+    cfg = Fig6Config.for_tier()
+    result = run_once(run_fig6, cfg)
+    print()
+    print(result.render())
+
+    for label, ratios in result.win_ratio.items():
+        assert len(ratios) == len(cfg.thread_counts)
+        for ratio in ratios:
+            assert 0.0 <= ratio <= 1.0
+
+    if cfg.games_per_point >= 6:
+        # With enough games the paper's trend must hold: the largest
+        # grid beats the smallest for every scheme, and the biggest
+        # block-parallel point is clearly above 50%.
+        for label, ratios in result.win_ratio.items():
+            assert ratios[-1] >= ratios[0] - 0.15
+        block_labels = [
+            k for k in result.win_ratio if k.startswith("block")
+        ]
+        assert any(
+            result.win_ratio[k][-1] > 0.5 for k in block_labels
+        )

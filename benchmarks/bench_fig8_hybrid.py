@@ -1,0 +1,29 @@
+"""Figure 8 bench: hybrid CPU/GPU vs GPU-only (points and depth).
+
+The load-bearing paper claim -- the hybrid's overlapped CPU iterations
+deepen the trees -- must hold at every tier; the points advantage needs
+more games, so it is asserted only at richer tiers.
+"""
+
+from repro.harness.fig8_hybrid import Fig8Config, run_fig8
+
+
+def test_fig8_hybrid(run_once):
+    cfg = Fig8Config.for_tier()
+    result = run_once(run_fig8, cfg)
+    print()
+    print(result.render())
+
+    # Depth: hybrid >= GPU-only on average over the game (Fig 8 right).
+    assert (
+        result.depth["GPU + CPU"].mean() >= result.depth["GPU"].mean()
+    )
+
+    if cfg.games_per_series >= 6:
+        # Points: hybrid at least matches GPU-only in the endgame
+        # (Fig 8 left), within a small noise margin.
+        last_quarter = slice(3 * cfg.steps // 4, cfg.steps)
+        assert (
+            result.points["GPU + CPU"][last_quarter].mean()
+            >= result.points["GPU"][last_quarter].mean() - 4.0
+        )

@@ -1,0 +1,27 @@
+"""Figure 9 bench: multi-GPU MPI scaling (throughput + strength).
+
+Throughput must scale near-linearly with ranks (left panel) at every
+tier.  The strength trend (right panel: more GPUs at least as good)
+is asserted with a noise margin when enough games are played.
+"""
+
+from repro.harness.fig9_multigpu import Fig9Config, run_fig9
+
+
+def test_fig9_multigpu(run_once):
+    cfg = Fig9Config.for_tier()
+    result = run_once(run_fig9, cfg)
+    print()
+    print(result.render())
+
+    ranks = list(cfg.gpu_counts)
+    first, last = ranks[0], ranks[-1]
+    ideal = last / first
+    speedup = result.throughput[last] / result.throughput[first]
+    assert speedup > 0.7 * ideal  # near-linear (paper left panel)
+
+    if cfg.games_per_point >= 4:
+        assert (
+            result.point_difference[last]
+            >= result.point_difference[first] - 6.0
+        )

@@ -1,0 +1,22 @@
+"""Generalization bench: GPU schemes on non-Reversi domains."""
+
+from repro.harness.generalization import (
+    GeneralizationConfig,
+    run_generalization,
+)
+
+
+def test_generalization(run_once):
+    cfg = GeneralizationConfig.for_tier()
+    result = run_once(run_generalization, cfg)
+    print()
+    print(result.render())
+    for ratio in result.win_ratio.values():
+        assert 0.0 <= ratio <= 1.0
+    if cfg.games_per_point >= 6:
+        # With enough games the GPU schemes must not lose to the
+        # 1-core baseline overall (the transfer claim).
+        mean_ratio = sum(result.win_ratio.values()) / len(
+            result.win_ratio
+        )
+        assert mean_ratio >= 0.45

@@ -1,0 +1,80 @@
+"""Microbenchmarks of the substrates the figures stand on.
+
+These use pytest-benchmark's statistics properly (many rounds): batched
+playout throughput, the scalar playout fast path, tree operations, the
+RNG, and simulated-MPI collectives.
+"""
+
+import numpy as np
+
+from repro.core.tree import SearchTree
+from repro.games import BatchReversi, Reversi
+from repro.games.batch import run_playouts_tracked, select_random_bit
+from repro.mpi import MpiCluster, TSUBAME_IB
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+
+
+def test_micro_batch_playout_1024(benchmark):
+    game = Reversi()
+    bg = BatchReversi()
+    state = game.initial_state()
+
+    def run():
+        rng = BatchXorShift128Plus(1024, 7)
+        batch = bg.make_batch([state], 1024)
+        return run_playouts_tracked(bg, batch, rng)
+
+    tracked = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert tracked.winners.shape == (1024,)
+
+
+def test_micro_scalar_playout(benchmark):
+    game = Reversi()
+    state = game.initial_state()
+    rng = XorShift64Star(3)
+
+    winner, plies = benchmark(game.playout, state, rng)
+    assert winner in (-1, 0, 1)
+    assert plies > 0
+
+
+def test_micro_tree_iteration(benchmark):
+    game = Reversi()
+
+    def thousand_iterations():
+        tree = SearchTree(
+            game, game.initial_state(), XorShift64Star(5), 1.0
+        )
+        for _ in range(1000):
+            node, _ = tree.select_expand()
+            tree.backprop_winner(node, 1)
+        return tree
+
+    tree = benchmark.pedantic(
+        thousand_iterations, iterations=1, rounds=3
+    )
+    assert tree.node_count == 1001
+
+
+def test_micro_rng_batch(benchmark):
+    rng = BatchXorShift128Plus(4096, 9)
+    out = benchmark(rng.next_u64)
+    assert out.shape == (4096,)
+
+
+def test_micro_select_random_bit(benchmark):
+    rng = BatchXorShift128Plus(4096, 9)
+    masks = BatchXorShift128Plus(4096, 11).next_u64()
+
+    out = benchmark(select_random_bit, masks, rng)
+    assert out.shape == (4096,)
+
+
+def test_micro_mpi_allreduce(benchmark):
+    def allreduce_round():
+        cluster = MpiCluster(16, TSUBAME_IB)
+        values = [np.ones(65)] * 16
+        return cluster.allreduce(values, op="sum")
+
+    out = benchmark.pedantic(allreduce_round, iterations=1, rounds=5)
+    assert float(out[0][0]) == 16.0

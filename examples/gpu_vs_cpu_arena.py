@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Mini Figure 7: how many root-parallel CPU cores is one GPU worth?
+
+Plays a small arena of Reversi games -- root-parallel CPU players of
+increasing core counts, and one block-parallel GPU player -- all
+against the same 1-core sequential opponent at the same virtual move
+time, then prints each subject's mean final point difference.
+
+Run:  python examples/gpu_vs_cpu_arena.py        (takes a few minutes)
+"""
+
+from repro.harness import Fig7Config, run_fig7
+
+config = Fig7Config(
+    cpu_counts=(2, 8, 32),
+    gpu_blocks=16,
+    gpu_tpb=64,
+    games_per_point=4,
+    move_budget_s=0.024,
+)
+
+print(
+    "playing "
+    f"{(len(config.cpu_counts) + 1) * config.games_per_point} games "
+    f"({config.move_budget_s * 1e3:.0f} ms virtual per move)...\n"
+)
+result = run_fig7(config)
+
+print(result.render(step_stride=12))
+print()
+finals = result.final_scores()
+gpu_score = finals.pop("1 GPU")
+beaten = [label for label, v in finals.items() if v <= gpu_score]
+print(f"1 GPU final point difference: {gpu_score:+.1f}")
+for label, v in sorted(finals.items(), key=lambda kv: kv[1]):
+    marker = "<= GPU" if v <= gpu_score else "> GPU"
+    print(f"  {label:>10s}: {v:+.1f}  ({marker})")
+print(
+    f"\nthe GPU matched or beat {len(beaten)}/{len(finals)} CPU "
+    "configurations (the paper's Fig. 7 has it above all of them)."
+)

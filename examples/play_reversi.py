@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Watch a full Reversi game: block-parallel GPU MCTS vs greedy.
+
+Prints the board after every few moves and the final result.  The GPU
+player should dismantle the greedy disc-counter.
+
+Run:  python examples/play_reversi.py
+"""
+
+from repro.arena import play_game
+from repro.core import BlockParallelMcts
+from repro.games import Reversi
+from repro.players import GreedyPlayer, MctsPlayer
+
+game = Reversi()
+
+gpu_player = MctsPlayer(
+    game,
+    BlockParallelMcts(game, seed=7, blocks=8, threads_per_block=32),
+    move_budget_s=0.02,
+    name="gpu-mcts",
+)
+greedy = GreedyPlayer(game, seed=8)
+
+print("black (X): block-parallel GPU MCTS")
+print("white (O): greedy max-flips\n")
+
+state = game.initial_state()
+record = play_game(game, gpu_player, greedy)
+
+# Replay the move list for display.
+state = game.initial_state()
+for move_rec in record.moves:
+    state = game.apply(state, move_rec.move)
+    if move_rec.step % 10 == 0:
+        print(f"after step {move_rec.step} "
+              f"(score {move_rec.score_after:+d}):")
+        print(game.render(state))
+        print()
+
+outcome = {1: "black (GPU MCTS) wins", -1: "white (greedy) wins", 0: "draw"}
+print(f"final: {outcome[record.winner]} by {abs(record.final_score)} discs")
+print(f"game length: {record.length} plies")
+gpu_moves = [m for m in record.moves if m.player == 1]
+print(
+    f"GPU playouts/move: "
+    f"{sum(m.simulations for m in gpu_moves) // len(gpu_moves)}"
+)

@@ -1,0 +1,6 @@
+"""Legacy shim so ``pip install -e .`` works in offline environments
+without the ``wheel`` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro -- reproduction of "Large-Scale Parallel Monte Carlo Tree
+Search on GPU" (Rocki & Suda, IEEE IPDPS Workshops 2011).
+
+The paper's block-parallel MCTS, its leaf/root/tree-parallel baselines,
+the hybrid CPU/GPU scheme and the multi-GPU MPI version, all running on
+a simulated SIMT substrate (virtual Tesla C2050 + virtual cluster) with
+real vectorised Reversi playouts.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro.core import BlockParallelMcts
+    from repro.games import Reversi
+
+    game = Reversi()
+    engine = BlockParallelMcts(
+        game, seed=42, blocks=16, threads_per_block=32
+    )
+    result = engine.search(game.initial_state(), budget_s=0.05)
+    print(result.move, result.simulations)
+"""
+
+from repro.core import (
+    BlockParallelMcts,
+    HybridMcts,
+    LeafParallelMcts,
+    MultiGpuMcts,
+    RootParallelMcts,
+    SearchResult,
+    SequentialMcts,
+    TreeParallelMcts,
+)
+from repro.games import make_batch_game, make_game
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "make_game",
+    "make_batch_game",
+    "SearchResult",
+    "SequentialMcts",
+    "LeafParallelMcts",
+    "RootParallelMcts",
+    "BlockParallelMcts",
+    "HybridMcts",
+    "TreeParallelMcts",
+    "MultiGpuMcts",
+]

@@ -1,0 +1,142 @@
+"""Cohort driver: many games advanced in lockstep, CPU searches merged.
+
+Strength experiments pit dozens of independent games against each
+other; their CPU-side MCTS searches (sequential, root-parallel,
+tree-parallel) are generators that yield playout requests.  The cohort
+driver advances all games one *move* per round: every CPU search active
+in that round contributes its leaf states to one merged vectorised
+playout batch, so a 1-core machine simulates a whole tournament at
+near-batch throughput.  Virtual-time semantics are untouched -- each
+engine still charges its own clock -- and outcomes are deterministic
+given the full cohort configuration.
+
+GPU-backed players (leaf/block/hybrid/multi-GPU engines) do not join
+the merge; their playouts already run as wide kernels and are executed
+directly when their game's turn comes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.arena.match import GameRecord, MoveRecord
+from repro.core.base import Engine, PlayoutBatch, PlayoutResults
+from repro.games.base import Game
+from repro.players.base import Player
+from repro.players.mcts import MctsPlayer
+
+
+def _cohort_generator(player: Player, state):
+    """The player's search generator, or None if not cohort-capable."""
+    if not isinstance(player, MctsPlayer):
+        return None
+    engine = player.engine
+    if type(engine).search_steps is Engine.search_steps:
+        return None  # not overridden: the engine cannot be merged
+    return engine.search_steps(state, player.move_budget_s)
+
+
+def drive_merged(
+    generators: dict[int, object],
+    executor: Callable[[PlayoutBatch], PlayoutResults],
+) -> dict[int, object]:
+    """Drive several search generators to completion, merging their
+    playout requests into shared executor calls.  Returns each key's
+    SearchResult."""
+    results: dict[int, object] = {}
+    pending: dict[int, object] = {}
+    requests: dict[int, list] = {}
+    for key, gen in generators.items():
+        try:
+            requests[key] = list(next(gen))
+            pending[key] = gen
+        except StopIteration as stop:  # zero-iteration search (unused)
+            results[key] = stop.value
+    while pending:
+        order = list(pending)
+        flat: list = []
+        offsets: dict[int, tuple[int, int]] = {}
+        for key in order:
+            start = len(flat)
+            flat.extend(requests[key])
+            offsets[key] = (start, len(flat))
+        answers = executor(flat) if flat else []
+        for key in order:
+            lo, hi = offsets[key]
+            try:
+                requests[key] = list(pending[key].send(answers[lo:hi]))
+            except StopIteration as stop:
+                results[key] = stop.value
+                del pending[key]
+                del requests[key]
+    return results
+
+
+def play_games_cohort(
+    game: Game,
+    matchups: Sequence[tuple[Player, Player]],
+    executor: Callable[[PlayoutBatch], PlayoutResults],
+    max_plies: int | None = None,
+) -> list[GameRecord]:
+    """Play every ``(black, white)`` pair to completion, one move per
+    round across all still-running games."""
+    n = len(matchups)
+    if n == 0:
+        raise ValueError("no games in the cohort")
+    limit = max_plies if max_plies is not None else game.max_game_length
+    states = [game.initial_state() for _ in range(n)]
+    records = [GameRecord(winner=0, final_score=0) for _ in range(n)]
+    steps = [0] * n
+    alive = [i for i in range(n) if not game.is_terminal(states[i])]
+
+    while alive:
+        generators: dict[int, object] = {}
+        movers: dict[int, Player] = {}
+        for i in alive:
+            mover = game.to_move(states[i])
+            black, white = matchups[i]
+            player = black if mover == 1 else white
+            movers[i] = player
+            gen = _cohort_generator(player, states[i])
+            if gen is not None:
+                generators[i] = gen
+        merged = drive_merged(generators, executor)
+
+        still_alive = []
+        for i in alive:
+            if steps[i] >= limit:
+                raise RuntimeError(
+                    f"cohort game {i} exceeded {limit} plies"
+                )
+            player = movers[i]
+            if i in merged:
+                result = merged[i]
+                info_move = result.move
+                sims = result.simulations
+                depth = result.max_depth
+            else:
+                info = player.choose(states[i])
+                info_move = info.move
+                sims = info.simulations
+                depth = info.max_depth
+            game.validate_move(states[i], info_move)
+            mover = game.to_move(states[i])
+            states[i] = game.apply(states[i], info_move)
+            steps[i] += 1
+            records[i].moves.append(
+                MoveRecord(
+                    step=steps[i],
+                    player=mover,
+                    move=info_move,
+                    score_after=game.score(states[i]),
+                    simulations=sims,
+                    max_depth=depth,
+                )
+            )
+            if game.is_terminal(states[i]):
+                records[i].winner = game.winner(states[i])
+                records[i].final_score = game.score(states[i])
+            else:
+                still_alive.append(i)
+        alive = still_alive
+    return records

@@ -1,0 +1,95 @@
+"""Elo rating estimation from round-robin results.
+
+Used by the ablation benches to rank schemes on one scale instead of
+pairwise tables.  Ratings are maximum-likelihood under the standard
+logistic model, fitted by damped fixed-point iteration (no dependence
+on the pairing structure being complete).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+#: Elo scale constant: 400 / ln(10).
+_SCALE = 400.0 / math.log(10.0)
+
+
+def expected_score(rating_a: float, rating_b: float) -> float:
+    """Logistic expected score of A against B."""
+    return 1.0 / (1.0 + math.exp((rating_b - rating_a) / _SCALE))
+
+
+def elo_ratings(
+    scores: Mapping[tuple[str, str], tuple[float, int]],
+    iterations: int = 500,
+    tol: float = 1e-9,
+    damping: float = 0.5,
+) -> dict[str, float]:
+    """Maximum-likelihood Elo ratings.
+
+    ``scores[(a, b)] = (points, games)`` gives A's points against B
+    (wins + draws/2).  Ratings are anchored to mean zero.  Players with
+    only perfect or only zero scores get clamped by the damping rather
+    than diverging.
+    """
+    players: set[str] = set()
+    for a, b in scores:
+        players.add(a)
+        players.add(b)
+    if not players:
+        raise ValueError("no results to rate")
+    for (a, b), (points, games) in scores.items():
+        if games <= 0:
+            raise ValueError(f"({a}, {b}): games must be positive")
+        if not 0 <= points <= games:
+            raise ValueError(
+                f"({a}, {b}): points {points} out of range for "
+                f"{games} games"
+            )
+
+    ratings = {p: 0.0 for p in sorted(players)}
+    for _ in range(iterations):
+        max_delta = 0.0
+        for player in ratings:
+            actual = 0.0
+            expected = 0.0
+            for (a, b), (points, games) in scores.items():
+                if a == player:
+                    actual += points
+                    expected += games * expected_score(
+                        ratings[a], ratings[b]
+                    )
+                elif b == player:
+                    actual += games - points
+                    expected += games * expected_score(
+                        ratings[b], ratings[a]
+                    )
+            if expected == 0.0 and actual == 0.0:
+                continue
+            # Damped logit step toward the observed score total.
+            grad = (actual - expected) * _SCALE
+            total_games = sum(
+                g for (a, b), (_, g) in scores.items()
+                if player in (a, b)
+            )
+            step = damping * grad / max(total_games, 1)
+            ratings[player] += step
+            max_delta = max(max_delta, abs(step))
+        # Re-anchor to mean zero every sweep.
+        mean = sum(ratings.values()) / len(ratings)
+        for p in ratings:
+            ratings[p] -= mean
+        if max_delta < tol:
+            break
+    return ratings
+
+
+def elo_from_matchups(results) -> dict[str, float]:
+    """Ratings from ``round_robin`` output
+    (``{(a, b): MatchupResult}``)."""
+    scores = {
+        pair: (res.wins + 0.5 * res.draws, res.games)
+        for pair, res in results.items()
+    }
+    return elo_ratings(scores)

@@ -1,0 +1,82 @@
+"""Playing one full game between two players, with per-step telemetry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.games.base import Game
+from repro.players.base import Player
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One ply: who moved, what, and the searcher's telemetry."""
+
+    step: int  # 1-based game step (the paper's x-axis)
+    player: int  # +1 / -1 (absolute colour)
+    move: int
+    score_after: int  # point difference, player +1 minus player -1
+    simulations: int
+    max_depth: int
+
+
+@dataclass
+class GameRecord:
+    """A finished game."""
+
+    winner: int  # +1 / -1 / 0
+    final_score: int  # from player +1's perspective
+    moves: list[MoveRecord] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.moves)
+
+    def score_series(self, perspective: int = 1) -> list[int]:
+        """Per-step point difference from ``perspective``'s side."""
+        return [m.score_after * perspective for m in self.moves]
+
+    def depth_series(self, player: int) -> list[tuple[int, int]]:
+        """(step, max_depth) for the given player's moves."""
+        return [
+            (m.step, m.max_depth) for m in self.moves if m.player == player
+        ]
+
+
+def play_game(
+    game: Game,
+    black: Player,
+    white: Player,
+    max_plies: int | None = None,
+) -> GameRecord:
+    """Play ``black`` (player +1) against ``white`` to the end."""
+    state = game.initial_state()
+    record = GameRecord(winner=0, final_score=0)
+    limit = max_plies if max_plies is not None else game.max_game_length
+    step = 0
+    while not game.is_terminal(state):
+        if step >= limit:
+            raise RuntimeError(
+                f"game exceeded {limit} plies; engine or rules bug"
+            )
+        step += 1
+        mover = game.to_move(state)
+        player = black if mover == 1 else white
+        info = player.choose(state)
+        game.validate_move(state, info.move)
+        state = game.apply(state, info.move)
+        black.notify_move(state, info.move)
+        white.notify_move(state, info.move)
+        record.moves.append(
+            MoveRecord(
+                step=step,
+                player=mover,
+                move=info.move,
+                score_after=game.score(state),
+                simulations=info.simulations,
+                max_depth=info.max_depth,
+            )
+        )
+    record.winner = game.winner(state)
+    record.final_score = game.score(state)
+    return record

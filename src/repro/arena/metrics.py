@@ -1,0 +1,92 @@
+"""Strength metrics: win ratios, confidence intervals, per-step means."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.arena.match import GameRecord
+
+
+def win_ratio(wins: int, losses: int, draws: int) -> float:
+    """Score ratio with draws counting half (the convention behind the
+    paper's Figure 6 y-axis)."""
+    games = wins + losses + draws
+    if games == 0:
+        raise ValueError("no games played")
+    return (wins + 0.5 * draws) / games
+
+
+def wilson_interval(
+    successes: float, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes {successes} out of range for {trials} trials"
+        )
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def mean_score_series(
+    records: Sequence[GameRecord],
+    perspective_per_game: Sequence[int],
+    length: int,
+) -> np.ndarray:
+    """Average per-step point difference over games (paper Figure 7).
+
+    Each game's series is read from its subject player's perspective
+    and padded with its final value (a finished game's score no longer
+    changes), then averaged step-wise.
+    """
+    if len(records) != len(perspective_per_game):
+        raise ValueError("one perspective per game required")
+    if not records:
+        raise ValueError("no games to average")
+    table = np.zeros((len(records), length))
+    for i, (rec, persp) in enumerate(
+        zip(records, perspective_per_game)
+    ):
+        series = rec.score_series(persp)
+        if not series:
+            raise ValueError("game with no moves")
+        clipped = series[:length]
+        table[i, : len(clipped)] = clipped
+        if len(clipped) < length:
+            table[i, len(clipped):] = clipped[-1]
+    return table.mean(axis=0)
+
+
+def mean_depth_series(
+    records: Sequence[GameRecord],
+    player_per_game: Sequence[int],
+    length: int,
+) -> np.ndarray:
+    """Average per-step search depth for the subject player (paper
+    Figure 8, right panel).  Steps where the player did not move carry
+    the player's previous depth forward."""
+    if len(records) != len(player_per_game):
+        raise ValueError("one player colour per game required")
+    if not records:
+        raise ValueError("no games to average")
+    table = np.zeros((len(records), length))
+    for i, (rec, colour) in enumerate(zip(records, player_per_game)):
+        last = 0.0
+        series = dict(rec.depth_series(colour))
+        for step in range(1, length + 1):
+            if step in series:
+                last = float(series[step])
+            table[i, step - 1] = last
+    return table.mean(axis=0)

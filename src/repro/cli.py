@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+::
+
+    python -m repro experiments                 # list experiment ids
+    python -m repro run fig5_speed --tier quick # run one, print table
+    python -m repro play --blocks 16 --tpb 32   # GPU MCTS vs greedy
+    python -m repro devices                     # virtual device specs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.harness import EXPERIMENTS
+
+    for name in EXPERIMENTS:
+        print(name)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment(args.name, args.tier)
+    print(result.render())
+    print(f"\n[{args.name} took {time.perf_counter() - t0:.1f}s wall]")
+    return 0
+
+
+def _cmd_play(args) -> int:
+    from repro.arena import play_game
+    from repro.core import BlockParallelMcts
+    from repro.games import make_game
+    from repro.players import GreedyPlayer, MctsPlayer, RandomPlayer
+
+    game = make_game(args.game)
+    mcts = MctsPlayer(
+        game,
+        BlockParallelMcts(
+            game,
+            args.seed,
+            blocks=args.blocks,
+            threads_per_block=args.tpb,
+        ),
+        move_budget_s=args.budget,
+        name="gpu-mcts",
+    )
+    opp_cls = GreedyPlayer if args.opponent == "greedy" else RandomPlayer
+    opponent = opp_cls(game, args.seed + 1)
+    record = play_game(game, mcts, opponent)
+    state = game.initial_state()
+    for move in record.moves:
+        state = game.apply(state, move.move)
+    print(game.render(state))
+    outcome = {1: "MCTS wins", -1: f"{args.opponent} wins", 0: "draw"}
+    print(
+        f"\n{outcome[record.winner]} "
+        f"(score {record.final_score:+d}, {record.length} plies)"
+    )
+    return 0 if record.winner >= 0 else 1
+
+
+def _cmd_devices(_args) -> int:
+    from repro.gpu.device import _REGISTRY
+
+    for name, spec in sorted(_REGISTRY.items()):
+        print(
+            f"{name}: {spec.sm_count} SMs x {spec.max_threads_per_sm} "
+            f"threads @ {spec.clock_hz / 1e9:.2f} GHz, "
+            f"{spec.global_mem_bytes // 1024**2} MiB"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Large-Scale Parallel MCTS on GPU' "
+            "(Rocki & Suda, IPDPS 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "experiments", help="list experiment ids"
+    ).set_defaults(func=_cmd_experiments)
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("name")
+    run.add_argument(
+        "--tier", choices=("quick", "default", "full"), default=None
+    )
+    run.set_defaults(func=_cmd_run)
+
+    play = sub.add_parser(
+        "play", help="play one game: block-parallel MCTS vs a baseline"
+    )
+    play.add_argument("--game", default="reversi")
+    play.add_argument(
+        "--opponent", choices=("greedy", "random"), default="greedy"
+    )
+    play.add_argument("--blocks", type=int, default=16)
+    play.add_argument("--tpb", type=int, default=32)
+    play.add_argument("--budget", type=float, default=0.02)
+    play.add_argument("--seed", type=int, default=2011)
+    play.set_defaults(func=_cmd_play)
+
+    sub.add_parser(
+        "devices", help="list virtual device specs"
+    ).set_defaults(func=_cmd_devices)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

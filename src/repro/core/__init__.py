@@ -1,0 +1,59 @@
+"""MCTS core: the search tree, UCB selection, and all engines.
+
+Engines (one per parallelisation scheme in the paper):
+
+* :class:`SequentialMcts` -- one CPU core, the opponent/baseline.
+* :class:`LeafParallelMcts` -- one tree, the whole GPU grid simulates
+  from the selected leaf.
+* :class:`RootParallelMcts` -- n independent CPU trees with root-level
+  vote aggregation (the authors' earlier CPU scheme).
+* :class:`BlockParallelMcts` -- **the paper's contribution**: one tree
+  per GPU block, block threads simulate their tree's leaf.
+* :class:`HybridMcts` -- block parallel with asynchronous kernels and
+  overlapped CPU iterations (paper Figure 4).
+* :class:`TreeParallelMcts` -- shared tree + virtual loss (literature
+  baseline, ablations only).
+* :class:`MultiGpuMcts` -- rank-per-GPU root aggregation over simulated
+  MPI (paper Figure 9).
+"""
+
+from repro.core.base import (
+    Engine,
+    batch_executor,
+    drive_search,
+    scalar_executor,
+    tally,
+)
+from repro.core.block_parallel import BlockParallelMcts
+from repro.core.hybrid import HybridMcts
+from repro.core.leaf_parallel import LeafParallelMcts
+from repro.core.multigpu import MultiGpuMcts
+from repro.core.policy import MAX_RATIO, MAX_VISITS, MAX_WINS, select_move
+from repro.core.results import SearchResult
+from repro.core.root_parallel import RootParallelMcts
+from repro.core.sequential import SequentialMcts
+from repro.core.tree import Node, SearchTree, aggregate_stats
+from repro.core.tree_parallel import TreeParallelMcts
+
+__all__ = [
+    "Engine",
+    "SearchResult",
+    "SearchTree",
+    "Node",
+    "aggregate_stats",
+    "select_move",
+    "MAX_VISITS",
+    "MAX_RATIO",
+    "MAX_WINS",
+    "SequentialMcts",
+    "LeafParallelMcts",
+    "RootParallelMcts",
+    "BlockParallelMcts",
+    "HybridMcts",
+    "TreeParallelMcts",
+    "MultiGpuMcts",
+    "drive_search",
+    "scalar_executor",
+    "batch_executor",
+    "tally",
+]

@@ -1,0 +1,170 @@
+"""Engine base class and the playout-executor seam.
+
+CPU-side engines are written as *generators* (``search_steps``): they
+yield lists of leaf states whose playouts they need, and receive the
+``(winner, plies)`` results back via ``send``.  That seam lets
+
+* ``search()`` run standalone with a local executor, and
+* the arena drive many engines' generators in lockstep, merging their
+  playout requests into one vectorised batch (how a 1-core-per-player
+  tournament stays tractable on this machine).
+
+GPU engines implement ``search`` directly (their playouts already run
+as wide kernels on the virtual device).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Generator, Sequence
+
+import numpy as np
+
+from repro.cpu import XEON_X5670, CpuCostModel
+from repro.games.base import Game, GameState
+from repro.games.batch import run_playouts_tracked
+from repro.core.policy import MAX_VISITS
+from repro.core.results import SearchResult
+from repro.games import make_batch_game
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+from repro.util.clock import Clock
+from repro.util.seeding import derive_seed
+
+#: What engines yield: leaf states needing one playout each.
+PlayoutBatch = Sequence[GameState]
+#: What they receive back: per-state ``(absolute winner, plies)``.
+PlayoutResults = Sequence[tuple[int, int]]
+
+SearchGenerator = Generator[PlayoutBatch, PlayoutResults, SearchResult]
+
+
+class Engine(abc.ABC):
+    """Common engine state: game, clock, RNG, cost model, UCB constant."""
+
+    #: Short identifier used in reports ("sequential", "block", ...).
+    name: str = "engine"
+
+    def __init__(
+        self,
+        game: Game,
+        seed: int,
+        ucb_c: float = 1.0,
+        cost_model: CpuCostModel = XEON_X5670,
+        clock: Clock | None = None,
+        final_policy: str = MAX_VISITS,
+        max_iterations: int | None = None,
+        selection_rule: str = "ucb1",
+    ) -> None:
+        if max_iterations is not None and max_iterations <= 0:
+            raise ValueError(
+                f"max_iterations must be positive: {max_iterations}"
+            )
+        self.game = game
+        self.seed = seed
+        self.ucb_c = ucb_c
+        self.cost = cost_model
+        self.clock = clock if clock is not None else Clock()
+        self.final_policy = final_policy
+        self.max_iterations = max_iterations
+        self.selection_rule = selection_rule
+        self.rng = XorShift64Star(derive_seed(seed, "engine", self.name))
+
+    @abc.abstractmethod
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        """Run an anytime search for ``budget_s`` *virtual* seconds."""
+
+    def search_steps(
+        self, state: GameState, budget_s: float
+    ) -> SearchGenerator:
+        """Generator protocol (CPU engines only); see module docstring."""
+        raise NotImplementedError(
+            f"{self.name} engine does not support cohort driving"
+        )
+
+    def _check_budget(self, budget_s: float, state: GameState) -> None:
+        if budget_s <= 0:
+            raise ValueError(f"budget must be positive: {budget_s}")
+        if self.game.is_terminal(state):
+            raise ValueError("cannot search a terminal position")
+
+    def _iteration_cap(self) -> float:
+        return self.max_iterations if self.max_iterations else float("inf")
+
+
+def scalar_executor(
+    game: Game, rng: XorShift64Star
+) -> Callable[[PlayoutBatch], PlayoutResults]:
+    """Playouts via the game's (fast) scalar path -- the real sequential
+    CPU behaviour, one playout at a time."""
+
+    def run(states: PlayoutBatch) -> PlayoutResults:
+        return [game.playout(s, rng) for s in states]
+
+    return run
+
+
+def batch_executor(
+    game_name: str, seed: int
+) -> Callable[[PlayoutBatch], PlayoutResults]:
+    """Playouts via the vectorised engine, one lane per requested state.
+
+    Used by multi-tree engines and the arena's cohort driver; results
+    are statistically identical to the scalar path (both play uniform
+    random moves), just computed in lockstep.
+    """
+    from repro.games import make_game
+
+    bg = make_batch_game(game_name)
+    game = make_game(game_name)
+    ladder_seed = derive_seed(seed, "batch_executor")
+    scalar_rng = XorShift64Star(derive_seed(seed, "scalar_fallback"))
+    call_count = 0
+    # Below this many lanes the NumPy lockstep overhead loses to the
+    # inlined scalar playout (measured crossover ~10 lanes on Reversi).
+    scalar_cutoff = 10
+
+    def run(states: PlayoutBatch) -> PlayoutResults:
+        nonlocal call_count
+        if not states:
+            return []
+        if len(states) < scalar_cutoff:
+            return [game.playout(s, scalar_rng) for s in states]
+        call_count += 1
+        rng = BatchXorShift128Plus(
+            len(states), derive_seed(ladder_seed, call_count)
+        )
+        batch = bg.make_batch(list(states), 1)
+        tracked = run_playouts_tracked(bg, batch, rng)
+        return list(
+            zip(
+                (int(w) for w in tracked.winners),
+                (int(p) for p in tracked.finish_steps),
+            )
+        )
+
+    return run
+
+
+def drive_search(
+    gen: SearchGenerator,
+    executor: Callable[[PlayoutBatch], PlayoutResults],
+) -> SearchResult:
+    """Run a search generator to completion with ``executor`` supplying
+    playout results."""
+    try:
+        requests = next(gen)
+        while True:
+            requests = gen.send(executor(requests))
+    except StopIteration as stop:
+        result = stop.value
+        if result is None:  # pragma: no cover - engine bug guard
+            raise RuntimeError("search generator returned no result")
+        return result
+
+
+def tally(winners: np.ndarray) -> tuple[int, int, int]:
+    """Count (black wins, white wins, draws) in an outcome array."""
+    black = int((winners == 1).sum())
+    white = int((winners == -1).sum())
+    draws = int((winners == 0).sum())
+    return black, white, draws

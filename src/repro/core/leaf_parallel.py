@@ -1,0 +1,85 @@
+"""Leaf-parallel MCTS on the (virtual) GPU.
+
+The paper's simplest GPU scheme: one tree on the CPU; each iteration
+ships the selected leaf to the GPU, which runs one playout per thread
+from that same position, and the whole grid's results are
+backpropagated at once.  Accuracy per iteration improves with thread
+count but all samples come from a single point -- the reason its win
+ratio plateaus around 0.75 in the paper's Figure 6 while block
+parallelism keeps climbing.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Engine, tally
+from repro.core.policy import select_move
+from repro.core.results import SearchResult
+from repro.core.tree import SearchTree
+from repro.cpu import XEON_X5670
+from repro.games.base import GameState
+from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
+from repro.util.clock import Stopwatch
+from repro.util.seeding import derive_seed
+
+
+class LeafParallelMcts(Engine):
+    """One tree, grid-wide playouts from the selected leaf."""
+
+    name = "leaf_parallel"
+
+    def __init__(
+        self,
+        game,
+        seed,
+        blocks: int,
+        threads_per_block: int,
+        device=TESLA_C2050,
+        cost_model=XEON_X5670,
+        **kwargs,
+    ) -> None:
+        super().__init__(game, seed, cost_model=cost_model, **kwargs)
+        self.config = LaunchConfig(blocks, threads_per_block)
+        self.config.validate(device)
+        self.gpu = VirtualGpu(
+            device, self.clock, game.name, derive_seed(seed, "gpu")
+        )
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        self._check_budget(budget_s, state)
+        tree = SearchTree(
+            self.game,
+            state,
+            self.rng.fork("tree"),
+            self.ucb_c,
+            self.selection_rule,
+        )
+        sw = Stopwatch(self.clock)
+        cap = self._iteration_cap()
+        grid = self.config.total_threads
+        iterations = 0
+        simulations = 0
+        while (sw.elapsed < budget_s and iterations < cap) or iterations == 0:
+            node, depth = tree.select_expand()
+            # CPU sequential share: tree walk + kernel marshalling.
+            self.clock.advance(self.cost.tree_control_time(depth))
+            if node.terminal:
+                # The kernel would return the same outcome in every
+                # lane; skip the launch, keep the statistics faithful.
+                tree.backprop_winner(node, node.winner, grid)
+            else:
+                result = self.gpu.run_playouts([node.state], self.config)
+                wins_b, wins_w, draws = tally(result.winners)
+                tree.backprop(node, grid, wins_b, wins_w, draws)
+            iterations += 1
+            simulations += grid
+        stats = tree.root_stats()
+        return SearchResult(
+            move=select_move(stats, self.final_policy),
+            stats=stats,
+            iterations=iterations,
+            simulations=simulations,
+            max_depth=tree.max_depth,
+            tree_nodes=tree.node_count,
+            elapsed_s=sw.elapsed,
+            extras={"kernels": self.gpu.stats.kernels_launched},
+        )

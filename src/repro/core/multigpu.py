@@ -1,0 +1,115 @@
+"""Multi-GPU MCTS over simulated MPI (paper Figure 9).
+
+Each rank owns one virtual GPU running block-parallel MCTS; the root
+state is broadcast, every rank searches independently for the move
+budget, and per-move root statistics are summed with an MPI reduction
+-- root parallelism across GPUs on top of block parallelism within
+each, the exact structure of the paper's multi-GPU runs (112 blocks x
+64 threads per GPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import Engine
+from repro.core.block_parallel import BlockParallelMcts
+from repro.core.policy import select_move
+from repro.core.results import SearchResult
+from repro.cpu import XEON_X5670
+from repro.games.base import GameState
+from repro.gpu import TESLA_C2050
+from repro.mpi import MpiCluster, TSUBAME_IB
+from repro.util.seeding import derive_seed
+
+
+class MultiGpuMcts(Engine):
+    """Rank-per-GPU root aggregation via the simulated cluster."""
+
+    name = "multigpu"
+
+    def __init__(
+        self,
+        game,
+        seed,
+        n_gpus: int,
+        blocks: int,
+        threads_per_block: int,
+        device=TESLA_C2050,
+        network=TSUBAME_IB,
+        cost_model=XEON_X5670,
+        **kwargs,
+    ) -> None:
+        if n_gpus <= 0:
+            raise ValueError(f"n_gpus must be positive: {n_gpus}")
+        super().__init__(game, seed, cost_model=cost_model, **kwargs)
+        self.n_gpus = n_gpus
+        self.blocks = blocks
+        self.threads_per_block = threads_per_block
+        self.device = device
+        self.network = network
+        self._engine_kwargs = kwargs
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        self._check_budget(budget_s, state)
+        cluster = MpiCluster(
+            self.n_gpus, self.network, derive_seed(self.seed, "cluster")
+        )
+        states = cluster.bcast(state, root=0)
+
+        def rank_search(ctx):
+            engine = BlockParallelMcts(
+                self.game,
+                ctx.seed,
+                blocks=self.blocks,
+                threads_per_block=self.threads_per_block,
+                device=self.device,
+                cost_model=self.cost,
+                ucb_c=self.ucb_c,
+                clock=ctx.clock,
+                final_policy=self.final_policy,
+                max_iterations=self.max_iterations,
+            )
+            return engine.search(states[ctx.rank], budget_s)
+
+        rank_results = cluster.run_on_ranks(rank_search)
+
+        # Reduce per-move (visits, wins) as fixed-size arrays, the way
+        # the MPI code ships them (move id indexes the buffer).
+        num_moves = self.game.num_moves
+        visit_bufs = []
+        win_bufs = []
+        for res in rank_results:
+            visits = np.zeros(num_moves)
+            wins = np.zeros(num_moves)
+            for move, (v, w) in res.stats.items():
+                visits[move] = v
+                wins[move] = w
+            visit_bufs.append(visits)
+            win_bufs.append(wins)
+        total_visits = cluster.reduce(visit_bufs, op="sum", root=0)
+        total_wins = cluster.reduce(win_bufs, op="sum", root=0)
+
+        stats = {
+            m: (float(total_visits[m]), float(total_wins[m]))
+            for m in range(num_moves)
+            if total_visits[m] > 0
+        }
+        elapsed = cluster.elapsed
+        self.clock.advance_to(max(self.clock.now, elapsed))
+        return SearchResult(
+            move=select_move(stats, self.final_policy),
+            stats=stats,
+            iterations=sum(r.iterations for r in rank_results),
+            simulations=sum(r.simulations for r in rank_results),
+            max_depth=max(r.max_depth for r in rank_results),
+            tree_nodes=sum(r.tree_nodes for r in rank_results),
+            elapsed_s=elapsed,
+            trees=self.n_gpus * self.blocks,
+            extras={
+                "ranks": self.n_gpus,
+                "per_rank_simulations": [
+                    r.simulations for r in rank_results
+                ],
+            },
+        )

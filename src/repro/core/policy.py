@@ -1,0 +1,45 @@
+"""Final move selection from (aggregated) root statistics."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: visits-based "robust child" -- the default, and what the paper's
+#: root-style aggregation implies (sum visit counts, pick the max).
+MAX_VISITS = "max_visits"
+#: highest mean reward, guarded against tiny samples.
+MAX_RATIO = "max_ratio"
+#: highest raw win total.
+MAX_WINS = "max_wins"
+
+POLICIES = (MAX_VISITS, MAX_RATIO, MAX_WINS)
+
+
+def select_move(
+    stats: Mapping[int, tuple[float, float]],
+    policy: str = MAX_VISITS,
+    min_visits: float = 1.0,
+) -> int:
+    """Choose the move to play from per-move ``(visits, wins)`` stats.
+
+    Ties break on the secondary statistic and then on the smallest move
+    id, so selection is deterministic.
+    """
+    if not stats:
+        raise ValueError("no move statistics to select from")
+    if policy == MAX_VISITS:
+        key = lambda m: (stats[m][0], stats[m][1], -m)  # noqa: E731
+    elif policy == MAX_WINS:
+        key = lambda m: (stats[m][1], stats[m][0], -m)  # noqa: E731
+    elif policy == MAX_RATIO:
+
+        def key(m):
+            visits, wins = stats[m]
+            ratio = wins / visits if visits >= min_visits else -1.0
+            return (ratio, visits, -m)
+
+    else:
+        raise ValueError(
+            f"unknown final-move policy {policy!r}; available: {POLICIES}"
+        )
+    return max(stats, key=key)

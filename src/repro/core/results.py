@@ -1,0 +1,39 @@
+"""Search result records shared by every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """What one ``engine.search(state, budget)`` call produced.
+
+    ``stats`` maps each root move to ``(visits, wins)`` -- aggregated
+    across trees for the multi-tree engines.  ``simulations`` counts
+    playouts (a leaf-parallel iteration contributes its whole grid),
+    ``iterations`` counts engine loop iterations, and ``max_depth`` is
+    the deepest tree path built (the paper's Figure 8 telemetry).
+    """
+
+    move: int
+    stats: Mapping[int, tuple[float, float]]
+    iterations: int
+    simulations: int
+    max_depth: int
+    tree_nodes: int
+    elapsed_s: float
+    trees: int = 1
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def root_visits(self) -> float:
+        return sum(v for v, _ in self.stats.values())
+
+    def visit_share(self, move: int) -> float:
+        """Fraction of root visits that went to ``move``."""
+        total = self.root_visits
+        if total <= 0:
+            return 0.0
+        return self.stats.get(move, (0.0, 0.0))[0] / total

@@ -1,0 +1,115 @@
+"""Root-parallel MCTS: n independent trees, one per CPU core.
+
+The authors' earlier massively-parallel CPU scheme (and the CPU side of
+the paper's Figure 7): every core builds its own tree from the same
+root with its own RNG; at the end of the move budget the root children
+statistics are summed move-by-move and the most-visited move is played.
+There is no communication during the search, so virtual cores genuinely
+run in parallel: each charges only its own core-clock.
+
+The real-machine implementation here advances all trees in lockstep
+rounds and batches their playouts through the vectorised engine --
+results are identical to independent execution because the trees never
+interact.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Engine, SearchGenerator, batch_executor, drive_search
+from repro.core.policy import select_move
+from repro.core.results import SearchResult
+from repro.core.tree import SearchTree, aggregate_stats, majority_vote_stats
+from repro.games.base import GameState
+from repro.util.seeding import derive_seed
+
+
+class RootParallelMcts(Engine):
+    """Independent-tree voting over ``n_trees`` virtual cores."""
+
+    name = "root_parallel"
+
+    def __init__(
+        self, game, seed, n_trees: int, vote: str = "sum", **kwargs
+    ) -> None:
+        if n_trees <= 0:
+            raise ValueError(f"n_trees must be positive: {n_trees}")
+        if vote not in ("sum", "majority"):
+            raise ValueError(f"unknown vote mode {vote!r}")
+        super().__init__(game, seed, **kwargs)
+        self.n_trees = n_trees
+        self.vote = vote
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        return drive_search(
+            self.search_steps(state, budget_s),
+            batch_executor(self.game.name, derive_seed(self.seed, "exec")),
+        )
+
+    def search_steps(
+        self, state: GameState, budget_s: float
+    ) -> SearchGenerator:
+        self._check_budget(budget_s, state)
+        trees = [
+            SearchTree(
+                self.game,
+                state,
+                self.rng.fork("tree", i),
+                self.ucb_c,
+                self.selection_rule,
+            )
+            for i in range(self.n_trees)
+        ]
+        core_time = [0.0] * self.n_trees
+        cap = self._iteration_cap()
+        iterations = 0
+        simulations = 0
+        per_tree_iters = [0] * self.n_trees
+
+        while True:
+            active = [
+                i
+                for i in range(self.n_trees)
+                if core_time[i] < budget_s and per_tree_iters[i] < cap
+            ]
+            if not active:
+                break
+            requests = []
+            pending = []  # (tree index, node, depth)
+            for i in active:
+                node, depth = trees[i].select_expand()
+                if node.terminal:
+                    trees[i].backprop_winner(node, node.winner)
+                    core_time[i] += self.cost.iteration_time(depth, 0)
+                    per_tree_iters[i] += 1
+                    iterations += 1
+                    simulations += 1
+                else:
+                    requests.append(node.state)
+                    pending.append((i, node, depth))
+            if requests:
+                results = yield requests
+                for (i, node, depth), (winner, plies) in zip(
+                    pending, results
+                ):
+                    trees[i].backprop_winner(node, winner)
+                    core_time[i] += self.cost.iteration_time(depth, plies)
+                    per_tree_iters[i] += 1
+                    iterations += 1
+                    simulations += 1
+
+        # Wall time of the parallel search = the slowest core.
+        self.clock.advance(max(core_time))
+        stats = aggregate_stats(trees)
+        voted = (
+            majority_vote_stats(trees) if self.vote == "majority" else stats
+        )
+        return SearchResult(
+            move=select_move(voted, self.final_policy),
+            stats=stats,
+            iterations=iterations,
+            simulations=simulations,
+            max_depth=max(t.max_depth for t in trees),
+            tree_nodes=sum(t.node_count for t in trees),
+            elapsed_s=max(core_time),
+            trees=self.n_trees,
+        )

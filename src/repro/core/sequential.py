@@ -1,0 +1,66 @@
+"""Sequential (single-core) MCTS -- the paper's opponent and baseline.
+
+One iteration = select, expand one node, one random playout,
+backpropagate; time is charged per iteration through the CPU cost
+model.  This is the player every GPU configuration is measured against
+in the paper's Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Engine, SearchGenerator, drive_search, scalar_executor
+from repro.core.policy import select_move
+from repro.core.results import SearchResult
+from repro.core.tree import SearchTree
+from repro.games.base import GameState
+from repro.util.clock import Stopwatch
+
+
+class SequentialMcts(Engine):
+    """Plain UCT on one virtual CPU core."""
+
+    name = "sequential"
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        return drive_search(
+            self.search_steps(state, budget_s),
+            scalar_executor(self.game, self.rng.fork("playout")),
+        )
+
+    def search_steps(
+        self, state: GameState, budget_s: float
+    ) -> SearchGenerator:
+        self._check_budget(budget_s, state)
+        tree = SearchTree(
+            self.game,
+            state,
+            self.rng.fork("tree"),
+            self.ucb_c,
+            self.selection_rule,
+        )
+        sw = Stopwatch(self.clock)
+        cap = self._iteration_cap()
+        iterations = 0
+        simulations = 0
+        while sw.elapsed < budget_s and iterations < cap:
+            node, depth = tree.select_expand()
+            if node.terminal:
+                tree.backprop_winner(node, node.winner)
+                plies = 0
+            else:
+                (result,) = yield (node.state,)
+                winner, plies = result
+                tree.backprop_winner(node, winner)
+            self.clock.advance(self.cost.iteration_time(depth, plies))
+            iterations += 1
+            simulations += 1
+        stats = tree.root_stats()
+        return SearchResult(
+            move=select_move(stats, self.final_policy),
+            stats=stats,
+            iterations=iterations,
+            simulations=simulations,
+            max_depth=tree.max_depth,
+            tree_nodes=tree.node_count,
+            elapsed_s=sw.elapsed,
+        )

@@ -1,0 +1,279 @@
+"""The MCTS search tree.
+
+Statistics convention (standard UCT): a node's ``wins`` are counted
+from the perspective of ``node.mover`` -- the player who made the move
+*into* the node.  The parent chooses among children with UCB, and since
+every child's mover is the parent's player-to-move, maximising child
+win-rate is exactly maximising the chooser's success.  ``visits`` count
+*simulations*, not iterations, so a leaf-parallel iteration that runs
+1024 playouts adds 1024 visits along the path -- this is how the paper
+aggregates GPU results into the tree.
+
+Virtual loss (used by the tree-parallel baseline) adds phantom visits
+during selection so concurrent workers spread out; it is reverted when
+the real result arrives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.games.base import Game, GameState
+from repro.rng import XorShift64Star
+
+
+class Node:
+    """One tree node; plain attributes, tuned for tight Python loops."""
+
+    __slots__ = (
+        "parent",
+        "move",
+        "state",
+        "to_move",
+        "mover",
+        "children",
+        "untried",
+        "visits",
+        "wins",
+        "vloss",
+        "terminal",
+        "winner",
+    )
+
+    def __init__(
+        self,
+        parent: "Node | None",
+        move: int | None,
+        state: GameState,
+        game: Game,
+        rng: XorShift64Star,
+    ) -> None:
+        self.parent = parent
+        self.move = move
+        self.state = state
+        self.to_move = game.to_move(state)
+        # Who moved into this node; for the root, pretend the opponent
+        # of the side to move did (keeps backprop uniform).
+        self.mover = parent.to_move if parent is not None else -self.to_move
+        legal = list(game.legal_moves(state))
+        self.terminal = not legal
+        self.winner = game.winner(state) if self.terminal else 0
+        rng.shuffle(legal)
+        self.untried = legal
+        self.children: list[Node] = []
+        self.visits = 0.0
+        self.wins = 0.0
+        self.vloss = 0.0
+
+    def value(self) -> float:
+        """Mean reward for this node's mover (0.5 if unvisited)."""
+        total = self.visits + self.vloss
+        if total <= 0:
+            return 0.5
+        return self.wins / total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Node(move={self.move}, visits={self.visits:.0f}, "
+            f"wins={self.wins:.1f}, children={len(self.children)})"
+        )
+
+
+class SearchTree:
+    """One MCTS tree with UCB1 selection and single-node expansion."""
+
+    #: Supported child-selection rules.
+    SELECTION_RULES = ("ucb1", "ucb1_tuned")
+
+    def __init__(
+        self,
+        game: Game,
+        root_state: GameState,
+        rng: XorShift64Star,
+        ucb_c: float = 1.0,
+        selection_rule: str = "ucb1",
+    ) -> None:
+        if ucb_c < 0:
+            raise ValueError(f"ucb_c must be non-negative: {ucb_c}")
+        if selection_rule not in self.SELECTION_RULES:
+            raise ValueError(
+                f"unknown selection rule {selection_rule!r}; "
+                f"available: {self.SELECTION_RULES}"
+            )
+        self.game = game
+        self.rng = rng
+        self.ucb_c = ucb_c
+        self.selection_rule = selection_rule
+        self.root = Node(None, None, root_state, game, rng)
+        if self.root.terminal:
+            raise ValueError("cannot search a terminal position")
+        self.node_count = 1
+        self.max_depth = 0
+
+    # -- selection + expansion ------------------------------------------------
+
+    def select_expand(self) -> tuple[Node, int]:
+        """Descend by UCB until a node with untried moves (expand one
+        child and return it) or a terminal node (return it).  Returns
+        ``(node, depth)``; the paper expands one node per iteration."""
+        node = self.root
+        depth = 0
+        while True:
+            if node.terminal:
+                return node, depth
+            if node.untried:
+                move = node.untried.pop()
+                child = Node(
+                    node,
+                    move,
+                    self.game.apply(node.state, move),
+                    self.game,
+                    self.rng,
+                )
+                node.children.append(child)
+                depth += 1
+                self.node_count += 1
+                if depth > self.max_depth:
+                    self.max_depth = depth
+                return child, depth
+            node = self.best_child(node)
+            depth += 1
+
+    def best_child(self, node: Node) -> Node:
+        """Selection-rule argmax over ``node``'s children.
+
+        ``ucb1`` is the paper's formula; ``ucb1_tuned`` replaces the
+        exploration width with the Bernoulli variance bound
+        ``min(1/4, p(1-p) + sqrt(2 ln N / n))`` (Auer et al.), offered
+        for the UCB ablation.
+        """
+        c = self.ucb_c
+        tuned = self.selection_rule == "ucb1_tuned"
+        total = node.visits + node.vloss
+        log_total = math.log(total) if total > 1.0 else 0.0
+        best = None
+        best_score = -1.0
+        for child in node.children:
+            n_i = child.visits + child.vloss
+            if n_i <= 0:
+                return child  # unvisited child: explore immediately
+            p = child.wins / n_i
+            if tuned:
+                variance = p * (1.0 - p) + math.sqrt(
+                    2.0 * log_total / n_i
+                )
+                width = min(0.25, variance)
+                score = p + c * math.sqrt(log_total / n_i * width)
+            else:
+                score = p + c * math.sqrt(log_total / n_i)
+            if score > best_score:
+                best_score = score
+                best = child
+        if best is None:
+            raise RuntimeError("best_child called on a childless node")
+        return best
+
+    # -- statistics updates -----------------------------------------------------
+
+    def backprop(
+        self,
+        node: Node,
+        simulations: int,
+        wins_black: float,
+        wins_white: float,
+        draws: float = 0.0,
+    ) -> None:
+        """Add ``simulations`` playout results along the path to the
+        root.  ``wins_black``/``wins_white``/``draws`` partition the
+        simulations by absolute outcome; draws count half for both
+        sides (the usual 0/0.5/1 reward)."""
+        while node is not None:
+            node.visits += simulations
+            side_wins = wins_black if node.mover == 1 else wins_white
+            node.wins += side_wins + 0.5 * draws
+            node = node.parent
+
+    def backprop_winner(
+        self, node: Node, winner: int, simulations: int = 1
+    ) -> None:
+        """Backprop ``simulations`` identical results (terminal leaf)."""
+        self.backprop(
+            node,
+            simulations,
+            simulations if winner == 1 else 0,
+            simulations if winner == -1 else 0,
+            simulations if winner == 0 else 0,
+        )
+
+    def apply_virtual_loss(self, node: Node, amount: float = 1.0) -> None:
+        """Phantom visits (with zero wins) along the path: discourages
+        other concurrent selections from piling onto the same leaf."""
+        while node is not None:
+            node.vloss += amount
+            node = node.parent
+
+    def revert_virtual_loss(self, node: Node, amount: float = 1.0) -> None:
+        while node is not None:
+            node.vloss -= amount
+            node = node.parent
+
+    # -- reporting -----------------------------------------------------------------
+
+    def root_stats(self) -> dict[int, tuple[float, float]]:
+        """Per root move: ``(visits, wins)`` of the corresponding child
+        (wins from the root player's perspective)."""
+        return {
+            child.move: (child.visits, child.wins)
+            for child in self.root.children
+        }
+
+    def depth_of(self, node: Node) -> int:
+        d = 0
+        while node.parent is not None:
+            node = node.parent
+            d += 1
+        return d
+
+    def iter_nodes(self) -> Iterator[Node]:
+        stack = [self.root]
+        while stack:
+            n = stack.pop()
+            yield n
+            stack.extend(n.children)
+
+
+def aggregate_stats(
+    trees: "list[SearchTree]",
+) -> dict[int, tuple[float, float]]:
+    """Root-parallel vote: sum per-move visits and wins over trees
+    (how the paper merges block/root-parallel results at the root)."""
+    agg: dict[int, list[float]] = {}
+    for tree in trees:
+        for move, (visits, wins) in tree.root_stats().items():
+            cell = agg.setdefault(move, [0.0, 0.0])
+            cell[0] += visits
+            cell[1] += wins
+    return {m: (v, w) for m, (v, w) in agg.items()}
+
+
+def majority_vote_stats(
+    trees: "list[SearchTree]",
+) -> dict[int, tuple[float, float]]:
+    """Chaslot-style alternative: each tree casts one ballot for its
+    own most-visited move; the returned "stats" count ballots as
+    visits (wins carry the voting trees' win mass for tie-breaks).
+    Feeding this through ``select_move(..., MAX_VISITS)`` implements
+    plurality voting."""
+    ballots: dict[int, list[float]] = {}
+    for tree in trees:
+        stats = tree.root_stats()
+        if not stats:
+            continue
+        move = max(
+            stats, key=lambda m: (stats[m][0], stats[m][1], -m)
+        )
+        cell = ballots.setdefault(move, [0.0, 0.0])
+        cell[0] += 1.0
+        cell[1] += stats[move][1]
+    return {m: (v, w) for m, (v, w) in ballots.items()}

@@ -1,0 +1,101 @@
+"""Tree-parallel MCTS with virtual loss (literature baseline).
+
+Chaslot et al.'s third scheme, which the paper cites and rules out for
+GPUs (it needs fine-grained shared-memory synchronisation a SIMT device
+cannot provide cheaply).  We implement it as an ablation baseline:
+``n_workers`` select concurrently from one shared tree, virtual loss
+spreading them across different leaves; playouts are batched; real
+results replace the phantom losses at the end of each round.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Engine, SearchGenerator, batch_executor, drive_search
+from repro.core.policy import select_move
+from repro.core.results import SearchResult
+from repro.core.tree import SearchTree
+from repro.games.base import GameState
+from repro.util.seeding import derive_seed
+
+
+class TreeParallelMcts(Engine):
+    """One shared tree, ``n_workers`` concurrent selectors."""
+
+    name = "tree_parallel"
+
+    def __init__(
+        self, game, seed, n_workers: int, virtual_loss: float = 1.0, **kwargs
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive: {n_workers}")
+        if virtual_loss < 0:
+            raise ValueError(
+                f"virtual_loss must be non-negative: {virtual_loss}"
+            )
+        super().__init__(game, seed, **kwargs)
+        self.n_workers = n_workers
+        self.virtual_loss = virtual_loss
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        return drive_search(
+            self.search_steps(state, budget_s),
+            batch_executor(self.game.name, derive_seed(self.seed, "exec")),
+        )
+
+    def search_steps(
+        self, state: GameState, budget_s: float
+    ) -> SearchGenerator:
+        self._check_budget(budget_s, state)
+        tree = SearchTree(
+            self.game,
+            state,
+            self.rng.fork("tree"),
+            self.ucb_c,
+            self.selection_rule,
+        )
+        worker_time = [0.0] * self.n_workers
+        cap = self._iteration_cap()
+        iterations = 0
+        simulations = 0
+
+        while min(worker_time) < budget_s and iterations < cap:
+            requests = []
+            pending = []  # (worker, node, depth)
+            instant = []  # terminal selections: (worker, node, depth)
+            for w in range(self.n_workers):
+                if worker_time[w] >= budget_s:
+                    continue
+                node, depth = tree.select_expand()
+                tree.apply_virtual_loss(node, self.virtual_loss)
+                if node.terminal:
+                    instant.append((w, node, depth))
+                else:
+                    requests.append(node.state)
+                    pending.append((w, node, depth))
+            results = (yield requests) if requests else []
+            for w, node, depth in instant:
+                tree.revert_virtual_loss(node, self.virtual_loss)
+                tree.backprop_winner(node, node.winner)
+                worker_time[w] += self.cost.iteration_time(depth, 0)
+                iterations += 1
+                simulations += 1
+            for (w, node, depth), (winner, plies) in zip(
+                pending, results
+            ):
+                tree.revert_virtual_loss(node, self.virtual_loss)
+                tree.backprop_winner(node, winner)
+                worker_time[w] += self.cost.iteration_time(depth, plies)
+                iterations += 1
+                simulations += 1
+
+        self.clock.advance(max(worker_time))
+        stats = tree.root_stats()
+        return SearchResult(
+            move=select_move(stats, self.final_policy),
+            stats=stats,
+            iterations=iterations,
+            simulations=simulations,
+            max_depth=tree.max_depth,
+            tree_nodes=tree.node_count,
+            elapsed_s=max(worker_time),
+        )

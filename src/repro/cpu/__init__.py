@@ -1,0 +1,13 @@
+"""Virtual CPU cost model.
+
+The paper's opponents and baselines run on Xeon X5670 cores (TSUBAME
+2.0).  We charge each MCTS tree operation and scalar playout to the
+virtual clock using a per-operation cost model calibrated so one
+simulated core sustains roughly 1e4 playouts/s on Reversi -- the rate
+implied by the paper's "1 GPU ~ 100-200 CPU threads" comparison against
+its measured GPU throughput.
+"""
+
+from repro.cpu.costmodel import CpuCostModel, XEON_X5670, cpu_cost_model
+
+__all__ = ["CpuCostModel", "XEON_X5670", "cpu_cost_model"]

@@ -1,0 +1,77 @@
+"""Game substrates.
+
+The paper evaluates on Reversi (Othello), 8x8, average branching factor
+above 8.  We implement it twice:
+
+* :mod:`repro.games.reversi` -- a scalar bitboard engine driving the
+  CPU-side MCTS tree operations (selection, expansion, sequential
+  playouts).
+* :mod:`repro.games.reversi_batch` -- a vectorised engine advancing a
+  whole batch of boards in lockstep.  This is the reproduction of the
+  paper's CUDA playout kernel: every NumPy row is a SIMT lane.
+
+Two further games -- TicTacToe (exhaustively testable) and Connect-4
+(the "other domain" from the paper's future-work section) -- run through
+the identical engine stack, scalar and batch.
+"""
+
+from repro.games.base import Game, GameState, random_playout
+from repro.games.batch import BatchGame
+from repro.games.breakthrough import Breakthrough, BreakthroughState
+from repro.games.breakthrough_batch import BatchBreakthrough
+from repro.games.connect4 import Connect4, Connect4State
+from repro.games.connect4_batch import BatchConnect4
+from repro.games.reversi import PASS_MOVE, Reversi, ReversiState
+from repro.games.reversi_batch import BatchReversi
+from repro.games.tictactoe import TicTacToe, TicTacToeState
+from repro.games.tictactoe_batch import BatchTicTacToe
+
+_GAMES = {
+    "reversi": (Reversi, BatchReversi),
+    "tictactoe": (TicTacToe, BatchTicTacToe),
+    "connect4": (Connect4, BatchConnect4),
+    "breakthrough": (Breakthrough, BatchBreakthrough),
+}
+
+
+def make_game(name: str) -> Game:
+    """Instantiate a scalar game engine by name."""
+    try:
+        return _GAMES[name][0]()
+    except KeyError:
+        raise ValueError(
+            f"unknown game {name!r}; available: {sorted(_GAMES)}"
+        ) from None
+
+
+def make_batch_game(name: str) -> BatchGame:
+    """Instantiate the batched (SIMT kernel) engine for a game."""
+    try:
+        return _GAMES[name][1]()
+    except KeyError:
+        raise ValueError(
+            f"unknown game {name!r}; available: {sorted(_GAMES)}"
+        ) from None
+
+
+__all__ = [
+    "Game",
+    "GameState",
+    "BatchGame",
+    "Reversi",
+    "ReversiState",
+    "BatchReversi",
+    "PASS_MOVE",
+    "TicTacToe",
+    "TicTacToeState",
+    "BatchTicTacToe",
+    "Connect4",
+    "Connect4State",
+    "BatchConnect4",
+    "Breakthrough",
+    "BreakthroughState",
+    "BatchBreakthrough",
+    "make_game",
+    "make_batch_game",
+    "random_playout",
+]

@@ -1,0 +1,81 @@
+"""Device memory accounting and host<->device transfer model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.device import DeviceSpec
+
+
+class DeviceMemoryError(RuntimeError):
+    """Raised on over-allocation or invalid frees."""
+
+
+@dataclass
+class Allocation:
+    """A live device allocation."""
+
+    handle: int
+    nbytes: int
+    label: str
+
+
+@dataclass
+class DeviceMemory:
+    """Tracks allocations against the device's global memory capacity.
+
+    The MCTS engines allocate result buffers and root-state buffers; the
+    accounting exists so configuration mistakes (absurd batch sizes)
+    fail the same way they would on hardware, instead of silently
+    "working" in the simulator.
+    """
+
+    spec: DeviceSpec
+    _live: dict = field(default_factory=dict)
+    _next_handle: int = 1
+    _bytes_in_use: int = 0
+
+    @property
+    def bytes_in_use(self) -> int:
+        return self._bytes_in_use
+
+    @property
+    def bytes_free(self) -> int:
+        return self.spec.global_mem_bytes - self._bytes_in_use
+
+    def alloc(self, nbytes: int, label: str = "") -> Allocation:
+        if nbytes <= 0:
+            raise DeviceMemoryError(
+                f"allocation must be positive, got {nbytes}"
+            )
+        if nbytes > self.bytes_free:
+            raise DeviceMemoryError(
+                f"out of device memory: requested {nbytes} bytes "
+                f"({label or 'unlabelled'}), free {self.bytes_free}"
+            )
+        allocation = Allocation(self._next_handle, nbytes, label)
+        self._live[allocation.handle] = allocation
+        self._next_handle += 1
+        self._bytes_in_use += nbytes
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        if allocation.handle not in self._live:
+            raise DeviceMemoryError(
+                f"double free or foreign allocation: handle "
+                f"{allocation.handle}"
+            )
+        del self._live[allocation.handle]
+        self._bytes_in_use -= allocation.nbytes
+
+    def live_allocations(self) -> list[Allocation]:
+        return list(self._live.values())
+
+
+def transfer_time(spec: DeviceSpec, nbytes: int) -> float:
+    """Seconds to move ``nbytes`` across PCIe (either direction)."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative: {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    return spec.transfer_latency_s + nbytes / spec.transfer_bandwidth_Bps

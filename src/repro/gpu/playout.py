@@ -1,0 +1,173 @@
+"""The virtual GPU runtime: launches batched playout kernels.
+
+This is where the substitution happens: the *results* of a kernel come
+from really playing the games (vectorised, one NumPy row per SIMT
+lane), while the *cost* comes from the analytic timing model.  Both the
+leaf-parallel and block-parallel engines, and the hybrid engine, go
+through :class:`VirtualGpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.games import make_batch_game
+from repro.games.batch import run_playouts_tracked
+from repro.gpu.device import DeviceSpec
+from repro.gpu.kernel import KernelSpec, LaunchConfig, playout_kernel_spec
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.stream import Event, Stream
+from repro.gpu.timing import KernelTiming, kernel_time
+from repro.rng import BatchXorShift128Plus
+from repro.util.clock import Clock
+from repro.util.seeding import derive_seed
+
+
+@dataclass(frozen=True)
+class PlayoutResult:
+    """Outcome of one playout kernel execution.
+
+    ``winners``/``scores`` are absolute (player +1's perspective), one
+    entry per lane; lanes are grouped by block:
+    ``winners.reshape(config.blocks, config.threads_per_block)`` puts
+    block ``b``'s lanes in row ``b``.
+    """
+
+    config: LaunchConfig
+    winners: np.ndarray  # int8 (total_threads,)
+    scores: np.ndarray  # int16 (total_threads,)
+    block_steps: np.ndarray  # int64 (blocks,)
+    timing: KernelTiming
+
+    @property
+    def playouts(self) -> int:
+        return int(self.winners.shape[0])
+
+    def block_wins(self, for_player: int) -> np.ndarray:
+        """Per-block count of playouts won by ``for_player`` (+1/-1)."""
+        per_block = self.winners.reshape(
+            self.config.blocks, self.config.threads_per_block
+        )
+        return (per_block == for_player).sum(axis=1)
+
+    def block_draws(self) -> np.ndarray:
+        per_block = self.winners.reshape(
+            self.config.blocks, self.config.threads_per_block
+        )
+        return (per_block == 0).sum(axis=1)
+
+
+@dataclass
+class GpuStats:
+    """Cumulative activity counters for one virtual GPU."""
+
+    kernels_launched: int = 0
+    playouts_completed: int = 0
+    busy_seconds: float = 0.0
+
+
+class VirtualGpu:
+    """One simulated GPU: device spec + stream + memory + RNG lanes."""
+
+    #: Bytes per lane copied back after a kernel (win flag + score).
+    RESULT_BYTES_PER_LANE = 4
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        clock: Clock,
+        game_name: str,
+        seed: int,
+        kernel: KernelSpec | None = None,
+    ) -> None:
+        self.spec = spec
+        self.clock = clock
+        self.game_name = game_name
+        self.kernel = kernel or playout_kernel_spec(game_name)
+        self.batch_game = make_batch_game(game_name)
+        self.memory = DeviceMemory(spec)
+        self.stream = Stream(clock)
+        self.stats = GpuStats()
+        self._seed = derive_seed(seed, "gpu", spec.name)
+        self._rng_cache: dict[int, BatchXorShift128Plus] = {}
+
+    def _rng(self, lanes: int) -> BatchXorShift128Plus:
+        """Per-width generator, persistent across launches (each CUDA
+        thread keeps its RNG state in global memory between kernels)."""
+        rng = self._rng_cache.get(lanes)
+        if rng is None:
+            rng = BatchXorShift128Plus(lanes, self._seed)
+            self._rng_cache[lanes] = rng
+        return rng
+
+    # -- kernel execution --------------------------------------------------
+
+    def _execute(
+        self, states, config: LaunchConfig
+    ) -> PlayoutResult:
+        """Actually play the batched games and model their cost."""
+        config.validate(self.spec)
+        if len(states) not in (1, config.blocks):
+            raise ValueError(
+                f"got {len(states)} root states for {config.blocks} "
+                "blocks; pass 1 (leaf parallel) or one per block "
+                "(block parallel)"
+            )
+        lanes_per_state = config.total_threads // len(states)
+        bg = self.batch_game
+        n = config.total_threads
+        # Device-side buffers live for the kernel's duration: per-lane
+        # game state (own/opp boards + flags), RNG state, results.
+        # Fails like real hardware would on absurd grids.
+        buffers = []
+        try:
+            for nbytes, label in (
+                (n * 24, "lane states"),
+                (n * 16, "rng states"),
+                (n * self.RESULT_BYTES_PER_LANE, "results"),
+            ):
+                buffers.append(self.memory.alloc(nbytes, label))
+            batch = bg.make_batch(states, lanes_per_state)
+            tracked = run_playouts_tracked(bg, batch, self._rng(n))
+        finally:
+            for buf in buffers:
+                self.memory.free(buf)
+
+        block_steps = tracked.finish_steps.reshape(
+            config.blocks, config.threads_per_block
+        ).max(axis=1)
+        result_bytes = n * self.RESULT_BYTES_PER_LANE
+        timing = kernel_time(
+            self.spec,
+            self.kernel,
+            config,
+            block_steps,
+            transfer_bytes=result_bytes,
+        )
+        self.stats.kernels_launched += 1
+        self.stats.playouts_completed += n
+        self.stats.busy_seconds += timing.total_s
+        return PlayoutResult(
+            config=config,
+            winners=tracked.winners,
+            scores=tracked.scores,
+            block_steps=block_steps,
+            timing=timing,
+        )
+
+    def run_playouts(self, states, config: LaunchConfig) -> PlayoutResult:
+        """Synchronous launch: the host blocks, the clock advances by
+        the kernel's full modelled duration."""
+        result = self._execute(states, config)
+        self.stream.launch(result.timing.total_s, payload=result)
+        self.stream.synchronize_all()
+        return result
+
+    def launch_async(self, states, config: LaunchConfig) -> Event:
+        """Asynchronous launch (the hybrid scheme): returns immediately
+        with an event; the host must ``stream.synchronize(event)`` (or
+        poll ``stream.query``) before using the payload."""
+        result = self._execute(states, config)
+        return self.stream.launch(result.timing.total_s, payload=result)

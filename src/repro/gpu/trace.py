@@ -1,0 +1,180 @@
+"""Execution tracing for the virtual device.
+
+Records kernel launches, completions and host waits against the virtual
+clock and exports them in the Chrome ``chrome://tracing`` / Perfetto
+JSON format, so a hybrid search's CPU/GPU overlap (paper Figure 4) can
+be inspected visually -- the simulated analogue of an nvprof timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed span on a named track."""
+
+    name: str
+    track: str
+    start_s: float
+    end_s: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Tracer:
+    """Collects spans; attach one to engines/devices that support it."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(
+        self,
+        name: str,
+        track: str,
+        start_s: float,
+        end_s: float,
+        **args,
+    ) -> TraceEvent:
+        if end_s < start_s:
+            raise ValueError(
+                f"span ends before it starts: {name} "
+                f"[{start_s}, {end_s}]"
+            )
+        event = TraceEvent(name, track, start_s, end_s, dict(args))
+        self._events.append(event)
+        return event
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def track_busy_time(self, track: str) -> float:
+        """Total span time on a track (overlaps counted once)."""
+        spans = sorted(
+            (e.start_s, e.end_s)
+            for e in self._events
+            if e.track == track
+        )
+        busy = 0.0
+        current_start = None
+        current_end = None
+        for start, end in spans:
+            if current_start is None or start > current_end:
+                if current_start is not None:
+                    busy += current_end - current_start
+                current_start, current_end = start, end
+            else:
+                current_end = max(current_end, end)
+        if current_start is not None:
+            busy += current_end - current_start
+        return busy
+
+    def overlap_time(self, track_a: str, track_b: str) -> float:
+        """Virtual time during which both tracks were busy -- the
+        quantity the hybrid scheme exists to maximise."""
+        def merged(track):
+            spans = sorted(
+                (e.start_s, e.end_s)
+                for e in self._events
+                if e.track == track
+            )
+            out = []
+            for start, end in spans:
+                if out and start <= out[-1][1]:
+                    out[-1][1] = max(out[-1][1], end)
+                else:
+                    out.append([start, end])
+            return out
+
+        overlap = 0.0
+        spans_b = merged(track_b)
+        for a0, a1 in merged(track_a):
+            for b0, b1 in spans_b:
+                lo, hi = max(a0, b0), min(a1, b1)
+                if hi > lo:
+                    overlap += hi - lo
+        return overlap
+
+    # -- export ---------------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Events in the Chrome trace-event format (microseconds)."""
+        tracks = sorted({e.track for e in self._events})
+        tids = {track: i + 1 for i, track in enumerate(tracks)}
+        out = [
+            {
+                "name": track,
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "cat": "__metadata",
+                "args": {"name": track},
+            }
+            for track, tid in tids.items()
+        ]
+        for e in self._events:
+            out.append(
+                {
+                    "name": e.name,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tids[e.track],
+                    "ts": e.start_s * 1e6,
+                    "dur": e.duration_s * 1e6,
+                    "args": e.args,
+                }
+            )
+        return out
+
+    def dump(self, fp: IO[str]) -> None:
+        json.dump({"traceEvents": self.to_chrome_trace()}, fp)
+
+
+def trace_hybrid_search(engine, state, budget_s: float) -> Tracer:
+    """Run a :class:`~repro.core.hybrid.HybridMcts`-style search while
+    recording GPU-stream spans and CPU iteration spans.
+
+    Works with any engine exposing ``gpu.stream`` by wrapping the
+    stream's launch; the CPU track is inferred from clock advances
+    between stream events.
+    """
+    tracer = Tracer()
+    stream = engine.gpu.stream
+    clock = engine.clock
+    original_launch = stream.launch
+
+    def traced_launch(duration_s, payload=None):
+        start = max(clock.now, stream._busy_until)
+        event = original_launch(duration_s, payload)
+        tracer.record(
+            "kernel",
+            "gpu",
+            start,
+            event.done_at,
+            lanes=getattr(
+                getattr(payload, "config", None), "total_threads", 0
+            ),
+        )
+        return event
+
+    stream.launch = traced_launch
+    try:
+        start = clock.now
+        result = engine.search(state, budget_s)
+        tracer.record(
+            "search",
+            "cpu",
+            start,
+            clock.now,
+            simulations=result.simulations,
+        )
+    finally:
+        del stream.launch  # drop the shadowing instance attribute
+    return tracer

@@ -1,0 +1,420 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+These are not paper figures; they probe the claims the paper makes in
+prose: the block-size trade-off, the growth of the CPU sequential part
+with tree count, the root-vote aggregation policy, and UCB exploration
+sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arena.cohort import play_games_cohort
+from repro.core import BlockParallelMcts, SequentialMcts
+from repro.core.base import batch_executor
+from repro.core.policy import MAX_RATIO, MAX_VISITS, MAX_WINS
+from repro.games import Reversi
+from repro.gpu import TESLA_C2050, LaunchConfig, playout_kernel_spec
+from repro.gpu.timing import kernel_time
+from repro.harness.common import resolve_tier
+from repro.players import MctsPlayer
+from repro.util.seeding import derive_seed
+from repro.util.tables import format_series, format_table
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Block-size trade-off at fixed total threads
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlockSizeConfig:
+    total_threads: int = 1024
+    block_sizes: tuple[int, ...] = (32, 64, 128, 256)
+    games_per_point: int = 4
+    move_budget_s: float = 0.036
+    seed: int = 81_2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "BlockSizeConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return BlockSizeConfig(
+                total_threads=256,
+                block_sizes=(32, 128),
+                games_per_point=2,
+                move_budget_s=0.024,
+            )
+        if tier == "full":
+            return BlockSizeConfig(
+                total_threads=4096,
+                block_sizes=(32, 64, 128, 256, 512),
+                games_per_point=12,
+                move_budget_s=0.096,
+            )
+        return BlockSizeConfig()
+
+
+@dataclass
+class BlockSizeResult:
+    config: BlockSizeConfig
+    win_ratio: dict[int, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        sizes = list(self.config.block_sizes)
+        return format_series(
+            "block size",
+            sizes,
+            {
+                "win ratio vs cpu-1": [
+                    f"{self.win_ratio[b]:.2f}" for b in sizes
+                ]
+            },
+            title=(
+                "Ablation: block size at fixed "
+                f"{self.config.total_threads} total threads "
+                "(trees x samples trade-off)"
+            ),
+        )
+
+
+def run_block_size_ablation(
+    config: BlockSizeConfig | None = None,
+) -> BlockSizeResult:
+    cfg = config or BlockSizeConfig.for_tier()
+    game = Reversi()
+    matchups, keys = [], []
+    for bs in cfg.block_sizes:
+        blocks = max(1, cfg.total_threads // bs)
+        for g in range(cfg.games_per_point):
+            subj = MctsPlayer(
+                game,
+                BlockParallelMcts(
+                    game,
+                    derive_seed(cfg.seed, bs, g, "s"),
+                    blocks=blocks,
+                    threads_per_block=min(bs, cfg.total_threads),
+                ),
+                cfg.move_budget_s,
+            )
+            opp = MctsPlayer(
+                game,
+                SequentialMcts(game, derive_seed(cfg.seed, bs, g, "o")),
+                cfg.move_budget_s,
+            )
+            colour = 1 if g % 2 == 0 else -1
+            matchups.append((subj, opp) if colour == 1 else (opp, subj))
+            keys.append((bs, colour))
+    records = play_games_cohort(
+        game, matchups, batch_executor("reversi", derive_seed(cfg.seed, "x"))
+    )
+    out = BlockSizeResult(config=cfg)
+    for bs in cfg.block_sizes:
+        score = sum(
+            1.0 if rec.winner * colour > 0 else 0.5 if rec.winner == 0 else 0.0
+            for rec, (k, colour) in zip(records, keys)
+            if k == bs
+        )
+        out.win_ratio[bs] = score / cfg.games_per_point
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Sequential-part share (model-based, no games needed)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SeqPartResult:
+    block_counts: list[int]
+    seq_fraction: list[float]
+
+    def render(self) -> str:
+        return format_series(
+            "blocks(trees)",
+            self.block_counts,
+            {
+                "CPU sequential share": [
+                    f"{f * 100:.1f}%" for f in self.seq_fraction
+                ]
+            },
+            title=(
+                "Ablation: share of each block-parallel iteration spent "
+                "in the serial CPU part (Amdahl term of Figure 5)"
+            ),
+        )
+
+
+def run_seq_part_ablation(
+    block_counts: tuple[int, ...] = (1, 4, 16, 64, 112, 224, 448),
+    tpb: int = 32,
+    mean_depth: int = 8,
+    mean_steps: float = 65.0,
+) -> SeqPartResult:
+    from repro.cpu import XEON_X5670
+
+    spec = TESLA_C2050
+    kernel = playout_kernel_spec("reversi")
+    fractions = []
+    for blocks in block_counts:
+        config = LaunchConfig(blocks, tpb)
+        timing = kernel_time(
+            spec, kernel, config, np.full(blocks, mean_steps)
+        )
+        t_seq = blocks * XEON_X5670.tree_control_time(mean_depth)
+        fractions.append(t_seq / (t_seq + timing.total_s))
+    return SeqPartResult(list(block_counts), fractions)
+
+
+# ---------------------------------------------------------------------------
+# Warp divergence across game stages
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DivergenceAblationResult:
+    stage_labels: list[str]
+    mean_efficiency: list[float]
+    utilisation: list[float]
+
+    def render(self) -> str:
+        return format_series(
+            "game stage",
+            self.stage_labels,
+            {
+                "warp efficiency": [
+                    f"{e:.2f}" for e in self.mean_efficiency
+                ],
+                "lane utilisation": [
+                    f"{u:.2f}" for u in self.utilisation
+                ],
+            },
+            title=(
+                "Ablation: SIMT warp efficiency of the playout kernel "
+                "by game stage (justifies the kernel divergence "
+                "constant)"
+            ),
+        )
+
+
+def run_divergence_ablation(
+    plies_per_stage: tuple[int, ...] = (0, 20, 40, 52),
+    lanes: int = 256,
+    seed: int = 84_2011,
+) -> DivergenceAblationResult:
+    """Warp efficiency of playout kernels launched from positions of
+    increasing depth: later positions have shorter, more variable
+    playouts, so divergence grows toward the endgame."""
+    from repro.games import BatchReversi
+    from repro.games.batch import run_playouts_tracked
+    from repro.gpu.divergence import analyze_divergence
+    from repro.rng import BatchXorShift128Plus, XorShift64Star
+
+    game = Reversi()
+    bg = BatchReversi()
+    config = LaunchConfig(lanes // 32, 32)
+    labels, eff, util = [], [], []
+    for plies in plies_per_stage:
+        rng = XorShift64Star(derive_seed(seed, plies))
+        state = game.initial_state()
+        for _ in range(plies):
+            if game.is_terminal(state):
+                break
+            moves = game.legal_moves(state)
+            state = game.apply(state, moves[rng.randrange(len(moves))])
+        batch = bg.make_batch([state], lanes)
+        tracked = run_playouts_tracked(
+            bg, batch, BatchXorShift128Plus(lanes, derive_seed(seed, plies, 1))
+        )
+        report = analyze_divergence(tracked.finish_steps, config)
+        labels.append(f"ply {plies}")
+        eff.append(report.mean_efficiency)
+        util.append(report.utilisation)
+    return DivergenceAblationResult(labels, eff, util)
+
+
+# ---------------------------------------------------------------------------
+# Root-vote aggregation policy
+# ---------------------------------------------------------------------------
+
+#: Pseudo-policy id: one ballot per tree instead of summed visits.
+MAJORITY_VOTE = "majority_vote"
+
+
+@dataclass(frozen=True)
+class VotePolicyConfig:
+    policies: tuple[str, ...] = (
+        MAX_VISITS,
+        MAX_RATIO,
+        MAX_WINS,
+        MAJORITY_VOTE,
+    )
+    blocks: int = 16
+    tpb: int = 32
+    games_per_point: int = 4
+    move_budget_s: float = 0.036
+    seed: int = 82_2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "VotePolicyConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return VotePolicyConfig(
+                policies=(MAX_VISITS, MAX_RATIO),
+                blocks=4,
+                games_per_point=2,
+                move_budget_s=0.024,
+            )
+        if tier == "full":
+            return VotePolicyConfig(
+                games_per_point=12, move_budget_s=0.096
+            )
+        return VotePolicyConfig()
+
+
+@dataclass
+class VotePolicyResult:
+    config: VotePolicyConfig
+    win_ratio: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        rows = [
+            [policy, f"{self.win_ratio[policy]:.2f}"]
+            for policy in self.config.policies
+        ]
+        return format_table(
+            ["final-move policy", "win ratio vs cpu-1"],
+            rows,
+            title="Ablation: root-vote aggregation policy",
+        )
+
+
+def run_vote_policy_ablation(
+    config: VotePolicyConfig | None = None,
+) -> VotePolicyResult:
+    cfg = config or VotePolicyConfig.for_tier()
+    game = Reversi()
+    matchups, keys = [], []
+    for policy in cfg.policies:
+        if policy == MAJORITY_VOTE:
+            engine_kwargs = {"vote": "majority"}
+        else:
+            engine_kwargs = {"final_policy": policy}
+        for g in range(cfg.games_per_point):
+            subj = MctsPlayer(
+                game,
+                BlockParallelMcts(
+                    game,
+                    derive_seed(cfg.seed, policy, g, "s"),
+                    blocks=cfg.blocks,
+                    threads_per_block=cfg.tpb,
+                    **engine_kwargs,
+                ),
+                cfg.move_budget_s,
+            )
+            opp = MctsPlayer(
+                game,
+                SequentialMcts(
+                    game, derive_seed(cfg.seed, policy, g, "o")
+                ),
+                cfg.move_budget_s,
+            )
+            colour = 1 if g % 2 == 0 else -1
+            matchups.append((subj, opp) if colour == 1 else (opp, subj))
+            keys.append((policy, colour))
+    records = play_games_cohort(
+        game, matchups, batch_executor("reversi", derive_seed(cfg.seed, "x"))
+    )
+    out = VotePolicyResult(config=cfg)
+    for policy in cfg.policies:
+        score = sum(
+            1.0 if rec.winner * colour > 0 else 0.5 if rec.winner == 0 else 0.0
+            for rec, (k, colour) in zip(records, keys)
+            if k == policy
+        )
+        out.win_ratio[policy] = score / cfg.games_per_point
+    return out
+
+
+# ---------------------------------------------------------------------------
+# UCB exploration constant
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class UcbConfig:
+    c_values: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0)
+    games_per_point: int = 4
+    move_budget_s: float = 0.024
+    seed: int = 83_2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "UcbConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return UcbConfig(
+                c_values=(0.5, 2.0),
+                games_per_point=2,
+                move_budget_s=0.012,
+            )
+        if tier == "full":
+            return UcbConfig(
+                c_values=(0.1, 0.25, 0.5, 1.0, 1.4, 2.0, 4.0),
+                games_per_point=12,
+            )
+        return UcbConfig()
+
+
+@dataclass
+class UcbResult:
+    config: UcbConfig
+    win_ratio: dict[float, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        cs = list(self.config.c_values)
+        return format_series(
+            "UCB C",
+            cs,
+            {
+                "win ratio vs C=1.0": [
+                    f"{self.win_ratio[c]:.2f}" for c in cs
+                ]
+            },
+            title="Ablation: UCB exploration constant (sequential MCTS)",
+        )
+
+
+def run_ucb_ablation(config: UcbConfig | None = None) -> UcbResult:
+    cfg = config or UcbConfig.for_tier()
+    game = Reversi()
+    matchups, keys = [], []
+    for c in cfg.c_values:
+        for g in range(cfg.games_per_point):
+            subj = MctsPlayer(
+                game,
+                SequentialMcts(
+                    game, derive_seed(cfg.seed, str(c), g, "s"), ucb_c=c
+                ),
+                cfg.move_budget_s,
+            )
+            opp = MctsPlayer(
+                game,
+                SequentialMcts(
+                    game, derive_seed(cfg.seed, str(c), g, "o"), ucb_c=1.0
+                ),
+                cfg.move_budget_s,
+            )
+            colour = 1 if g % 2 == 0 else -1
+            matchups.append((subj, opp) if colour == 1 else (opp, subj))
+            keys.append((c, colour))
+    records = play_games_cohort(
+        game, matchups, batch_executor("reversi", derive_seed(cfg.seed, "x"))
+    )
+    out = UcbResult(config=cfg)
+    for c in cfg.c_values:
+        score = sum(
+            1.0 if rec.winner * colour > 0 else 0.5 if rec.winner == 0 else 0.0
+            for rec, (k, colour) in zip(records, keys)
+            if k == c
+        )
+        out.win_ratio[c] = score / cfg.games_per_point
+    return out

@@ -1,0 +1,156 @@
+"""Figure 9: multi-GPU scaling over (simulated) MPI.
+
+Two panels, reproduced as two series:
+
+* throughput -- aggregate playouts/second as ranks grow (the paper's
+  log-scale left panel, near-linear scaling);
+* strength -- average final point difference vs the 1-core sequential
+  opponent as ranks grow (the paper's right panel: improving with GPU
+  count but flattening, the gains bounded by root-vote saturation and
+  Reversi itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arena.cohort import play_games_cohort
+from repro.core import MultiGpuMcts, SequentialMcts
+from repro.core.base import batch_executor
+from repro.games import Reversi
+from repro.gpu import TESLA_C2050, DeviceSpec
+from repro.harness.common import resolve_tier
+from repro.mpi import TSUBAME_IB, NetworkModel
+from repro.players import MctsPlayer
+from repro.util.seeding import derive_seed
+from repro.util.tables import format_series
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    gpu_counts: tuple[int, ...] = (1, 2, 4, 8)
+    blocks: int = 8
+    tpb: int = 32
+    games_per_point: int = 4
+    move_budget_s: float = 0.036
+    throughput_iterations: int = 3
+    device: DeviceSpec = TESLA_C2050
+    network: NetworkModel = TSUBAME_IB
+    seed: int = 90_2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "Fig9Config":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return Fig9Config(
+                gpu_counts=(1, 2),
+                blocks=4,
+                games_per_point=2,
+                move_budget_s=0.012,
+            )
+        if tier == "full":
+            return Fig9Config(
+                gpu_counts=(1, 2, 4, 8, 16, 32),
+                blocks=112,
+                tpb=64,
+                games_per_point=8,
+                move_budget_s=0.096,
+            )
+        return Fig9Config()
+
+
+@dataclass
+class Fig9Result:
+    config: Fig9Config
+    #: rank count -> aggregate playouts/second (virtual).
+    throughput: dict[int, float] = field(default_factory=dict)
+    #: rank count -> mean final point difference vs the opponent.
+    point_difference: dict[int, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        ranks = list(self.config.gpu_counts)
+        return format_series(
+            "gpus",
+            ranks,
+            {
+                "playouts/s": [
+                    f"{self.throughput[r]:.3g}" for r in ranks
+                ],
+                "avg point diff": [
+                    f"{self.point_difference[r]:+.1f}" for r in ranks
+                ],
+            },
+            title=(
+                "Figure 9 reproduction: multi-GPU scaling "
+                f"({self.config.blocks}x{self.config.tpb} per GPU, "
+                "MPI root aggregation)"
+            ),
+        )
+
+
+def _multigpu_engine(n_gpus: int, seed: int, cfg: Fig9Config):
+    return MultiGpuMcts(
+        Reversi(),
+        seed,
+        n_gpus=n_gpus,
+        blocks=cfg.blocks,
+        threads_per_block=cfg.tpb,
+        device=cfg.device,
+        network=cfg.network,
+    )
+
+
+def measure_throughput(n_gpus: int, cfg: Fig9Config) -> float:
+    engine = _multigpu_engine(
+        n_gpus, derive_seed(cfg.seed, "thr", n_gpus), cfg
+    )
+    engine.max_iterations = cfg.throughput_iterations
+    game = engine.game
+    result = engine.search(game.initial_state(), budget_s=1e9)
+    return result.simulations / result.elapsed_s
+
+
+def run_fig9(config: Fig9Config | None = None) -> Fig9Result:
+    cfg = config or Fig9Config.for_tier()
+    game = Reversi()
+    out = Fig9Result(config=cfg)
+
+    for n in cfg.gpu_counts:
+        out.throughput[n] = measure_throughput(n, cfg)
+
+    matchups = []
+    keys = []
+    for n in cfg.gpu_counts:
+        for g in range(cfg.games_per_point):
+            subj = MctsPlayer(
+                game,
+                _multigpu_engine(
+                    n, derive_seed(cfg.seed, "game", n, g, "s"), cfg
+                ),
+                cfg.move_budget_s,
+                name=f"{n} GPUs",
+            )
+            opp = MctsPlayer(
+                game,
+                SequentialMcts(
+                    game, derive_seed(cfg.seed, "game", n, g, "o")
+                ),
+                cfg.move_budget_s,
+            )
+            colour = 1 if g % 2 == 0 else -1
+            matchups.append((subj, opp) if colour == 1 else (opp, subj))
+            keys.append((n, colour))
+
+    records = play_games_cohort(
+        game,
+        matchups,
+        batch_executor("reversi", derive_seed(cfg.seed, "executor")),
+    )
+    for n in cfg.gpu_counts:
+        scores = [
+            rec.final_score * colour
+            for rec, (k, colour) in zip(records, keys)
+            if k == n
+        ]
+        out.point_difference[n] = sum(scores) / len(scores)
+    return out

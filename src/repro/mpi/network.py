@@ -1,0 +1,57 @@
+"""Alpha-beta network cost model for the simulated cluster."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point message cost ``alpha + nbytes * beta``."""
+
+    name: str
+    #: Per-message latency, seconds.
+    alpha_s: float
+    #: Per-byte cost, seconds (1 / bandwidth).
+    beta_s_per_byte: float
+
+    def __post_init__(self) -> None:
+        if self.alpha_s < 0 or self.beta_s_per_byte < 0:
+            raise ValueError("network costs must be non-negative")
+
+    def message_time(self, nbytes: int) -> float:
+        """One point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative: {nbytes}")
+        return self.alpha_s + nbytes * self.beta_s_per_byte
+
+    def tree_collective_time(self, nbytes: int, ranks: int) -> float:
+        """A binomial-tree broadcast/reduce over ``ranks`` processes:
+        ceil(log2(R)) sequential message rounds."""
+        if ranks <= 0:
+            raise ValueError(f"ranks must be positive: {ranks}")
+        if ranks == 1:
+            return 0.0
+        rounds = math.ceil(math.log2(ranks))
+        return rounds * self.message_time(nbytes)
+
+    def allreduce_time(self, nbytes: int, ranks: int) -> float:
+        """Reduce-then-broadcast along binomial trees."""
+        return 2.0 * self.tree_collective_time(nbytes, ranks)
+
+
+#: TSUBAME 2.0's QDR InfiniBand fabric (~1.5 us latency, ~3 GB/s
+#: effective per link at the MPI level).
+TSUBAME_IB = NetworkModel(
+    name="tsubame_ib",
+    alpha_s=1.5e-6,
+    beta_s_per_byte=1.0 / 3.0e9,
+)
+
+#: A deliberately slow network for scalability ablations.
+SLOW_ETHERNET = NetworkModel(
+    name="slow_ethernet",
+    alpha_s=50e-6,
+    beta_s_per_byte=1.0 / 100e6,
+)

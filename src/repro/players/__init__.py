@@ -1,0 +1,15 @@
+"""Players: thin wrappers that turn engines (or heuristics) into
+move-choosing agents the arena can pit against each other."""
+
+from repro.players.base import MoveInfo, Player
+from repro.players.greedy import GreedyPlayer
+from repro.players.mcts import MctsPlayer
+from repro.players.random import RandomPlayer
+
+__all__ = [
+    "Player",
+    "MoveInfo",
+    "MctsPlayer",
+    "RandomPlayer",
+    "GreedyPlayer",
+]

@@ -1,0 +1,38 @@
+"""Player interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.games.base import Game, GameState
+
+
+@dataclass(frozen=True)
+class MoveInfo:
+    """Telemetry attached to a chosen move (fed into the arena's
+    per-step records; the depth series is the paper's Figure 8)."""
+
+    move: int
+    simulations: int = 0
+    iterations: int = 0
+    max_depth: int = 0
+    elapsed_s: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+
+class Player(abc.ABC):
+    """An agent that picks a move in any non-terminal position."""
+
+    name: str = "player"
+
+    def __init__(self, game: Game) -> None:
+        self.game = game
+
+    @abc.abstractmethod
+    def choose(self, state: GameState) -> MoveInfo:
+        """Pick a move (must be legal) with telemetry."""
+
+    def notify_move(self, state: GameState, move: int) -> None:
+        """Called after *any* move (own or opponent's) is played; lets
+        stateful players track the game. Default: stateless no-op."""

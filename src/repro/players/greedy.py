@@ -1,0 +1,37 @@
+"""One-ply greedy player: maximises immediate score for the mover.
+
+For Reversi this is the classic "flip the most discs" heuristic -- a
+baseline clearly stronger than random and clearly weaker than any MCTS
+configuration, useful for ordering sanity checks.
+"""
+
+from __future__ import annotations
+
+from repro.games.base import Game, GameState
+from repro.players.base import MoveInfo, Player
+from repro.rng import XorShift64Star
+
+
+class GreedyPlayer(Player):
+    name = "greedy"
+
+    def __init__(self, game: Game, seed: int) -> None:
+        super().__init__(game)
+        self.rng = XorShift64Star(seed)
+
+    def choose(self, state: GameState) -> MoveInfo:
+        moves = self.game.legal_moves(state)
+        if not moves:
+            raise ValueError("no legal moves: state is terminal")
+        mover = self.game.to_move(state)
+        best: list[int] = []
+        best_score = None
+        for move in moves:
+            nxt = self.game.apply(state, move)
+            score = self.game.score(nxt) * mover
+            if best_score is None or score > best_score:
+                best_score = score
+                best = [move]
+            elif score == best_score:
+                best.append(move)
+        return MoveInfo(move=best[self.rng.randrange(len(best))])

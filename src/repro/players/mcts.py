@@ -1,0 +1,42 @@
+"""MCTS player: any engine + a per-move virtual time budget."""
+
+from __future__ import annotations
+
+from repro.core.base import Engine
+from repro.games.base import GameState
+from repro.players.base import MoveInfo, Player
+
+
+class MctsPlayer(Player):
+    """Runs ``engine.search`` with a fixed virtual budget every move.
+
+    Both sides of the paper's matches get the same *virtual* move time;
+    their differing per-iteration costs (CPU iteration vs GPU kernel)
+    then determine how much search each can fit -- exactly the trade
+    the paper measures.
+    """
+
+    def __init__(
+        self, game, engine: Engine, move_budget_s: float, name: str | None = None
+    ) -> None:
+        if move_budget_s <= 0:
+            raise ValueError(
+                f"move budget must be positive: {move_budget_s}"
+            )
+        if engine.game.name != game.name:
+            raise ValueError("engine was built for a different game")
+        super().__init__(game)
+        self.engine = engine
+        self.move_budget_s = move_budget_s
+        self.name = name or engine.name
+
+    def choose(self, state: GameState) -> MoveInfo:
+        result = self.engine.search(state, self.move_budget_s)
+        return MoveInfo(
+            move=result.move,
+            simulations=result.simulations,
+            iterations=result.iterations,
+            max_depth=result.max_depth,
+            elapsed_s=result.elapsed_s,
+            extras=dict(result.extras),
+        )

@@ -1,0 +1,21 @@
+"""Uniformly random player (weakest baseline; sanity anchor)."""
+
+from __future__ import annotations
+
+from repro.games.base import Game, GameState
+from repro.players.base import MoveInfo, Player
+from repro.rng import XorShift64Star
+
+
+class RandomPlayer(Player):
+    name = "random"
+
+    def __init__(self, game: Game, seed: int) -> None:
+        super().__init__(game)
+        self.rng = XorShift64Star(seed)
+
+    def choose(self, state: GameState) -> MoveInfo:
+        moves = self.game.legal_moves(state)
+        if not moves:
+            raise ValueError("no legal moves: state is terminal")
+        return MoveInfo(move=moves[self.rng.randrange(len(moves))])

@@ -1,0 +1,48 @@
+"""Shared low-level utilities: bit operations, virtual time, seeding, tables.
+
+These are the foundations every other subpackage builds on.  Nothing in
+here knows about games, GPUs or MCTS.
+"""
+
+from repro.util.bitops import (
+    U64,
+    bit_count,
+    bit_count_u64,
+    bit_index,
+    bits_of,
+    lsb,
+    shift_east,
+    shift_north,
+    shift_northeast,
+    shift_northwest,
+    shift_south,
+    shift_southeast,
+    shift_southwest,
+    shift_west,
+)
+from repro.util.clock import Clock, ClockError
+from repro.util.seeding import SeedLadder, derive_seed
+from repro.util.tables import format_series, format_table
+
+__all__ = [
+    "U64",
+    "bit_count",
+    "bit_count_u64",
+    "bit_index",
+    "bits_of",
+    "lsb",
+    "shift_east",
+    "shift_north",
+    "shift_northeast",
+    "shift_northwest",
+    "shift_south",
+    "shift_southeast",
+    "shift_southwest",
+    "shift_west",
+    "Clock",
+    "ClockError",
+    "SeedLadder",
+    "derive_seed",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Tests for Elo estimation."""
+
+import pytest
+
+from repro.arena.elo import elo_ratings, expected_score
+
+
+class TestExpectedScore:
+    def test_equal_ratings(self):
+        assert expected_score(0, 0) == pytest.approx(0.5)
+
+    def test_400_points_is_10_to_1(self):
+        assert expected_score(400, 0) == pytest.approx(10 / 11, rel=1e-6)
+
+    def test_antisymmetric(self):
+        assert expected_score(120, -50) + expected_score(
+            -50, 120
+        ) == pytest.approx(1.0)
+
+
+class TestEloRatings:
+    def test_balanced_pair(self):
+        ratings = elo_ratings({("a", "b"): (5.0, 10)})
+        assert ratings["a"] == pytest.approx(ratings["b"], abs=1e-6)
+
+    def test_dominant_player_rated_higher(self):
+        ratings = elo_ratings({("a", "b"): (8.0, 10)})
+        assert ratings["a"] > ratings["b"] + 100
+
+    def test_transitive_ordering(self):
+        ratings = elo_ratings(
+            {
+                ("a", "b"): (7.0, 10),
+                ("b", "c"): (7.0, 10),
+                ("a", "c"): (9.0, 10),
+            }
+        )
+        assert ratings["a"] > ratings["b"] > ratings["c"]
+
+    def test_mean_zero_anchor(self):
+        ratings = elo_ratings(
+            {("a", "b"): (6.0, 10), ("b", "c"): (4.0, 10)}
+        )
+        assert sum(ratings.values()) == pytest.approx(0.0, abs=1e-6)
+
+    def test_recovers_known_gap(self):
+        # 200 Elo -> expected ~0.76; feed that score and expect ~200.
+        p = expected_score(200, 0)
+        ratings = elo_ratings({("a", "b"): (p * 1000, 1000)})
+        gap = ratings["a"] - ratings["b"]
+        assert gap == pytest.approx(200, abs=10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            elo_ratings({})
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            elo_ratings({("a", "b"): (3.0, 0)})
+        with pytest.raises(ValueError):
+            elo_ratings({("a", "b"): (11.0, 10)})
+
+    def test_perfect_score_stays_finite(self):
+        ratings = elo_ratings({("a", "b"): (10.0, 10)})
+        assert abs(ratings["a"]) < 2000

@@ -1,0 +1,64 @@
+"""Tests for single-game play and records."""
+
+import pytest
+
+from repro.arena import play_game
+from repro.games import Reversi, TicTacToe
+from repro.players import RandomPlayer
+
+
+class TestPlayGame:
+    def test_tictactoe_completes(self):
+        game = TicTacToe()
+        rec = play_game(
+            game, RandomPlayer(game, 1), RandomPlayer(game, 2)
+        )
+        assert rec.winner in (-1, 0, 1)
+        assert 5 <= rec.length <= 9
+        assert rec.moves[0].player == 1
+        assert rec.moves[1].player == -1
+
+    def test_reversi_completes_with_final_score(self):
+        game = Reversi()
+        rec = play_game(
+            game, RandomPlayer(game, 3), RandomPlayer(game, 4)
+        )
+        assert rec.length >= 58  # 60 disc moves, possibly minus passes
+        assert rec.final_score == rec.moves[-1].score_after
+        assert rec.winner == (rec.final_score > 0) - (rec.final_score < 0)
+
+    def test_steps_are_sequential(self):
+        game = TicTacToe()
+        rec = play_game(
+            game, RandomPlayer(game, 5), RandomPlayer(game, 6)
+        )
+        assert [m.step for m in rec.moves] == list(
+            range(1, rec.length + 1)
+        )
+
+    def test_score_series_perspective(self):
+        game = TicTacToe()
+        rec = play_game(
+            game, RandomPlayer(game, 7), RandomPlayer(game, 8)
+        )
+        plus = rec.score_series(1)
+        minus = rec.score_series(-1)
+        assert [a + b for a, b in zip(plus, minus)] == [0] * rec.length
+
+    def test_max_plies_guard(self):
+        game = Reversi()
+        with pytest.raises(RuntimeError, match="exceeded"):
+            play_game(
+                game,
+                RandomPlayer(game, 1),
+                RandomPlayer(game, 2),
+                max_plies=5,
+            )
+
+    def test_depth_series_filters_by_player(self):
+        game = TicTacToe()
+        rec = play_game(
+            game, RandomPlayer(game, 9), RandomPlayer(game, 10)
+        )
+        black_steps = [s for s, _ in rec.depth_series(1)]
+        assert all(step % 2 == 1 for step in black_steps)

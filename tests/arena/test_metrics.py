@@ -1,0 +1,112 @@
+"""Tests for strength metrics."""
+
+import numpy as np
+import pytest
+
+from repro.arena import (
+    mean_depth_series,
+    mean_score_series,
+    wilson_interval,
+    win_ratio,
+)
+from repro.arena.match import GameRecord, MoveRecord
+
+
+def make_record(scores, winner=1, depths=None, players=None):
+    depths = depths or [0] * len(scores)
+    players = players or [1 if i % 2 == 0 else -1 for i in range(len(scores))]
+    moves = [
+        MoveRecord(
+            step=i + 1,
+            player=players[i],
+            move=0,
+            score_after=scores[i],
+            simulations=0,
+            max_depth=depths[i],
+        )
+        for i in range(len(scores))
+    ]
+    return GameRecord(
+        winner=winner, final_score=scores[-1], moves=moves
+    )
+
+
+class TestWinRatio:
+    def test_basic(self):
+        assert win_ratio(6, 2, 2) == pytest.approx(0.7)
+
+    def test_all_draws(self):
+        assert win_ratio(0, 0, 10) == pytest.approx(0.5)
+
+    def test_no_games_raises(self):
+        with pytest.raises(ValueError):
+            win_ratio(0, 0, 0)
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(70, 100)
+        assert lo < 0.7 < hi
+
+    def test_narrows_with_samples(self):
+        lo1, hi1 = wilson_interval(7, 10)
+        lo2, hi2 = wilson_interval(700, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_bounds_clamped(self):
+        lo, hi = wilson_interval(0, 5)
+        assert lo == 0.0
+        lo, hi = wilson_interval(5, 5)
+        assert hi == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+
+
+class TestScoreSeries:
+    def test_pads_with_final_value(self):
+        rec = make_record([1, 2, 3])
+        out = mean_score_series([rec], [1], length=5)
+        np.testing.assert_array_equal(out, [1, 2, 3, 3, 3])
+
+    def test_perspective_flip(self):
+        rec = make_record([1, 2, 3])
+        out = mean_score_series([rec], [-1], length=3)
+        np.testing.assert_array_equal(out, [-1, -2, -3])
+
+    def test_averages_games(self):
+        a = make_record([2, 4])
+        b = make_record([0, 0])
+        out = mean_score_series([a, b], [1, 1], length=2)
+        np.testing.assert_array_equal(out, [1, 2])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            mean_score_series([make_record([1])], [1, 1], 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_score_series([], [], 3)
+
+
+class TestDepthSeries:
+    def test_carries_depth_forward(self):
+        rec = make_record(
+            [0, 0, 0, 0],
+            depths=[5, 9, 7, 9],
+            players=[1, -1, 1, -1],
+        )
+        out = mean_depth_series([rec], [1], length=4)
+        np.testing.assert_array_equal(out, [5, 5, 7, 7])
+
+    def test_opponent_perspective(self):
+        rec = make_record(
+            [0, 0, 0, 0],
+            depths=[5, 9, 7, 11],
+            players=[1, -1, 1, -1],
+        )
+        out = mean_depth_series([rec], [-1], length=4)
+        np.testing.assert_array_equal(out, [0, 9, 9, 11])

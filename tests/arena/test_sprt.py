@@ -1,0 +1,90 @@
+"""Tests for the SPRT early-stopping machinery."""
+
+import pytest
+
+from repro.arena.sprt import ACCEPT_H0, ACCEPT_H1, CONTINUE, Sprt, sprt_match
+from repro.core import SequentialMcts
+from repro.games import TicTacToe
+from repro.players import MctsPlayer, RandomPlayer
+
+GAME = TicTacToe()
+
+
+class TestSprtCore:
+    def test_validates_hypotheses(self):
+        with pytest.raises(ValueError):
+            Sprt(p0=0.6, p1=0.5)
+        with pytest.raises(ValueError):
+            Sprt(p0=0.0, p1=0.5)
+        with pytest.raises(ValueError):
+            Sprt(p0=0.4, p1=0.6, alpha=0.0)
+
+    def test_bounds_signs(self):
+        t = Sprt(p0=0.45, p1=0.55)
+        assert t.upper_bound > 0 > t.lower_bound
+
+    def test_rejects_bad_outcome(self):
+        t = Sprt(p0=0.45, p1=0.55)
+        with pytest.raises(ValueError):
+            t.record(0.7)
+
+    def test_streak_of_wins_accepts_h1(self):
+        t = Sprt(p0=0.4, p1=0.6)
+        verdict = CONTINUE
+        for _ in range(100):
+            verdict = t.record(1.0)
+            if verdict != CONTINUE:
+                break
+        assert verdict == ACCEPT_H1
+        assert t.games < 40  # far fewer than the fixed budget
+
+    def test_streak_of_losses_accepts_h0(self):
+        t = Sprt(p0=0.4, p1=0.6)
+        verdict = CONTINUE
+        for _ in range(100):
+            verdict = t.record(0.0)
+            if verdict != CONTINUE:
+                break
+        assert verdict == ACCEPT_H0
+
+    def test_balanced_outcomes_stay_undecided(self):
+        t = Sprt(p0=0.4, p1=0.6)
+        for _ in range(10):
+            assert t.record(1.0) in (CONTINUE, ACCEPT_H1)
+            t2 = t.record(0.0)
+        assert t2 == CONTINUE
+
+    def test_draws_move_llr_toward_middle(self):
+        t = Sprt(p0=0.4, p1=0.6)
+        t.record(0.5)
+        # symmetric hypotheses: a draw is exactly neutral
+        assert t.llr == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSprtMatch:
+    def test_stops_early_against_random(self):
+        def mcts(seed):
+            return MctsPlayer(
+                GAME, SequentialMcts(GAME, seed), move_budget_s=0.003
+            )
+
+        def rand(seed):
+            return RandomPlayer(GAME, seed)
+
+        sprt = Sprt(p0=0.5, p1=0.75)
+        verdict, result = sprt_match(
+            GAME, mcts, rand, sprt, seed=5, max_games=60
+        )
+        assert verdict == ACCEPT_H1
+        assert result.games < 60
+
+    def test_budget_exhaustion_returns_continue(self):
+        def rand(seed):
+            return RandomPlayer(GAME, seed)
+
+        sprt = Sprt(p0=0.45, p1=0.55, alpha=0.001, beta=0.001)
+        verdict, result = sprt_match(
+            GAME, rand, rand, sprt, seed=6, max_games=5
+        )
+        assert verdict == CONTINUE
+        assert result.games == 5

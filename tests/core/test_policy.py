@@ -1,0 +1,45 @@
+"""Tests for final-move selection policies."""
+
+import pytest
+
+from repro.core import MAX_RATIO, MAX_VISITS, MAX_WINS, select_move
+
+
+class TestMaxVisits:
+    def test_picks_most_visited(self):
+        stats = {0: (10, 2), 1: (50, 10), 2: (30, 25)}
+        assert select_move(stats, MAX_VISITS) == 1
+
+    def test_tie_breaks_on_wins(self):
+        stats = {0: (10, 2), 1: (10, 8)}
+        assert select_move(stats, MAX_VISITS) == 1
+
+    def test_full_tie_breaks_on_lowest_move(self):
+        stats = {4: (10, 5), 2: (10, 5)}
+        assert select_move(stats, MAX_VISITS) == 2
+
+
+class TestMaxRatio:
+    def test_picks_best_ratio(self):
+        stats = {0: (100, 50), 1: (20, 18)}
+        assert select_move(stats, MAX_RATIO) == 1
+
+    def test_min_visits_guard(self):
+        stats = {0: (100, 60), 1: (1, 1)}
+        assert select_move(stats, MAX_RATIO, min_visits=5) == 0
+
+
+class TestMaxWins:
+    def test_picks_highest_wins(self):
+        stats = {0: (100, 30), 1: (50, 40)}
+        assert select_move(stats, MAX_WINS) == 1
+
+
+class TestErrors:
+    def test_empty_stats(self):
+        with pytest.raises(ValueError, match="no move statistics"):
+            select_move({})
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown final-move policy"):
+            select_move({0: (1, 1)}, "argmax_of_vibes")

@@ -1,0 +1,72 @@
+"""Tests for vectorised bit selection (the SIMT random-move primitive)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games.batch import select_nth_bit, select_random_bit
+from repro.rng import BatchXorShift128Plus
+from repro.util.bitops import U64, bit_count, bits_of
+
+boards = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(boards.filter(lambda b: b != 0), st.data())
+def test_select_nth_bit_matches_python(b, data):
+    pop = bit_count(b)
+    n = data.draw(st.integers(min_value=0, max_value=pop - 1))
+    expected = list(bits_of(b))[n]
+    out = select_nth_bit(
+        np.array([b], dtype=U64), np.array([n], dtype=np.int64)
+    )
+    assert int(out[0]) == expected
+
+
+def test_select_nth_bit_many_lanes():
+    masks = np.array([0b1, 0b1010, 0xFF, 1 << 63], dtype=U64)
+    ns = np.array([0, 1, 7, 0], dtype=np.int64)
+    out = select_nth_bit(masks, ns)
+    np.testing.assert_array_equal(out, [0, 3, 7, 63])
+
+
+def test_select_nth_bit_empty_mask_is_harmless():
+    out = select_nth_bit(
+        np.array([0], dtype=U64), np.array([0], dtype=np.int64)
+    )
+    assert 0 <= int(out[0]) < 64
+
+
+class TestSelectRandomBit:
+    def test_empty_masks_give_zero(self):
+        rng = BatchXorShift128Plus(4, seed=1)
+        masks = np.zeros(4, dtype=U64)
+        out = select_random_bit(masks, rng)
+        assert np.all(out == 0)
+
+    def test_selection_is_subset_of_mask(self):
+        rng = BatchXorShift128Plus(64, seed=2)
+        masks = BatchXorShift128Plus(64, seed=3).next_u64()
+        for _ in range(10):
+            out = select_random_bit(masks, rng)
+            assert np.all(out & masks == out)
+            assert np.all(np.bitwise_count(out) == 1)
+
+    def test_single_bit_mask_always_selected(self):
+        rng = BatchXorShift128Plus(8, seed=4)
+        masks = np.full(8, 1 << 17, dtype=U64)
+        out = select_random_bit(masks, rng)
+        assert np.all(out == np.uint64(1 << 17))
+
+    @settings(max_examples=20)
+    @given(boards.filter(lambda b: bit_count(b) >= 2))
+    def test_roughly_uniform_over_bits(self, b):
+        rng = BatchXorShift128Plus(512, seed=5)
+        masks = np.full(512, b, dtype=U64)
+        counts = {}
+        for _ in range(4):
+            out = select_random_bit(masks, rng)
+            for v in out:
+                counts[int(v)] = counts.get(int(v), 0) + 1
+        # every set bit should be hit at least once given 2048 draws
+        # over at most 64 bits
+        assert set(counts) == {1 << i for i in bits_of(b)}

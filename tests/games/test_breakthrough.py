@@ -1,0 +1,291 @@
+"""Tests for Breakthrough, scalar and batch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import BatchBreakthrough, Breakthrough, BreakthroughState
+from repro.games.base import random_playout
+from repro.games.breakthrough import (
+    DIR_LEFT,
+    DIR_RIGHT,
+    DIR_STRAIGHT,
+    P1_START,
+    P2_START,
+)
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+from repro.util.bitops import bit_count, square_mask
+
+
+@pytest.fixture
+def game():
+    return Breakthrough()
+
+
+def play_random_plies(game, n, seed):
+    rng = XorShift64Star(seed)
+    s = game.initial_state()
+    for _ in range(n):
+        if game.is_terminal(s):
+            break
+        moves = game.legal_moves(s)
+        s = game.apply(s, moves[rng.randrange(len(moves))])
+    return s
+
+
+class TestRules:
+    def test_initial_setup(self, game):
+        s = game.initial_state()
+        assert bit_count(s.p1) == 16
+        assert bit_count(s.p2) == 16
+        assert not game.is_terminal(s)
+
+    def test_initial_move_count(self, game):
+        # Front row of 8 pawns: 8 straight + 7 left + 7 right = 22.
+        assert len(game.legal_moves(game.initial_state())) == 22
+
+    def test_straight_move(self, game):
+        s = game.initial_state()
+        sq = 1 * 8 + 3  # front-row pawn at d2
+        s2 = game.apply(s, sq * 3 + DIR_STRAIGHT)
+        assert s2.p1 & square_mask(2, 3)
+        assert not s2.p1 & square_mask(1, 3)
+        assert s2.to_move == -1
+
+    def test_straight_cannot_capture(self, game):
+        s = BreakthroughState(
+            p1=square_mask(3, 3),
+            p2=square_mask(4, 3) | P2_START,
+            to_move=1,
+        )
+        sq = 3 * 8 + 3
+        with pytest.raises(ValueError, match="cannot capture"):
+            game.apply(s, sq * 3 + DIR_STRAIGHT)
+
+    def test_diagonal_capture(self, game):
+        s = BreakthroughState(
+            p1=square_mask(3, 3),
+            p2=square_mask(4, 4) | P2_START,
+            to_move=1,
+        )
+        sq = 3 * 8 + 3
+        s2 = game.apply(s, sq * 3 + DIR_RIGHT)
+        assert s2.p1 & square_mask(4, 4)
+        assert not s2.p2 & square_mask(4, 4)
+        assert bit_count(s2.p2) == 16
+
+    def test_cannot_move_onto_own(self, game):
+        s = game.initial_state()
+        sq = 0 * 8 + 3  # back-row pawn blocked by own front row
+        with pytest.raises(ValueError, match="own pawn"):
+            game.apply(s, sq * 3 + DIR_STRAIGHT)
+
+    def test_no_wraparound_moves(self, game):
+        # A pawn on column a cannot move "left" off the board.
+        s = BreakthroughState(
+            p1=square_mask(3, 0), p2=P2_START, to_move=1
+        )
+        moves = game.legal_moves(s)
+        sq = 3 * 8 + 0
+        assert sq * 3 + DIR_LEFT not in moves
+        assert sq * 3 + DIR_STRAIGHT in moves
+
+    def test_reaching_goal_wins(self, game):
+        s = BreakthroughState(
+            p1=square_mask(6, 2),
+            p2=square_mask(0, 7),  # far away
+            to_move=1,
+        )
+        sq = 6 * 8 + 2
+        s2 = game.apply(s, sq * 3 + DIR_STRAIGHT)
+        assert game.is_terminal(s2)
+        assert game.winner(s2) == 1
+
+    def test_capturing_all_wins(self, game):
+        s = BreakthroughState(
+            p1=square_mask(3, 3),
+            p2=square_mask(4, 4),
+            to_move=1,
+        )
+        s2 = game.apply(s, (3 * 8 + 3) * 3 + DIR_RIGHT)
+        assert game.is_terminal(s2)
+        assert game.winner(s2) == 1
+
+
+class TestPlayouts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_playout_terminates_with_winner(self, seed):
+        game = Breakthrough()
+        winner, plies = random_playout(
+            game, game.initial_state(), XorShift64Star(seed)
+        )
+        assert winner in (-1, 1)  # no draws in Breakthrough
+        assert 0 < plies <= game.max_game_length
+
+    def test_random_playouts_are_roughly_balanced(self):
+        game = Breakthrough()
+        wins = sum(
+            1
+            for seed in range(60)
+            if random_playout(
+                game, game.initial_state(), XorShift64Star(seed)
+            )[0] == 1
+        )
+        assert 15 < wins < 45
+
+
+class TestBatch:
+    def test_playouts_finish_with_winners(self, game):
+        bg = BatchBreakthrough()
+        rng = BatchXorShift128Plus(128, seed=2)
+        batch = bg.make_batch([game.initial_state()], 128)
+        winners, steps = bg.run_playouts(batch, rng)
+        assert steps <= game.max_game_length
+        assert set(np.unique(winners)).issubset({-1, 1})
+
+    def test_final_states_terminal_in_scalar_rules(self, game):
+        bg = BatchBreakthrough()
+        rng = BatchXorShift128Plus(64, seed=4)
+        batch = bg.make_batch([game.initial_state()], 64)
+        bg.run_playouts(batch, rng)
+        for i in range(16):
+            s = bg.lane_state(batch, i)
+            assert game.is_terminal(s)
+            assert int(bg.winners(batch)[i]) == game.winner(s)
+
+    def test_pawn_count_never_increases(self, game):
+        bg = BatchBreakthrough()
+        rng = BatchXorShift128Plus(32, seed=6)
+        batch = bg.make_batch([game.initial_state()], 32)
+        prev = np.bitwise_count(batch.own | batch.opp)
+        for _ in range(40):
+            bg.step(batch, rng)
+            cur = np.bitwise_count(batch.own | batch.opp)
+            assert np.all(cur <= prev)
+            prev = cur
+
+    def test_boards_stay_disjoint(self, game):
+        bg = BatchBreakthrough()
+        rng = BatchXorShift128Plus(32, seed=8)
+        batch = bg.make_batch([game.initial_state()], 32)
+        for _ in range(60):
+            bg.step(batch, rng)
+            assert np.all(batch.own & batch.opp == 0)
+
+    def test_mid_game_consistency(self, game):
+        bg = BatchBreakthrough()
+        for seed in range(4):
+            s = play_random_plies(game, 20, seed)
+            if game.is_terminal(s):
+                continue
+            batch = bg.make_batch([s], 8)
+            for i in range(8):
+                assert bg.lane_state(batch, i) == s
+            rng = BatchXorShift128Plus(8, seed=seed)
+            bg.run_playouts(batch, rng)
+            for i in range(8):
+                assert game.is_terminal(bg.lane_state(batch, i))
+
+    def test_batch_win_rate_matches_scalar(self, game):
+        bg = BatchBreakthrough()
+        rng = BatchXorShift128Plus(512, seed=10)
+        batch = bg.make_batch([game.initial_state()], 512)
+        winners, _ = bg.run_playouts(batch, rng)
+        batch_rate = (winners == 1).mean()
+        scalar_rate = (
+            sum(
+                1
+                for seed in range(100)
+                if random_playout(
+                    game, game.initial_state(), XorShift64Star(seed)
+                )[0] == 1
+            )
+            / 100
+        )
+        assert abs(batch_rate - scalar_rate) < 0.2
+
+
+class TestFastPlayout:
+    def test_terminates_with_winner(self, game):
+        from repro.games.breakthrough import fast_playout
+
+        for seed in range(20):
+            winner, plies = fast_playout(
+                game.initial_state(), XorShift64Star(seed)
+            )
+            assert winner in (-1, 1)
+            assert 0 < plies <= game.max_game_length
+
+    def test_statistics_match_generic_path(self, game):
+        from repro.games.breakthrough import fast_playout
+
+        n = 150
+        fast_wins = sum(
+            1
+            for seed in range(n)
+            if fast_playout(
+                game.initial_state(), XorShift64Star(seed)
+            )[0] == 1
+        )
+        slow_wins = sum(
+            1
+            for seed in range(80)
+            if random_playout(
+                game, game.initial_state(), XorShift64Star(5000 + seed)
+            )[0] == 1
+        )
+        assert abs(fast_wins / n - slow_wins / 80) < 0.2
+
+    def test_mean_length_matches_generic_path(self, game):
+        from repro.games.breakthrough import fast_playout
+
+        fast_len = sum(
+            fast_playout(game.initial_state(), XorShift64Star(s))[1]
+            for s in range(60)
+        ) / 60
+        slow_len = sum(
+            random_playout(
+                game, game.initial_state(), XorShift64Star(900 + s)
+            )[1]
+            for s in range(60)
+        ) / 60
+        assert abs(fast_len - slow_len) < 12
+
+    def test_mid_game_positions(self, game):
+        from repro.games.breakthrough import fast_playout
+
+        for seed in range(5):
+            s = play_random_plies(game, 25, seed)
+            if game.is_terminal(s):
+                continue
+            winner, plies = fast_playout(s, XorShift64Star(seed))
+            assert winner in (-1, 1)
+
+
+class TestEngineIntegration:
+    def test_block_parallel_on_breakthrough(self, game):
+        from repro.core import BlockParallelMcts
+
+        engine = BlockParallelMcts(
+            game, seed=1, blocks=2, threads_per_block=32
+        )
+        result = engine.search(game.initial_state(), budget_s=0.01)
+        assert result.move in game.legal_moves(game.initial_state())
+
+    def test_mcts_crushes_random_at_breakthrough(self, game):
+        from repro.arena import play_match
+        from repro.core import SequentialMcts
+        from repro.players import MctsPlayer, RandomPlayer
+
+        def mcts(seed):
+            return MctsPlayer(
+                game, SequentialMcts(game, seed), move_budget_s=0.01
+            )
+
+        def rand(seed):
+            return RandomPlayer(game, seed)
+
+        res = play_match(game, mcts, rand, 4, seed=3)
+        assert res.win_ratio >= 0.75

@@ -1,0 +1,148 @@
+"""Tests for Connect-4, scalar and batch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import BatchConnect4, Connect4
+from repro.games.base import random_playout
+from repro.games.connect4 import BOARD_MASK, has_four
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+
+
+@pytest.fixture
+def game():
+    return Connect4()
+
+
+def play_random_plies(game, n, seed):
+    rng = XorShift64Star(seed)
+    s = game.initial_state()
+    for _ in range(n):
+        if game.is_terminal(s):
+            break
+        moves = game.legal_moves(s)
+        s = game.apply(s, moves[rng.randrange(len(moves))])
+    return s
+
+
+class TestRules:
+    def test_initial_moves(self, game):
+        assert game.legal_moves(game.initial_state()) == tuple(range(7))
+
+    def test_discs_stack(self, game):
+        s = game.initial_state()
+        for _ in range(3):
+            s = game.apply(s, 3)
+        col3 = (s.p1 | s.p2) >> (3 * 7) & 0x7F
+        assert col3 == 0b111  # three discs at the bottom of column 3
+
+    def test_column_fills_up(self, game):
+        s = game.initial_state()
+        for _ in range(6):
+            s = game.apply(s, 0)
+        assert 0 not in game.legal_moves(s)
+        with pytest.raises(ValueError, match="full"):
+            game.apply(s, 0)
+
+    def test_bad_column_raises(self, game):
+        with pytest.raises(ValueError):
+            game.apply(game.initial_state(), 7)
+
+    def test_vertical_win(self, game):
+        s = game.initial_state()
+        # X: col 0 four times; O: col 1 three times
+        for _ in range(3):
+            s = game.apply(s, 0)
+            s = game.apply(s, 1)
+        s = game.apply(s, 0)
+        assert game.is_terminal(s)
+        assert game.winner(s) == 1
+
+    def test_horizontal_win(self, game):
+        s = game.initial_state()
+        # X plays cols 0..3 along the bottom; O stacks on col 6
+        for c in range(3):
+            s = game.apply(s, c)
+            s = game.apply(s, 6)
+        s = game.apply(s, 3)
+        assert game.is_terminal(s)
+        assert game.winner(s) == 1
+
+    def test_diagonal_win(self, game):
+        moves = [0, 1, 1, 2, 2, 3, 2, 3, 3, 6, 3]  # X builds / diagonal
+        s = game.initial_state()
+        for m in moves:
+            s = game.apply(s, m)
+        assert game.is_terminal(s)
+        assert game.winner(s) == 1
+
+    def test_no_wrap_between_columns(self):
+        # Discs at the top of col 0 and bottom of col 1 must not form a
+        # "vertical" run through the sentinel bit.
+        b = sum(1 << (0 * 7 + r) for r in range(3)) | (1 << (1 * 7 + 0))
+        assert not has_four(b)
+
+
+class TestPlayouts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_playout_terminates(self, seed):
+        game = Connect4()
+        winner, plies = random_playout(
+            game, game.initial_state(), XorShift64Star(seed)
+        )
+        assert winner in (-1, 0, 1)
+        assert 7 <= plies <= 42
+
+    def test_terminal_state_is_win_or_full(self):
+        game = Connect4()
+        for seed in range(5):
+            s = play_random_plies(game, 60, seed)
+            assert game.is_terminal(s)
+            if game.winner(s) == 0:
+                assert (s.p1 | s.p2) == BOARD_MASK
+
+
+class TestBatch:
+    def test_playouts_finish(self, game):
+        bg = BatchConnect4()
+        rng = BatchXorShift128Plus(128, seed=2)
+        batch = bg.make_batch([game.initial_state()], 128)
+        winners, steps = bg.run_playouts(batch, rng)
+        assert steps <= 42
+        assert not bg.active(batch).any()
+
+    def test_final_states_terminal_in_scalar_rules(self, game):
+        bg = BatchConnect4()
+        rng = BatchXorShift128Plus(64, seed=4)
+        batch = bg.make_batch([game.initial_state()], 64)
+        bg.run_playouts(batch, rng)
+        for i in range(len(batch)):
+            s = bg.lane_state(batch, i)
+            assert game.is_terminal(s)
+            assert int(bg.winners(batch)[i]) == game.winner(s)
+
+    def test_first_player_advantage(self, game):
+        # Random-vs-random Connect-4 favours the first player ~55-60%.
+        bg = BatchConnect4()
+        rng = BatchXorShift128Plus(4096, seed=6)
+        batch = bg.make_batch([game.initial_state()], 4096)
+        winners, _ = bg.run_playouts(batch, rng)
+        p1_rate = (winners == 1).mean()
+        assert 0.5 < p1_rate < 0.68
+
+    def test_mid_game_consistency_with_scalar(self, game):
+        bg = BatchConnect4()
+        for seed in range(4):
+            s = play_random_plies(game, 12, seed)
+            if game.is_terminal(s):
+                continue
+            batch = bg.make_batch([s], 8)
+            for i in range(8):
+                assert bg.lane_state(batch, i) == s
+            rng = BatchXorShift128Plus(8, seed=seed)
+            bg.run_playouts(batch, rng)
+            for i in range(8):
+                assert game.is_terminal(bg.lane_state(batch, i))

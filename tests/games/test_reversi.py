@@ -1,0 +1,204 @@
+"""Tests for the scalar Reversi engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import PASS_MOVE, Reversi, ReversiState
+from repro.games.base import random_playout
+from repro.games.reversi import flips_for_move, mobility
+from repro.rng import XorShift64Star
+from repro.util.bitops import bit_count, square_mask
+
+
+@pytest.fixture
+def game():
+    return Reversi()
+
+
+def play_random_plies(game, n, seed):
+    """A reachable state after up to ``n`` random plies."""
+    rng = XorShift64Star(seed)
+    s = game.initial_state()
+    for _ in range(n):
+        if game.is_terminal(s):
+            break
+        moves = game.legal_moves(s)
+        s = game.apply(s, moves[rng.randrange(len(moves))])
+    return s
+
+
+class TestInitialPosition:
+    def test_four_discs(self, game):
+        s = game.initial_state()
+        assert bit_count(s.black) == 2
+        assert bit_count(s.white) == 2
+        assert s.black & s.white == 0
+
+    def test_black_moves_first(self, game):
+        assert game.to_move(game.initial_state()) == 1
+
+    def test_standard_opening_moves(self, game):
+        # Black's classical first moves: d3, c4, f5, e6.
+        s = game.initial_state()
+        moves = set(game.legal_moves(s))
+        expected = {
+            2 * 8 + 3,  # d3
+            3 * 8 + 2,  # c4
+            4 * 8 + 5,  # f5
+            5 * 8 + 4,  # e6
+        }
+        assert moves == expected
+
+    def test_not_terminal(self, game):
+        assert not game.is_terminal(game.initial_state())
+
+    def test_score_zero(self, game):
+        assert game.score(game.initial_state()) == 0
+
+
+class TestApply:
+    def test_first_move_flips_one_disc(self, game):
+        s = game.apply(game.initial_state(), 2 * 8 + 3)  # d3
+        assert bit_count(s.black) == 4
+        assert bit_count(s.white) == 1
+        assert game.to_move(s) == -1
+
+    def test_apply_occupied_square_raises(self, game):
+        s = game.initial_state()
+        with pytest.raises(ValueError, match="occupied"):
+            game.apply(s, 3 * 8 + 3)
+
+    def test_apply_nonflipping_square_raises(self, game):
+        s = game.initial_state()
+        with pytest.raises(ValueError, match="flips nothing"):
+            game.apply(s, 0)  # corner a1 flips nothing at the start
+
+    def test_pass_with_moves_available_raises(self, game):
+        with pytest.raises(ValueError, match="cannot pass"):
+            game.apply(game.initial_state(), PASS_MOVE)
+
+    def test_disc_total_grows_by_one_per_move(self, game):
+        s = game.initial_state()
+        rng = XorShift64Star(1)
+        for _ in range(20):
+            if game.is_terminal(s):
+                break
+            moves = game.legal_moves(s)
+            before = game.disc_count(s)
+            m = moves[rng.randrange(len(moves))]
+            s = game.apply(s, m)
+            if m == PASS_MOVE:
+                assert game.disc_count(s) == before
+            else:
+                assert game.disc_count(s) == before + 1
+
+
+class TestPassAndTerminal:
+    def test_forced_pass_position(self, game):
+        # Black a1, white b1, white to move: white's only neighbouring
+        # black disc sits on the edge with no empty square beyond it, so
+        # white has no move -- but black could play c1, so the game is
+        # not over and white must pass.
+        s = ReversiState(
+            black=square_mask(0, 0),
+            white=square_mask(0, 1),
+            to_move=-1,
+        )
+        assert game.legal_moves(s) == (PASS_MOVE,)
+        assert not game.is_terminal(s)
+
+    def test_pass_switches_player_only(self, game):
+        s = ReversiState(
+            black=square_mask(7, 7),
+            white=square_mask(0, 0) | square_mask(0, 1),
+            to_move=-1,
+        )
+        # if white must pass, applying PASS flips to_move and boards stay
+        if game.legal_moves(s) == (PASS_MOVE,):
+            s2 = game.apply(s, PASS_MOVE)
+            assert (s2.black, s2.white) == (s.black, s.white)
+            assert s2.to_move == 1
+
+    def test_empty_board_is_terminal_nonsense_guard(self, game):
+        s = ReversiState(0, 0, 1)
+        assert game.is_terminal(s)
+        assert game.winner(s) == 0
+
+
+class TestRandomPlayouts:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_playout_terminates_and_scores(self, seed):
+        game = Reversi()
+        rng = XorShift64Star(seed)
+        winner, plies = random_playout(game, game.initial_state(), rng)
+        assert winner in (-1, 0, 1)
+        assert 0 < plies <= game.max_game_length
+
+    def test_final_position_has_no_moves_for_either(self):
+        game = Reversi()
+        rng = XorShift64Star(7)
+        s = game.initial_state()
+        while not game.is_terminal(s):
+            moves = game.legal_moves(s)
+            s = game.apply(s, moves[rng.randrange(len(moves))])
+        own = s.black if s.to_move == 1 else s.white
+        opp = s.white if s.to_move == 1 else s.black
+        assert mobility(own, opp) == 0
+        assert mobility(opp, own) == 0
+
+    def test_winner_sign_matches_score(self):
+        game = Reversi()
+        for seed in range(5):
+            s = play_random_plies(game, 200, seed)
+            diff = game.score(s)
+            w = game.winner(s)
+            assert w == (diff > 0) - (diff < 0)
+
+
+class TestMobilityFlipsInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_flips_nonempty_iff_move_legal(self, plies, seed):
+        game = Reversi()
+        s = play_random_plies(game, plies, seed)
+        if game.is_terminal(s):
+            return
+        own = s.black if s.to_move == 1 else s.white
+        opp = s.white if s.to_move == 1 else s.black
+        mob = mobility(own, opp)
+        empty = ~(own | opp) & 0xFFFF_FFFF_FFFF_FFFF
+        for sq in range(64):
+            bit = 1 << sq
+            if not bit & empty:
+                continue
+            legal = bool(mob & bit)
+            flips = flips_for_move(own, opp, bit)
+            assert legal == bool(flips)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    def test_flips_are_opponent_discs(self, plies, seed):
+        game = Reversi()
+        s = play_random_plies(game, plies, seed)
+        if game.is_terminal(s):
+            return
+        own = s.black if s.to_move == 1 else s.white
+        opp = s.white if s.to_move == 1 else s.black
+        for sq in list(range(64))[:8]:
+            flips = flips_for_move(own, opp, 1 << sq)
+            assert flips & opp == flips
+
+
+class TestRender:
+    def test_render_shows_discs_and_mover(self, game):
+        art = game.render(game.initial_state())
+        assert art.count("X") == 3  # 2 discs + "black (X)" label
+        assert "to move: black" in art

@@ -1,0 +1,185 @@
+"""Cross-checks between scalar Reversi and the batched SIMT engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import BatchReversi, Reversi
+from repro.games.reversi import flips_for_move, mobility
+from repro.games.reversi_batch import flips_batch, mobility_batch
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+from repro.util.bitops import U64, bits_of
+
+
+def play_random_plies(game, n, seed):
+    rng = XorShift64Star(seed)
+    s = game.initial_state()
+    for _ in range(n):
+        if game.is_terminal(s):
+            break
+        moves = game.legal_moves(s)
+        s = game.apply(s, moves[rng.randrange(len(moves))])
+    return s
+
+
+state_params = st.tuples(
+    st.integers(min_value=0, max_value=60),
+    st.integers(min_value=0, max_value=2**32),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(state_params)
+def test_mobility_batch_matches_scalar(params):
+    plies, seed = params
+    game = Reversi()
+    s = play_random_plies(game, plies, seed)
+    own = s.black if s.to_move == 1 else s.white
+    opp = s.white if s.to_move == 1 else s.black
+    batch_mob = mobility_batch(
+        np.array([own], dtype=U64), np.array([opp], dtype=U64)
+    )
+    assert int(batch_mob[0]) == mobility(own, opp)
+
+
+@settings(max_examples=25, deadline=None)
+@given(state_params)
+def test_flips_batch_matches_scalar(params):
+    plies, seed = params
+    game = Reversi()
+    s = play_random_plies(game, plies, seed)
+    if game.is_terminal(s):
+        return
+    own = s.black if s.to_move == 1 else s.white
+    opp = s.white if s.to_move == 1 else s.black
+    mob = mobility(own, opp)
+    if not mob:
+        return
+    move_bits = [1 << sq for sq in bits_of(mob)]
+    n = len(move_bits)
+    out = flips_batch(
+        np.full(n, own, dtype=U64),
+        np.full(n, opp, dtype=U64),
+        np.array(move_bits, dtype=U64),
+    )
+    for i, mb in enumerate(move_bits):
+        assert int(out[i]) == flips_for_move(own, opp, mb)
+
+
+class TestMakeBatch:
+    def test_lane_grouping(self):
+        game = Reversi()
+        bg = BatchReversi()
+        s0 = game.initial_state()
+        s1 = game.apply(s0, 2 * 8 + 3)
+        batch = bg.make_batch([s0, s1], lanes_per_state=3)
+        assert len(batch) == 6
+        for i in range(3):
+            assert bg.lane_state(batch, i) == s0
+        for i in range(3, 6):
+            assert bg.lane_state(batch, i) == s1
+
+    def test_rejects_nonpositive_lanes(self):
+        bg = BatchReversi()
+        with pytest.raises(ValueError):
+            bg.make_batch([Reversi().initial_state()], 0)
+
+    def test_terminal_input_marked_done(self):
+        from repro.games import ReversiState
+
+        bg = BatchReversi()
+        full_black = ReversiState(
+            black=0xFFFF_FFFF_FFFF_FFFF, white=0, to_move=1
+        )
+        batch = bg.make_batch([full_black], 4)
+        assert not bg.active(batch).any()
+        assert np.all(bg.winners(batch) == 1)
+        assert np.all(bg.scores(batch) == 64)
+
+
+class TestLockstepPlayouts:
+    def test_all_lanes_finish(self):
+        game = Reversi()
+        bg = BatchReversi()
+        rng = BatchXorShift128Plus(64, seed=3)
+        batch = bg.make_batch([game.initial_state()], 64)
+        winners, steps = bg.run_playouts(batch, rng)
+        assert not bg.active(batch).any()
+        assert steps <= bg.max_game_length
+        assert set(np.unique(winners)).issubset({-1, 0, 1})
+
+    def test_final_lanes_are_terminal_scalar_states(self):
+        game = Reversi()
+        bg = BatchReversi()
+        rng = BatchXorShift128Plus(16, seed=9)
+        batch = bg.make_batch([game.initial_state()], 16)
+        bg.run_playouts(batch, rng)
+        for i in range(len(batch)):
+            s = bg.lane_state(batch, i)
+            assert game.is_terminal(s)
+
+    def test_scores_match_scalar_scoring(self):
+        game = Reversi()
+        bg = BatchReversi()
+        rng = BatchXorShift128Plus(8, seed=11)
+        batch = bg.make_batch([game.initial_state()], 8)
+        bg.run_playouts(batch, rng)
+        scores = bg.scores(batch)
+        for i in range(len(batch)):
+            assert int(scores[i]) == game.score(bg.lane_state(batch, i))
+
+    def test_deterministic_given_seed(self):
+        game = Reversi()
+        bg = BatchReversi()
+        out = []
+        for _ in range(2):
+            rng = BatchXorShift128Plus(32, seed=21)
+            batch = bg.make_batch([game.initial_state()], 32)
+            winners, _ = bg.run_playouts(batch, rng)
+            out.append(winners.copy())
+        np.testing.assert_array_equal(out[0], out[1])
+
+    def test_win_rate_from_initial_is_balanced(self):
+        # Random Reversi playouts from the start are near 50/50 with a
+        # small skew; a grossly lopsided result means a rules bug.
+        game = Reversi()
+        bg = BatchReversi()
+        rng = BatchXorShift128Plus(2048, seed=5)
+        batch = bg.make_batch([game.initial_state()], 2048)
+        winners, _ = bg.run_playouts(batch, rng)
+        black_rate = (winners == 1).mean()
+        assert 0.35 < black_rate < 0.65
+
+    def test_mid_game_batch_playouts(self):
+        game = Reversi()
+        bg = BatchReversi()
+        s = play_random_plies(game, 30, seed=13)
+        rng = BatchXorShift128Plus(64, seed=5)
+        batch = bg.make_batch([s], 64)
+        winners, steps = bg.run_playouts(batch, rng)
+        assert steps <= bg.max_game_length
+        assert not bg.active(batch).any()
+
+
+class TestStepInvariants:
+    def test_disc_count_never_decreases(self):
+        game = Reversi()
+        bg = BatchReversi()
+        rng = BatchXorShift128Plus(32, seed=17)
+        batch = bg.make_batch([game.initial_state()], 32)
+        prev = np.bitwise_count(batch.own | batch.opp)
+        for _ in range(20):
+            bg.step(batch, rng)
+            cur = np.bitwise_count(batch.own | batch.opp)
+            assert np.all(cur >= prev)
+            prev = cur
+
+    def test_boards_stay_disjoint(self):
+        game = Reversi()
+        bg = BatchReversi()
+        rng = BatchXorShift128Plus(32, seed=19)
+        batch = bg.make_batch([game.initial_state()], 32)
+        for _ in range(40):
+            bg.step(batch, rng)
+            assert np.all(batch.own & batch.opp == 0)

@@ -1,0 +1,128 @@
+"""Tests for TicTacToe, scalar and batch, including exhaustive checks."""
+
+import numpy as np
+import pytest
+
+from repro.games import BatchTicTacToe, TicTacToe, TicTacToeState
+from repro.games.base import random_playout
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+
+
+@pytest.fixture
+def game():
+    return TicTacToe()
+
+
+def all_reachable_states(game):
+    """Every distinct reachable state (the classic 5478)."""
+    seen = set()
+    stack = [game.initial_state()]
+    while stack:
+        s = stack.pop()
+        if s in seen:
+            continue
+        seen.add(s)
+        if not game.is_terminal(s):
+            for m in game.legal_moves(s):
+                stack.append(game.apply(s, m))
+    return seen
+
+
+class TestRules:
+    def test_initial(self, game):
+        s = game.initial_state()
+        assert game.legal_moves(s) == tuple(range(9))
+        assert game.to_move(s) == 1
+
+    def test_apply_alternates(self, game):
+        s = game.apply(game.initial_state(), 4)
+        assert game.to_move(s) == -1
+        s = game.apply(s, 0)
+        assert game.to_move(s) == 1
+
+    def test_occupied_raises(self, game):
+        s = game.apply(game.initial_state(), 4)
+        with pytest.raises(ValueError):
+            game.apply(s, 4)
+
+    def test_out_of_range_raises(self, game):
+        with pytest.raises(ValueError):
+            game.apply(game.initial_state(), 9)
+
+    def test_row_win(self, game):
+        s = TicTacToeState(0b111, 0b110000, 1)
+        assert game.is_terminal(s)
+        assert game.winner(s) == 1
+
+    def test_draw(self, game):
+        # X O X / X O O / O X X
+        x = 0b101_001_101 | 0  # cells 0,2,3,7,8 -> careful below
+        s = TicTacToeState(
+            x=(1 << 0) | (1 << 2) | (1 << 3) | (1 << 7) | (1 << 8),
+            o=(1 << 1) | (1 << 4) | (1 << 5) | (1 << 6),
+            to_move=1,
+        )
+        assert game.is_terminal(s)
+        assert game.winner(s) == 0
+
+
+class TestExhaustive:
+    def test_reachable_state_count(self, game):
+        assert len(all_reachable_states(game)) == 5478
+
+    def test_every_terminal_state_has_consistent_winner(self, game):
+        for s in all_reachable_states(game):
+            if game.is_terminal(s):
+                w = game.winner(s)
+                assert w in (-1, 0, 1)
+                assert game.legal_moves(s) == ()
+            else:
+                assert len(game.legal_moves(s)) > 0
+
+    def test_batch_winner_matches_scalar_everywhere(self, game):
+        bg = BatchTicTacToe()
+        states = sorted(all_reachable_states(game))
+        batch = bg.make_batch(states, 1)
+        winners = bg.winners(batch)
+        done = ~bg.active(batch)
+        for i, s in enumerate(states):
+            assert bool(done[i]) == game.is_terminal(s)
+            if game.is_terminal(s):
+                assert int(winners[i]) == game.winner(s)
+
+
+class TestBatchPlayouts:
+    def test_lockstep_playouts_finish(self, game):
+        bg = BatchTicTacToe()
+        rng = BatchXorShift128Plus(128, seed=2)
+        batch = bg.make_batch([game.initial_state()], 128)
+        winners, steps = bg.run_playouts(batch, rng)
+        assert steps <= 9
+        assert not bg.active(batch).any()
+
+    def test_final_states_terminal_in_scalar_rules(self, game):
+        bg = BatchTicTacToe()
+        rng = BatchXorShift128Plus(32, seed=4)
+        batch = bg.make_batch([game.initial_state()], 32)
+        bg.run_playouts(batch, rng)
+        for i in range(len(batch)):
+            assert game.is_terminal(bg.lane_state(batch, i))
+
+    def test_random_playout_first_player_edge(self, game):
+        # Random-vs-random TicTacToe favours X roughly 58/29/13.
+        bg = BatchTicTacToe()
+        rng = BatchXorShift128Plus(4096, seed=6)
+        batch = bg.make_batch([game.initial_state()], 4096)
+        winners, _ = bg.run_playouts(batch, rng)
+        x_rate = (winners == 1).mean()
+        o_rate = (winners == -1).mean()
+        assert 0.5 < x_rate < 0.66
+        assert 0.2 < o_rate < 0.38
+
+
+def test_scalar_playout_terminates(game):
+    winner, plies = random_playout(
+        game, game.initial_state(), XorShift64Star(3)
+    )
+    assert winner in (-1, 0, 1)
+    assert 5 <= plies <= 9

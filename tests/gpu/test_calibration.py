@@ -1,0 +1,68 @@
+"""Tests for kernel calibration fitting."""
+
+import pytest
+
+from repro.gpu import TESLA_C2050, LaunchConfig, playout_kernel_spec
+from repro.gpu.calibration import (
+    CalibrationError,
+    calibrated_kernel,
+    fit_cycles_per_step,
+)
+from repro.gpu.timing import peak_playout_rate
+
+KERNEL = playout_kernel_spec("reversi")
+CONFIG = LaunchConfig(224, 64)  # the paper's largest leaf launch
+
+
+class TestFit:
+    def test_round_trip(self):
+        """Fitting to the kernel's own rate recovers its cycles."""
+        rate = peak_playout_rate(TESLA_C2050, KERNEL, CONFIG, 65.0)
+        cycles = fit_cycles_per_step(
+            TESLA_C2050, KERNEL, CONFIG, rate, 65.0
+        )
+        assert cycles == pytest.approx(KERNEL.cycles_per_step, rel=1e-3)
+
+    def test_calibrated_kernel_hits_target(self):
+        target = 5.0e5
+        fitted = calibrated_kernel(
+            TESLA_C2050, KERNEL, CONFIG, target, 65.0
+        )
+        achieved = peak_playout_rate(TESLA_C2050, fitted, CONFIG, 65.0)
+        assert achieved == pytest.approx(target, rel=1e-3)
+
+    def test_preserves_latency_ratio(self):
+        fitted = calibrated_kernel(
+            TESLA_C2050, KERNEL, CONFIG, 4.0e5, 65.0
+        )
+        assert (
+            fitted.latency_cycles_per_step / fitted.cycles_per_step
+        ) == pytest.approx(
+            KERNEL.latency_cycles_per_step / KERNEL.cycles_per_step
+        )
+
+    def test_paper_envelope_is_reachable(self):
+        """The paper's ~8.5e5 playouts/s peak must be in range for the
+        default calibration bounds (it is the calibration anchor)."""
+        cycles = fit_cycles_per_step(
+            TESLA_C2050, KERNEL, CONFIG, 8.5e5, 65.0
+        )
+        assert 100 < cycles < 1e6
+
+
+class TestErrors:
+    def test_unreachable_target(self):
+        with pytest.raises(CalibrationError, match="unreachable"):
+            fit_cycles_per_step(
+                TESLA_C2050, KERNEL, CONFIG, 1e12, 65.0
+            )
+
+    def test_nonpositive_target(self):
+        with pytest.raises(CalibrationError):
+            fit_cycles_per_step(TESLA_C2050, KERNEL, CONFIG, 0.0)
+
+    def test_bad_latency_ratio(self):
+        with pytest.raises(CalibrationError, match="ratio"):
+            fit_cycles_per_step(
+                TESLA_C2050, KERNEL, CONFIG, 1e5, latency_ratio=0.5
+            )

@@ -1,0 +1,58 @@
+"""Tests for virtual device specs."""
+
+import pytest
+
+from repro.gpu import TESLA_C2050, TOY_DEVICE, DeviceSpec, get_device_spec
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_device_spec("tesla_c2050") is TESLA_C2050
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device_spec("h100")
+
+
+class TestC2050:
+    """The paper's hardware: Fermi GF100."""
+
+    def test_shape(self):
+        assert TESLA_C2050.sm_count == 14
+        assert TESLA_C2050.warp_size == 32
+        assert TESLA_C2050.max_threads_per_sm == 1536
+
+    def test_max_resident_threads(self):
+        # 14 SMs x 1536 threads = 21504; the paper's largest launch
+        # (14336 threads) fits resident in one wave.
+        assert TESLA_C2050.max_resident_threads == 21504
+        assert 14336 <= TESLA_C2050.max_resident_threads
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", sm_count=0)
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", sm_count=1, clock_hz=0)
+
+    def test_rejects_inconsistent_thread_limits(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                sm_count=1,
+                max_threads_per_block=2048,
+                max_threads_per_sm=1024,
+            )
+
+    def test_with_overrides(self):
+        fast = TESLA_C2050.with_overrides(clock_hz=2e9)
+        assert fast.clock_hz == 2e9
+        assert fast.sm_count == TESLA_C2050.sm_count
+        assert TESLA_C2050.clock_hz == 1.15e9  # original untouched
+
+
+def test_toy_device_is_small():
+    assert TOY_DEVICE.max_resident_threads <= 512

@@ -1,0 +1,77 @@
+"""Tests for warp-divergence telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.games import Reversi
+from repro.gpu import LaunchConfig, VirtualGpu, TESLA_C2050
+from repro.gpu.divergence import analyze_divergence
+from repro.util.clock import Clock
+
+
+class TestAnalyze:
+    def test_uniform_lanes_are_fully_efficient(self):
+        cfg = LaunchConfig(2, 64)
+        steps = np.full(128, 60)
+        rep = analyze_divergence(steps, cfg)
+        assert rep.mean_efficiency == 1.0
+        assert rep.wasted_lane_steps == 0
+        assert rep.utilisation == 1.0
+
+    def test_single_straggler_wastes_lanes(self):
+        cfg = LaunchConfig(1, 32)
+        steps = np.full(32, 10)
+        steps[0] = 100
+        rep = analyze_divergence(steps, cfg)
+        assert rep.mean_efficiency < 0.2
+        assert rep.wasted_lane_steps == 31 * 90
+        assert rep.useful_lane_steps == 31 * 10 + 100
+
+    def test_warp_grouping(self):
+        # Two warps in one block: one uniform, one divergent.
+        cfg = LaunchConfig(1, 64)
+        steps = np.concatenate([np.full(32, 50), np.full(32, 50)])
+        steps[32] = 100
+        rep = analyze_divergence(steps, cfg)
+        assert rep.warp_efficiency.shape == (2,)
+        assert rep.warp_efficiency[0] == 1.0
+        assert rep.warp_efficiency[1] < 1.0
+
+    def test_zero_step_warp(self):
+        cfg = LaunchConfig(1, 32)
+        rep = analyze_divergence(np.zeros(32), cfg)
+        assert rep.mean_efficiency == 1.0
+        assert rep.utilisation == 1.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            analyze_divergence(np.zeros(10), LaunchConfig(1, 32))
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_divergence(
+                np.full(32, -1), LaunchConfig(1, 32)
+            )
+
+
+class TestOnRealKernels:
+    def test_reversi_playouts_have_bounded_divergence(self):
+        """Random Reversi games differ in length by passes only, so
+        warp efficiency should be high (well above 0.5) from the
+        opening position."""
+        game = Reversi()
+        gpu = VirtualGpu(TESLA_C2050, Clock(), "reversi", seed=3)
+        cfg = LaunchConfig(4, 64)
+        # Re-run the kernel manually to get per-lane finish steps.
+        from repro.games.batch import run_playouts_tracked
+        from repro.rng import BatchXorShift128Plus
+
+        batch = gpu.batch_game.make_batch(
+            [game.initial_state()], cfg.total_threads
+        )
+        tracked = run_playouts_tracked(
+            gpu.batch_game, batch, BatchXorShift128Plus(256, 3)
+        )
+        rep = analyze_divergence(tracked.finish_steps, cfg)
+        assert 0.5 < rep.mean_efficiency <= 1.0
+        assert 0.5 < rep.utilisation <= 1.0

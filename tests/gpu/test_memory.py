@@ -1,0 +1,67 @@
+"""Tests for device memory accounting and the transfer model."""
+
+import pytest
+
+from repro.gpu import TESLA_C2050, DeviceMemory, DeviceMemoryError, transfer_time
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(TESLA_C2050)
+
+
+class TestAllocation:
+    def test_alloc_and_free(self, mem):
+        a = mem.alloc(1024, "results")
+        assert mem.bytes_in_use == 1024
+        mem.free(a)
+        assert mem.bytes_in_use == 0
+
+    def test_rejects_nonpositive(self, mem):
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc(0)
+
+    def test_out_of_memory(self, mem):
+        with pytest.raises(DeviceMemoryError, match="out of device memory"):
+            mem.alloc(TESLA_C2050.global_mem_bytes + 1)
+
+    def test_oom_after_partial_fill(self, mem):
+        mem.alloc(TESLA_C2050.global_mem_bytes - 100)
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc(200)
+
+    def test_double_free(self, mem):
+        a = mem.alloc(16)
+        mem.free(a)
+        with pytest.raises(DeviceMemoryError, match="double free"):
+            mem.free(a)
+
+    def test_live_allocations(self, mem):
+        a = mem.alloc(16, "a")
+        b = mem.alloc(32, "b")
+        labels = {x.label for x in mem.live_allocations()}
+        assert labels == {"a", "b"}
+        mem.free(a)
+        assert [x.label for x in mem.live_allocations()] == ["b"]
+
+    def test_bytes_free(self, mem):
+        mem.alloc(1000)
+        assert mem.bytes_free == TESLA_C2050.global_mem_bytes - 1000
+
+
+class TestTransferTime:
+    def test_zero_bytes_free_transfer(self):
+        assert transfer_time(TESLA_C2050, 0) == 0.0
+
+    def test_latency_floor(self):
+        assert transfer_time(TESLA_C2050, 1) >= TESLA_C2050.transfer_latency_s
+
+    def test_bandwidth_term(self):
+        one_gb = transfer_time(TESLA_C2050, 10**9)
+        assert one_gb == pytest.approx(
+            TESLA_C2050.transfer_latency_s + 10**9 / 5e9
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            transfer_time(TESLA_C2050, -1)

@@ -1,0 +1,95 @@
+"""Tests for asynchronous streams against the virtual clock."""
+
+import pytest
+
+from repro.gpu import Stream, StreamError
+from repro.util.clock import Clock
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def stream(clock):
+    return Stream(clock)
+
+
+class TestLaunch:
+    def test_launch_does_not_block_host(self, clock, stream):
+        stream.launch(1.0)
+        assert clock.now == 0.0  # host time unchanged
+
+    def test_event_completion_time(self, clock, stream):
+        ev = stream.launch(2.5)
+        assert ev.done_at == 2.5
+
+    def test_in_order_queueing(self, clock, stream):
+        stream.launch(1.0)
+        ev2 = stream.launch(1.0)
+        assert ev2.done_at == 2.0  # waits for the first kernel
+
+    def test_launch_after_idle_gap(self, clock, stream):
+        stream.launch(1.0)
+        clock.advance(5.0)
+        ev = stream.launch(1.0)
+        assert ev.done_at == 6.0  # starts now, not back-to-back
+
+    def test_negative_duration_rejected(self, stream):
+        with pytest.raises(StreamError):
+            stream.launch(-1.0)
+
+
+class TestQuerySync:
+    def test_query_before_and_after(self, clock, stream):
+        ev = stream.launch(1.0)
+        assert not stream.query(ev)
+        clock.advance(0.5)
+        assert not stream.query(ev)
+        clock.advance(0.6)
+        assert stream.query(ev)
+
+    def test_synchronize_advances_clock(self, clock, stream):
+        ev = stream.launch(3.0, payload="result")
+        assert stream.synchronize(ev) == "result"
+        assert clock.now == 3.0
+
+    def test_synchronize_after_completion_is_noop(self, clock, stream):
+        ev = stream.launch(1.0)
+        clock.advance(10.0)
+        stream.synchronize(ev)
+        assert clock.now == 10.0
+
+    def test_synchronize_all(self, clock, stream):
+        stream.launch(1.0)
+        stream.launch(2.0)
+        stream.synchronize_all()
+        assert clock.now == 3.0
+
+    def test_busy_and_pending(self, clock, stream):
+        assert not stream.busy
+        stream.launch(1.0)
+        stream.launch(1.0)
+        assert stream.busy
+        assert stream.pending == 2
+        clock.advance(1.5)
+        assert stream.pending == 1
+        clock.advance(1.0)
+        assert not stream.busy
+        assert stream.pending == 0
+
+
+class TestHybridPattern:
+    """The paper's Figure 4 control flow: CPU works while GPU runs."""
+
+    def test_cpu_work_overlaps_kernel(self, clock, stream):
+        ev = stream.launch(1.0, payload=42)
+        cpu_iterations = 0
+        while not stream.query(ev):
+            clock.advance(0.125)  # one CPU-side MCTS iteration
+            cpu_iterations += 1
+        assert cpu_iterations == 8  # exactly (0.125 is float-exact)
+        assert stream.synchronize(ev) == 42
+        # Total elapsed = kernel time, not kernel + CPU time.
+        assert clock.now == pytest.approx(1.0)

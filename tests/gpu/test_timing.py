@@ -1,0 +1,107 @@
+"""Tests for the kernel timing model -- the regimes of Figure 5."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import (
+    TESLA_C2050,
+    LaunchConfig,
+    kernel_time,
+    peak_playout_rate,
+    playout_kernel_spec,
+    sm_step_time,
+)
+
+KERNEL = playout_kernel_spec("reversi")
+
+
+class TestSmStepTime:
+    def test_latency_bound_floor(self):
+        # 1 warp cannot beat the latency floor.
+        t1 = sm_step_time(TESLA_C2050, KERNEL, 1)
+        t2 = sm_step_time(TESLA_C2050, KERNEL, 2)
+        assert t1 == t2  # both below the latency-hiding knee
+
+    def test_issue_bound_growth(self):
+        t8 = sm_step_time(TESLA_C2050, KERNEL, 8)
+        t16 = sm_step_time(TESLA_C2050, KERNEL, 16)
+        assert t16 == pytest.approx(2 * t8)
+
+    def test_rejects_zero_warps(self):
+        with pytest.raises(ValueError):
+            sm_step_time(TESLA_C2050, KERNEL, 0)
+
+
+class TestKernelTime:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            kernel_time(
+                TESLA_C2050, KERNEL, LaunchConfig(4, 32), np.ones(3)
+            )
+
+    def test_components_positive(self):
+        t = kernel_time(
+            TESLA_C2050,
+            KERNEL,
+            LaunchConfig(4, 32),
+            np.full(4, 60.0),
+            transfer_bytes=1024,
+        )
+        assert t.launch_s > 0
+        assert t.compute_s > 0
+        assert t.transfer_s > 0
+        assert t.total_s == t.launch_s + t.compute_s + t.transfer_s
+
+    def test_no_transfer(self):
+        t = kernel_time(
+            TESLA_C2050, KERNEL, LaunchConfig(1, 32), np.array([60.0])
+        )
+        assert t.transfer_s == 0.0
+
+    def test_longer_playouts_cost_more(self):
+        cfg = LaunchConfig(14, 64)
+        short = kernel_time(TESLA_C2050, KERNEL, cfg, np.full(14, 30.0))
+        long = kernel_time(TESLA_C2050, KERNEL, cfg, np.full(14, 90.0))
+        assert long.compute_s > short.compute_s
+
+
+class TestThroughputRegimes:
+    """The three regimes that shape the paper's Figure 5."""
+
+    def test_rate_rises_with_threads_before_saturation(self):
+        rates = [
+            peak_playout_rate(
+                TESLA_C2050, KERNEL, LaunchConfig(blocks, 64), 65.0
+            )
+            for blocks in (1, 4, 16, 64)
+        ]
+        assert rates == sorted(rates)
+        assert rates[-1] > 10 * rates[0]
+
+    def test_rate_saturates_past_device_capacity(self):
+        # Past full residency extra blocks serialise into waves:
+        # throughput stops improving (within a small tolerance).
+        r1 = peak_playout_rate(
+            TESLA_C2050, KERNEL, LaunchConfig(224, 64), 65.0
+        )
+        r2 = peak_playout_rate(
+            TESLA_C2050, KERNEL, LaunchConfig(448, 64), 65.0
+        )
+        assert r2 < r1 * 1.25
+
+    def test_calibrated_peak_envelope(self):
+        """The paper's Fig. 5 peaks at roughly 8.5e5 playouts/s for
+        leaf parallelism at 14336 threads; the calibrated model must
+        land in the same decade and ballpark (0.3x..3x)."""
+        rate = peak_playout_rate(
+            TESLA_C2050, KERNEL, LaunchConfig(224, 64), 65.0
+        )
+        assert 2.5e5 < rate < 2.5e6
+
+    def test_single_thread_is_terrible(self):
+        """A 1-thread launch must be far slower than a CPU core
+        (~1e4 playouts/s): SIMT latency without parallelism."""
+        rate = peak_playout_rate(
+            TESLA_C2050, KERNEL, LaunchConfig(1, 1), 65.0
+        )
+        assert rate < 1e3

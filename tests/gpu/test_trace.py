@@ -1,0 +1,81 @@
+"""Tests for execution tracing."""
+
+import io
+import json
+
+import pytest
+
+from repro.gpu.trace import Tracer, trace_hybrid_search
+
+
+class TestTracer:
+    def test_record_and_list(self):
+        tr = Tracer()
+        tr.record("k0", "gpu", 0.0, 1.0, lanes=64)
+        tr.record("k1", "gpu", 1.5, 2.0)
+        assert len(tr.events) == 2
+        assert tr.events[0].duration_s == 1.0
+        assert tr.events[0].args == {"lanes": 64}
+
+    def test_rejects_negative_span(self):
+        with pytest.raises(ValueError):
+            Tracer().record("bad", "gpu", 2.0, 1.0)
+
+    def test_track_busy_time_merges_overlaps(self):
+        tr = Tracer()
+        tr.record("a", "gpu", 0.0, 2.0)
+        tr.record("b", "gpu", 1.0, 3.0)  # overlaps a
+        tr.record("c", "gpu", 5.0, 6.0)
+        assert tr.track_busy_time("gpu") == pytest.approx(4.0)
+
+    def test_busy_time_empty_track(self):
+        assert Tracer().track_busy_time("gpu") == 0.0
+
+    def test_overlap_time(self):
+        tr = Tracer()
+        tr.record("k", "gpu", 0.0, 4.0)
+        tr.record("iter", "cpu", 1.0, 2.0)
+        tr.record("iter", "cpu", 3.0, 6.0)
+        assert tr.overlap_time("gpu", "cpu") == pytest.approx(2.0)
+
+    def test_chrome_export_shape(self):
+        tr = Tracer()
+        tr.record("k", "gpu", 0.0, 0.001)
+        tr.record("i", "cpu", 0.0, 0.0005)
+        events = tr.to_chrome_trace()
+        spans = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(spans) == 2
+        assert len(metas) == 2
+        assert spans[0]["dur"] == pytest.approx(1000.0)  # us
+
+    def test_dump_is_valid_json(self):
+        tr = Tracer()
+        tr.record("k", "gpu", 0.0, 1.0)
+        buf = io.StringIO()
+        tr.dump(buf)
+        data = json.loads(buf.getvalue())
+        assert "traceEvents" in data
+
+
+class TestTraceHybridSearch:
+    def test_captures_kernels_and_restores_stream(self):
+        from repro.core import HybridMcts
+        from repro.games import TicTacToe
+
+        game = TicTacToe()
+        engine = HybridMcts(
+            game, seed=1, blocks=2, threads_per_block=32
+        )
+        tracer = trace_hybrid_search(
+            engine, game.initial_state(), budget_s=0.003
+        )
+        # The instrumentation must not leave a shadowing attribute.
+        assert "launch" not in engine.gpu.stream.__dict__
+        gpu_events = [e for e in tracer.events if e.track == "gpu"]
+        assert len(gpu_events) >= 1
+        assert tracer.track_busy_time("gpu") > 0
+        # The whole search appears on the CPU track.
+        assert tracer.track_busy_time("cpu") >= tracer.track_busy_time(
+            "gpu"
+        ) - 1e-9

@@ -1,0 +1,70 @@
+"""Tests for harness plumbing: schemes, grids, tiers, registry."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, PAPER_THREAD_SWEEP, Scheme, run_experiment
+from repro.harness.common import resolve_tier
+
+
+class TestScheme:
+    def test_label(self):
+        assert Scheme("block", 32).label == "block(bs=32)"
+
+    def test_grid_exact_division(self):
+        assert Scheme("block", 64).grid_for(1024) == (16, 64)
+
+    def test_grid_partial_block(self):
+        assert Scheme("leaf", 64).grid_for(8) == (1, 8)
+
+    def test_grid_paper_sweep_always_valid(self):
+        for scheme_bs in (32, 64, 128):
+            scheme = Scheme("block", scheme_bs)
+            for threads in PAPER_THREAD_SWEEP:
+                blocks, tpb = scheme.grid_for(threads)
+                assert blocks * tpb == threads
+
+    def test_grid_rejects_nondivisible(self):
+        with pytest.raises(ValueError):
+            Scheme("block", 64).grid_for(96)
+
+    def test_grid_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Scheme("block", 64).grid_for(0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Scheme("warp", 32)
+
+
+class TestTier:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TIER", raising=False)
+        assert resolve_tier() == "default"
+
+    def test_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "quick")
+        assert resolve_tier() == "quick"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER", "quick")
+        assert resolve_tier("full") == "full"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_tier("turbo")
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        for fig in (
+            "fig5_speed",
+            "fig6_winratio",
+            "fig7_gpu_vs_cpus",
+            "fig8_hybrid",
+            "fig9_multigpu",
+        ):
+            assert fig in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig42")

@@ -1,0 +1,183 @@
+"""Integration tests: each experiment runs end-to-end on a tiny config
+and its output satisfies the paper's *structural* expectations (shape,
+labels, monotonicity where cheap to check)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    Fig5Config,
+    Fig6Config,
+    Fig7Config,
+    Fig8Config,
+    Fig9Config,
+    Scheme,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+from repro.harness.ablations import (
+    BlockSizeConfig,
+    UcbConfig,
+    VotePolicyConfig,
+    run_block_size_ablation,
+    run_seq_part_ablation,
+    run_ucb_ablation,
+    run_vote_policy_ablation,
+)
+
+
+class TestFig5:
+    def test_tiny_run(self):
+        cfg = Fig5Config(
+            thread_counts=(32, 256), iterations_per_point=2
+        )
+        res = run_fig5(cfg)
+        assert set(res.series) == {s.label for s in cfg.schemes}
+        for values in res.series.values():
+            assert len(values) == 2
+            assert all(v > 0 for v in values)
+
+    def test_throughput_rises_with_threads(self):
+        cfg = Fig5Config(
+            thread_counts=(32, 1024),
+            schemes=(Scheme("leaf", 64),),
+            iterations_per_point=2,
+        )
+        res = run_fig5(cfg)
+        lo, hi = res.series["leaf(bs=64)"]
+        assert hi > 5 * lo
+
+    def test_render_contains_all_points(self):
+        cfg = Fig5Config(thread_counts=(32,), iterations_per_point=1)
+        out = run_fig5(cfg).render()
+        assert "threads" in out and "leaf(bs=64)" in out
+
+
+TINY_STRENGTH = dict(games_per_point=2, move_budget_s=0.004)
+
+
+class TestFig6:
+    def test_tiny_run(self):
+        cfg = Fig6Config(
+            thread_counts=(32,),
+            schemes=(Scheme("block", 32),),
+            **TINY_STRENGTH,
+        )
+        res = run_fig6(cfg)
+        ratios = res.win_ratio["block(bs=32)"]
+        assert len(ratios) == 1
+        assert 0.0 <= ratios[0] <= 1.0
+        lo, hi = res.intervals["block(bs=32)"][0]
+        assert lo <= ratios[0] <= hi
+        assert "Figure 6" in res.render()
+
+
+class TestFig7:
+    def test_tiny_run(self):
+        cfg = Fig7Config(
+            cpu_counts=(2,),
+            gpu_blocks=2,
+            gpu_tpb=32,
+            games_per_point=2,
+            move_budget_s=0.004,
+        )
+        res = run_fig7(cfg)
+        assert set(res.series) == {"2 cpus", "1 GPU"}
+        for series in res.series.values():
+            assert series.shape == (60,)
+        finals = res.final_scores()
+        assert all(-64 <= v <= 64 for v in finals.values())
+        assert "Figure 7" in res.render()
+
+
+class TestFig8:
+    def test_tiny_run(self):
+        cfg = Fig8Config(
+            blocks=2, tpb=32, games_per_series=2, move_budget_s=0.004
+        )
+        res = run_fig8(cfg)
+        assert set(res.points) == {"GPU", "GPU + CPU"}
+        assert set(res.depth) == {"GPU", "GPU + CPU"}
+        # hybrid must reach at least the GPU-only depth on average
+        assert (
+            res.depth["GPU + CPU"].mean() >= res.depth["GPU"].mean()
+        )
+        assert "Figure 8" in res.render()
+
+
+class TestFig9:
+    def test_tiny_run(self):
+        cfg = Fig9Config(
+            gpu_counts=(1, 2),
+            blocks=2,
+            tpb=32,
+            games_per_point=2,
+            move_budget_s=0.004,
+            throughput_iterations=2,
+        )
+        res = run_fig9(cfg)
+        assert res.throughput[2] > res.throughput[1]
+        assert set(res.point_difference) == {1, 2}
+        assert "Figure 9" in res.render()
+
+
+class TestGeneralization:
+    def test_tiny_run(self):
+        from repro.harness.generalization import (
+            GeneralizationConfig,
+            run_generalization,
+        )
+
+        cfg = GeneralizationConfig(
+            games=("tictactoe",),
+            blocks=2,
+            tpb=32,
+            games_per_point=2,
+            move_budget_s=0.003,
+        )
+        res = run_generalization(cfg)
+        assert set(res.win_ratio) == {
+            ("tictactoe", "block"),
+            ("tictactoe", "leaf"),
+        }
+        assert "Generalization" in res.render()
+
+
+class TestAblations:
+    def test_block_size(self):
+        cfg = BlockSizeConfig(
+            total_threads=64,
+            block_sizes=(32, 64),
+            games_per_point=2,
+            move_budget_s=0.004,
+        )
+        res = run_block_size_ablation(cfg)
+        assert set(res.win_ratio) == {32, 64}
+        assert "block size" in res.render()
+
+    def test_seq_part_monotone(self):
+        res = run_seq_part_ablation(block_counts=(1, 16, 112))
+        assert res.seq_fraction[0] < res.seq_fraction[1]
+        assert res.seq_fraction[1] <= res.seq_fraction[2] + 1e-9
+        assert "sequential" in res.render()
+
+    def test_vote_policy(self):
+        cfg = VotePolicyConfig(
+            policies=("max_visits",),
+            blocks=2,
+            tpb=32,
+            games_per_point=2,
+            move_budget_s=0.004,
+        )
+        res = run_vote_policy_ablation(cfg)
+        assert set(res.win_ratio) == {"max_visits"}
+
+    def test_ucb(self):
+        cfg = UcbConfig(
+            c_values=(1.0,), games_per_point=2, move_budget_s=0.004
+        )
+        res = run_ucb_ablation(cfg)
+        assert set(res.win_ratio) == {1.0}

@@ -1,0 +1,51 @@
+"""Tests for the Fig7 'GPU equivalent CPUs' headline metric."""
+
+import math
+
+import numpy as np
+
+from repro.harness.fig7_gpu_vs_cpus import Fig7Config, Fig7Result
+
+
+def result_with_finals(finals):
+    cfg = Fig7Config(cpu_counts=(2, 8, 32), games_per_point=1)
+    res = Fig7Result(config=cfg)
+    for label, score in finals.items():
+        series = np.zeros(cfg.steps)
+        series[-1] = score
+        res.series[label] = series
+    return res
+
+
+class TestGpuEquivalentCpus:
+    def test_gpu_above_all_cpus(self):
+        res = result_with_finals(
+            {"2 cpus": 2.0, "8 cpus": 6.0, "32 cpus": 12.0, "1 GPU": 15.0}
+        )
+        assert res.gpu_equivalent_cpus() == float("inf")
+
+    def test_gpu_below_all_cpus(self):
+        res = result_with_finals(
+            {"2 cpus": 2.0, "8 cpus": 6.0, "32 cpus": 12.0, "1 GPU": 1.0}
+        )
+        assert res.gpu_equivalent_cpus() == 2.0
+
+    def test_interpolation_midpoint(self):
+        res = result_with_finals(
+            {"2 cpus": 0.0, "8 cpus": 10.0, "32 cpus": 20.0, "1 GPU": 5.0}
+        )
+        # halfway between 2 and 8 in log space = sqrt(16) = 4
+        assert res.gpu_equivalent_cpus() == pytest_approx(4.0)
+
+    def test_exact_match_on_a_point(self):
+        res = result_with_finals(
+            {"2 cpus": 0.0, "8 cpus": 10.0, "32 cpus": 20.0, "1 GPU": 10.0}
+        )
+        eq = res.gpu_equivalent_cpus()
+        assert math.isclose(eq, 8.0, rel_tol=1e-6)
+
+
+def pytest_approx(x, rel=1e-6):
+    import pytest
+
+    return pytest.approx(x, rel=rel)

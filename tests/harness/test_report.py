@@ -1,0 +1,44 @@
+"""Tests for EXPERIMENTS.md generation."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS
+from repro.harness.report import PAPER_CLAIMS, generate_experiments_md
+
+
+class TestPaperClaims:
+    def test_every_experiment_has_a_claim(self):
+        missing = set(EXPERIMENTS) - set(PAPER_CLAIMS)
+        assert not missing, f"claims missing for: {missing}"
+
+
+class TestGenerate:
+    def test_single_cheap_experiment(self, tmp_path):
+        out = tmp_path / "EXP.md"
+        text = generate_experiments_md(
+            tier="quick",
+            path=out,
+            names=["abl_sequential_part"],
+        )
+        assert out.exists()
+        content = out.read_text()
+        assert content == text
+        assert "# EXPERIMENTS" in content
+        assert "## abl_sequential_part" in content
+        assert "**Paper:**" in content
+        assert "```" in content
+        assert "sequential" in content
+
+    def test_divergence_experiment(self, tmp_path):
+        out = tmp_path / "EXP.md"
+        generate_experiments_md(
+            tier="quick", path=out, names=["abl_divergence"]
+        )
+        content = out.read_text()
+        assert "warp efficiency" in content
+
+    def test_bad_tier(self, tmp_path):
+        with pytest.raises(ValueError):
+            generate_experiments_md(
+                tier="warp9", path=tmp_path / "x.md"
+            )

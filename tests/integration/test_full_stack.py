@@ -1,0 +1,66 @@
+"""End-to-end integration: full Reversi games through the whole stack.
+
+These are the slowest tests in the suite (tens of seconds total); they
+exercise engines + virtual GPU + arena + metrics together on the
+paper's actual domain.
+"""
+
+import pytest
+
+from repro.arena import play_match
+from repro.core import BlockParallelMcts, HybridMcts, SequentialMcts
+from repro.games import Reversi
+from repro.players import GreedyPlayer, MctsPlayer, RandomPlayer
+
+GAME = Reversi()
+
+
+class TestRealGames:
+    def test_block_parallel_beats_random_soundly(self):
+        def gpu(seed):
+            return MctsPlayer(
+                GAME,
+                BlockParallelMcts(
+                    GAME, seed, blocks=4, threads_per_block=32
+                ),
+                move_budget_s=0.004,
+            )
+
+        def rand(seed):
+            return RandomPlayer(GAME, seed)
+
+        res = play_match(GAME, gpu, rand, 2, seed=17)
+        assert res.wins == 2
+        assert res.mean_final_score > 10
+
+    def test_sequential_mcts_beats_greedy(self):
+        def mcts(seed):
+            return MctsPlayer(
+                GAME, SequentialMcts(GAME, seed), move_budget_s=0.006
+            )
+
+        def greedy(seed):
+            return GreedyPlayer(GAME, seed)
+
+        res = play_match(GAME, mcts, greedy, 2, seed=19)
+        assert res.wins + res.draws >= 1  # greedy must not dominate
+
+    def test_game_record_telemetry_full_game(self):
+        def hybrid(seed):
+            return MctsPlayer(
+                GAME,
+                HybridMcts(GAME, seed, blocks=2, threads_per_block=32),
+                move_budget_s=0.003,
+            )
+
+        def rand(seed):
+            return RandomPlayer(GAME, seed)
+
+        res = play_match(GAME, hybrid, rand, 1, seed=23)
+        rec = res.records[0]
+        assert rec.length >= 55
+        hybrid_moves = [m for m in rec.moves if m.player == 1]
+        assert all(m.simulations > 0 for m in hybrid_moves)
+        assert max(m.max_depth for m in hybrid_moves) >= 1
+        # score series is internally consistent
+        assert rec.moves[-1].score_after == rec.final_score

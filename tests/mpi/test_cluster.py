@@ -1,0 +1,122 @@
+"""Tests for the simulated MPI cluster."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiCluster, TSUBAME_IB
+from repro.mpi.cluster import MpiError
+
+
+@pytest.fixture
+def cluster():
+    return MpiCluster(4, TSUBAME_IB, seed=1)
+
+
+class TestConstruction:
+    def test_rejects_zero_size(self):
+        with pytest.raises(MpiError):
+            MpiCluster(0, TSUBAME_IB)
+
+    def test_rank_contexts_have_distinct_seeds(self, cluster):
+        seeds = cluster.run_on_ranks(lambda ctx: ctx.seed)
+        assert len(set(seeds)) == 4
+
+    def test_rank_ids(self, cluster):
+        ranks = cluster.run_on_ranks(lambda ctx: (ctx.rank, ctx.size))
+        assert ranks == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+class TestRankLocalTime:
+    def test_ranks_charge_independently(self, cluster):
+        def work(ctx):
+            ctx.clock.advance(float(ctx.rank))
+            return ctx.clock.now
+
+        times = cluster.run_on_ranks(work)
+        assert times == [0.0, 1.0, 2.0, 3.0]
+
+    def test_barrier_aligns_to_slowest(self, cluster):
+        cluster.run_on_ranks(lambda ctx: ctx.clock.advance(ctx.rank * 1.0))
+        done = cluster.barrier()
+        assert done >= 3.0
+        assert all(c.now == done for c in cluster.clocks)
+
+
+class TestCollectives:
+    def test_bcast_copies_value(self, cluster):
+        out = cluster.bcast({"state": 42}, root=0)
+        assert len(out) == 4
+        assert all(v == {"state": 42} for v in out)
+
+    def test_bcast_charges_time(self, cluster):
+        cluster.bcast(np.zeros(1000), root=0)
+        assert all(c.now > 0 for c in cluster.clocks)
+
+    def test_reduce_sum(self, cluster):
+        out = cluster.reduce([1, 2, 3, 4], op="sum")
+        assert out == 10
+
+    def test_reduce_arrays(self, cluster):
+        values = [np.full(3, r) for r in range(4)]
+        out = cluster.reduce(values, op="sum")
+        np.testing.assert_array_equal(out, [6, 6, 6])
+
+    def test_reduce_max_min(self, cluster):
+        assert cluster.reduce([5, 2, 9, 1], op="max") == 9
+        assert cluster.reduce([5, 2, 9, 1], op="min") == 1
+
+    def test_reduce_wrong_count(self, cluster):
+        with pytest.raises(MpiError, match="one value per rank"):
+            cluster.reduce([1, 2], op="sum")
+
+    def test_reduce_unknown_op(self, cluster):
+        with pytest.raises(MpiError, match="unknown reduce op"):
+            cluster.reduce([1, 2, 3, 4], op="xor")
+
+    def test_allreduce_gives_everyone_result(self, cluster):
+        out = cluster.allreduce([1, 1, 1, 1], op="sum")
+        assert out == [4, 4, 4, 4]
+
+    def test_allreduce_costs_more_than_reduce(self):
+        a = MpiCluster(8, TSUBAME_IB)
+        b = MpiCluster(8, TSUBAME_IB)
+        a.reduce([np.zeros(100)] * 8, op="sum")
+        b.allreduce([np.zeros(100)] * 8, op="sum")
+        assert b.elapsed > a.elapsed
+
+    def test_gather(self, cluster):
+        out = cluster.gather(["a", "b", "c", "d"], root=2)
+        assert out == ["a", "b", "c", "d"]
+
+    def test_bad_root(self, cluster):
+        with pytest.raises(MpiError, match="out of range"):
+            cluster.bcast(1, root=7)
+
+    def test_collective_waits_for_slowest_rank(self, cluster):
+        cluster.clocks[2].advance(10.0)
+        cluster.bcast(1, root=0)
+        assert all(c.now >= 10.0 for c in cluster.clocks)
+
+
+class TestPointToPoint:
+    def test_send_advances_receiver(self, cluster):
+        cluster.clocks[0].advance(1.0)
+        value = cluster.send(0, 1, b"x" * 100)
+        assert value == b"x" * 100
+        assert cluster.clocks[1].now >= 1.0
+
+    def test_send_to_self_rejected(self, cluster):
+        with pytest.raises(MpiError, match="cannot send to itself"):
+            cluster.send(1, 1, b"x")
+
+
+class TestScaling:
+    def test_collective_cost_grows_logarithmically(self):
+        elapsed = []
+        for size in (2, 4, 16):
+            c = MpiCluster(size, TSUBAME_IB)
+            c.bcast(np.zeros(1000))
+            elapsed.append(c.elapsed)
+        assert elapsed[0] < elapsed[1] < elapsed[2]
+        # 16 ranks is 4 rounds vs 1 round for 2 ranks: exactly 4x here.
+        assert elapsed[2] == pytest.approx(4 * elapsed[0])

@@ -1,0 +1,73 @@
+"""Tests for scatter/allgather/alltoall."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiCluster, TSUBAME_IB
+from repro.mpi.cluster import MpiError
+
+
+@pytest.fixture
+def cluster():
+    return MpiCluster(4, TSUBAME_IB, seed=2)
+
+
+class TestScatter:
+    def test_distributes_values(self, cluster):
+        out = cluster.scatter([10, 20, 30, 40], root=0)
+        assert out == [10, 20, 30, 40]
+
+    def test_wrong_count(self, cluster):
+        with pytest.raises(MpiError, match="one value per rank"):
+            cluster.scatter([1, 2], root=0)
+
+    def test_charges_time(self, cluster):
+        cluster.scatter([np.zeros(100)] * 4)
+        assert all(c.now > 0 for c in cluster.clocks)
+
+
+class TestAllgather:
+    def test_everyone_gets_everything(self, cluster):
+        out = cluster.allgather(["a", "b", "c", "d"])
+        assert len(out) == 4
+        for inbox in out:
+            assert inbox == ["a", "b", "c", "d"]
+
+    def test_wrong_count(self, cluster):
+        with pytest.raises(MpiError):
+            cluster.allgather([1])
+
+    def test_costs_more_than_gather(self):
+        a = MpiCluster(8, TSUBAME_IB)
+        b = MpiCluster(8, TSUBAME_IB)
+        values = [np.zeros(1000)] * 8
+        a.gather(values)
+        b.allgather(values)
+        assert b.elapsed > a.elapsed
+
+
+class TestAlltoall:
+    def test_transpose_semantics(self, cluster):
+        matrix = [
+            [f"{src}->{dst}" for dst in range(4)] for src in range(4)
+        ]
+        inboxes = cluster.alltoall(matrix)
+        for dst in range(4):
+            assert inboxes[dst] == [f"{src}->{dst}" for src in range(4)]
+
+    def test_bad_shape(self, cluster):
+        with pytest.raises(MpiError, match="matrix"):
+            cluster.alltoall([[1, 2], [3, 4]])
+
+    def test_single_rank_is_free(self):
+        c = MpiCluster(1, TSUBAME_IB)
+        out = c.alltoall([["x"]])
+        assert out == [["x"]]
+        assert c.elapsed == 0.0
+
+    def test_cost_scales_with_ranks(self):
+        small = MpiCluster(2, TSUBAME_IB)
+        large = MpiCluster(8, TSUBAME_IB)
+        small.alltoall([[0] * 2 for _ in range(2)])
+        large.alltoall([[0] * 8 for _ in range(8)])
+        assert large.elapsed > small.elapsed

@@ -1,0 +1,49 @@
+"""Tests for the alpha-beta network model."""
+
+import pytest
+
+from repro.mpi import TSUBAME_IB, NetworkModel
+
+
+class TestMessageTime:
+    def test_latency_floor(self):
+        assert TSUBAME_IB.message_time(0) == TSUBAME_IB.alpha_s
+
+    def test_bandwidth_term(self):
+        t = TSUBAME_IB.message_time(3 * 10**9)
+        assert t == pytest.approx(TSUBAME_IB.alpha_s + 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TSUBAME_IB.message_time(-1)
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            NetworkModel(name="bad", alpha_s=-1, beta_s_per_byte=0)
+
+
+class TestCollectives:
+    def test_single_rank_is_free(self):
+        assert TSUBAME_IB.tree_collective_time(100, 1) == 0.0
+
+    def test_log_rounds(self):
+        msg = TSUBAME_IB.message_time(64)
+        assert TSUBAME_IB.tree_collective_time(64, 2) == pytest.approx(msg)
+        assert TSUBAME_IB.tree_collective_time(64, 4) == pytest.approx(
+            2 * msg
+        )
+        assert TSUBAME_IB.tree_collective_time(64, 5) == pytest.approx(
+            3 * msg
+        )
+        assert TSUBAME_IB.tree_collective_time(64, 32) == pytest.approx(
+            5 * msg
+        )
+
+    def test_allreduce_is_double(self):
+        assert TSUBAME_IB.allreduce_time(64, 8) == pytest.approx(
+            2 * TSUBAME_IB.tree_collective_time(64, 8)
+        )
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            TSUBAME_IB.tree_collective_time(64, 0)

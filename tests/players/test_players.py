@@ -1,0 +1,88 @@
+"""Tests for the player wrappers."""
+
+import pytest
+
+from repro.core import SequentialMcts
+from repro.games import Reversi, TicTacToe
+from repro.players import GreedyPlayer, MctsPlayer, RandomPlayer
+
+
+class TestRandomPlayer:
+    def test_moves_are_legal(self):
+        game = TicTacToe()
+        player = RandomPlayer(game, seed=1)
+        s = game.initial_state()
+        for _ in range(20):
+            info = player.choose(s)
+            assert info.move in game.legal_moves(s)
+
+    def test_terminal_raises(self):
+        game = TicTacToe()
+        s = game.initial_state()
+        for m in (0, 3, 1, 4, 2):
+            s = game.apply(s, m)
+        with pytest.raises(ValueError):
+            RandomPlayer(game, seed=1).choose(s)
+
+    def test_deterministic(self):
+        game = TicTacToe()
+        s = game.initial_state()
+        a = [RandomPlayer(game, seed=7).choose(s).move for _ in range(1)]
+        b = [RandomPlayer(game, seed=7).choose(s).move for _ in range(1)]
+        assert a == b
+
+
+class TestGreedyPlayer:
+    def test_takes_max_flips_in_reversi(self):
+        game = Reversi()
+        s = game.initial_state()
+        # All four openings flip exactly one disc; after any move, the
+        # reply flipping most discs is greedy's pick.
+        s = game.apply(s, 2 * 8 + 3)
+        player = GreedyPlayer(game, seed=1)
+        info = player.choose(s)
+        mover = game.to_move(s)
+        best = max(
+            game.legal_moves(s),
+            key=lambda m: game.score(game.apply(s, m)) * mover,
+        )
+        chosen_score = game.score(game.apply(s, info.move)) * mover
+        assert chosen_score == game.score(game.apply(s, best)) * mover
+
+    def test_wins_immediately_in_tictactoe(self):
+        game = TicTacToe()
+        s = game.initial_state()
+        for m in (0, 3, 1, 4):
+            s = game.apply(s, m)
+        # X to move, 2 completes the top row: score jumps to +1.
+        info = GreedyPlayer(game, seed=1).choose(s)
+        assert info.move == 2
+
+
+class TestMctsPlayer:
+    def test_wraps_engine_telemetry(self):
+        game = TicTacToe()
+        engine = SequentialMcts(game, seed=1)
+        player = MctsPlayer(game, engine, move_budget_s=0.002)
+        info = player.choose(game.initial_state())
+        assert info.move in range(9)
+        assert info.simulations > 0
+        assert info.max_depth >= 1
+        assert player.name == "sequential"
+
+    def test_rejects_bad_budget(self):
+        game = TicTacToe()
+        engine = SequentialMcts(game, seed=1)
+        with pytest.raises(ValueError):
+            MctsPlayer(game, engine, move_budget_s=0.0)
+
+    def test_rejects_mismatched_game(self):
+        engine = SequentialMcts(TicTacToe(), seed=1)
+        with pytest.raises(ValueError, match="different game"):
+            MctsPlayer(Reversi(), engine, move_budget_s=0.01)
+
+    def test_custom_name(self):
+        game = TicTacToe()
+        engine = SequentialMcts(game, seed=1)
+        player = MctsPlayer(game, engine, 0.01, name="cpu-1")
+        assert player.name == "cpu-1"

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "fig5_speed"])
+        assert args.name == "fig5_speed"
+        assert args.tier is None
+
+
+class TestCommands:
+    def test_experiments_lists_all_figures(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig5_speed", "fig6_winratio", "fig9_multigpu"):
+            assert fig in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "tesla_c2050" in out
+        assert "14 SMs" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            main(["run", "fig42"])
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "abl_sequential_part"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out
+        assert "took" in out
+
+    def test_play_tictactoe(self, capsys):
+        code = main(
+            [
+                "play",
+                "--game",
+                "tictactoe",
+                "--opponent",
+                "random",
+                "--blocks",
+                "2",
+                "--tpb",
+                "32",
+                "--budget",
+                "0.002",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "wins" in out or "draw" in out
