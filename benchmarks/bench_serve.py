@@ -1,0 +1,193 @@
+"""Serving bench: batched multi-tenant search vs back-to-back searches.
+
+The tentpole claim of the serving layer, measured end-to-end: a
+64-request mixed workload (three games, six engine specs, varied
+budgets) served concurrently over a shared 4-GPU pool must complete
+
+* deterministically -- the same seed produces identical per-request
+  results across runs,
+* with zero deadline misses at the default deadline, and
+* at >= 2x the requests/s of the same 64 searches run back-to-back on
+  a single device.
+
+A load sweep (offered loads 1..256) reports requests/s and p50/p95
+latency at each point.  Run standalone with
+``python benchmarks/bench_serve.py``; under pytest the quick tier
+scales budgets down (REPRO_TIER=default restores the full budgets).
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.harness.common import resolve_tier
+from repro.serve import SearchService, WorkloadConfig, make_workload
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    n_requests: int = 64
+    loads: tuple[int, ...] = (1, 4, 16, 64, 256)
+    budget_scale: float = 1.0
+    n_devices: int = 4
+    max_active: int = 64
+    deadline_s: float = 2.0
+    seed: int = 2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "ServeBenchConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return ServeBenchConfig(
+                budget_scale=0.25, loads=(1, 16, 64, 256)
+            )
+        if tier == "full":
+            return ServeBenchConfig(
+                loads=(1, 4, 16, 64, 128, 256), budget_scale=2.0
+            )
+        return ServeBenchConfig()
+
+
+def run_concurrent(cfg: ServeBenchConfig, n_requests: int | None = None):
+    """Serve ``n_requests`` concurrently over the shared pool."""
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=n_requests or cfg.n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=cfg.deadline_s,
+        )
+    )
+    service = SearchService(
+        n_devices=cfg.n_devices,
+        max_active=cfg.max_active,
+        seed=cfg.seed,
+    )
+    service.submit_all(workload)
+    records = service.run()
+    return records, service.report()
+
+
+def run_serial_baseline(cfg: ServeBenchConfig):
+    """The same workload, one request at a time on one device."""
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=cfg.n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=None,
+        )
+    )
+    service = SearchService(
+        n_devices=1,
+        max_active=1,
+        seed=cfg.seed,
+        enforce_deadlines=False,
+    )
+    service.submit_all(workload)
+    records = service.run()
+    return records, service.report()
+
+
+def fingerprint(records):
+    """Per-request identity of a run, for determinism checks."""
+    return [
+        (
+            r.request.request_id,
+            r.status,
+            r.latency_s,
+            None if r.result is None else r.result.move,
+            None if r.result is None else r.result.simulations,
+        )
+        for r in records
+    ]
+
+
+def run_load_sweep(cfg: ServeBenchConfig):
+    """Offered load -> ServiceReport, over ``cfg.loads``."""
+    return {
+        load: run_concurrent(cfg, n_requests=load)[1]
+        for load in cfg.loads
+    }
+
+
+def render_sweep(reports) -> str:
+    from repro.util.tables import format_series
+
+    loads = sorted(reports)
+    return format_series(
+        "offered load",
+        loads,
+        {
+            "requests/s": [
+                f"{reports[n].requests_per_s:.1f}" for n in loads
+            ],
+            "p50 latency (ms)": [
+                f"{reports[n].p50_latency_s * 1e3:.2f}" for n in loads
+            ],
+            "p95 latency (ms)": [
+                f"{reports[n].p95_latency_s * 1e3:.2f}" for n in loads
+            ],
+            "missed": [str(reports[n].missed) for n in loads],
+        },
+        title="serving load sweep (mixed workload, shared 4-GPU pool)",
+    )
+
+
+def test_serve_64_deterministic_no_misses(run_once):
+    cfg = ServeBenchConfig.for_tier()
+    records, report = run_once(run_concurrent, cfg)
+    again, _ = run_concurrent(cfg)
+    assert fingerprint(records) == fingerprint(again)
+    assert report.completed == cfg.n_requests
+    assert report.missed == 0
+    assert report.rejected == 0
+
+
+def test_serve_speedup_vs_serial_baseline(run_once):
+    cfg = ServeBenchConfig.for_tier()
+
+    def compare():
+        _, concurrent = run_concurrent(cfg)
+        _, serial = run_serial_baseline(cfg)
+        return concurrent, serial
+
+    concurrent, serial = run_once(compare)
+    print()
+    print("concurrent (4 devices, 64 active slots):")
+    print(concurrent.render())
+    print()
+    print("serial baseline (1 device, 1 active slot):")
+    print(serial.render())
+    assert concurrent.completed == serial.completed == cfg.n_requests
+    assert concurrent.missed == 0
+    speedup = concurrent.requests_per_s / serial.requests_per_s
+    print(f"\nspeedup: {speedup:.2f}x requests/s")
+    assert speedup >= 2.0
+
+
+def test_serve_load_sweep(run_once):
+    cfg = ServeBenchConfig.for_tier()
+    reports = run_once(run_load_sweep, cfg)
+    print()
+    print(render_sweep(reports))
+    assert set(reports) == set(cfg.loads)
+    for report in reports.values():
+        assert report.completed + report.missed + report.rejected == (
+            report.offered
+        )
+        assert report.p95_latency_s >= report.p50_latency_s
+
+
+if __name__ == "__main__":  # pragma: no cover
+    cfg = replace(ServeBenchConfig.for_tier(), loads=(1, 4, 16, 64, 256))
+    _, concurrent = run_concurrent(cfg)
+    _, serial = run_serial_baseline(cfg)
+    print("concurrent:")
+    print(concurrent.render())
+    print("\nserial baseline:")
+    print(serial.render())
+    print(
+        f"\nspeedup: "
+        f"{concurrent.requests_per_s / serial.requests_per_s:.2f}x"
+    )
+    print()
+    print(render_sweep(run_load_sweep(cfg)))

@@ -9,19 +9,17 @@ inventory and EXPERIMENTS.md for paper-vs-measured results.
 
 Quick start::
 
-    from repro.core import BlockParallelMcts
-    from repro.games import Reversi
+    from repro import make_engine, make_game
 
-    game = Reversi()
-    engine = BlockParallelMcts(
-        game, seed=42, blocks=16, threads_per_block=32
-    )
+    game = make_game("reversi")
+    engine = make_engine("block:16x32", game, seed=42)
     result = engine.search(game.initial_state(), budget_s=0.05)
     print(result.move, result.simulations)
 """
 
 from repro.core import (
     BlockParallelMcts,
+    EngineSpec,
     HybridMcts,
     LeafParallelMcts,
     MultiGpuMcts,
@@ -29,15 +27,20 @@ from repro.core import (
     SearchResult,
     SequentialMcts,
     TreeParallelMcts,
+    engine_kinds,
+    make_engine,
 )
 from repro.games import make_batch_game, make_game
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     "make_game",
     "make_batch_game",
+    "make_engine",
+    "EngineSpec",
+    "engine_kinds",
     "SearchResult",
     "SequentialMcts",
     "LeafParallelMcts",

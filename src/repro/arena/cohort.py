@@ -13,6 +13,11 @@ given the full cohort configuration.
 GPU-backed players (leaf/block/hybrid/multi-GPU engines) do not join
 the merge; their playouts already run as wide kernels and are executed
 directly when their game's turn comes.
+
+The generator-merging machinery itself lives in
+:mod:`repro.serve.scheduler` -- the serving layer generalised it into
+a tick-based multi-tenant scheduler, and the cohort driver is now one
+client of it.
 """
 
 from __future__ import annotations
@@ -20,10 +25,11 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.arena.match import GameRecord, MoveRecord
-from repro.core.base import Engine, PlayoutBatch, PlayoutResults
 from repro.games.base import Game
 from repro.players.base import Player
 from repro.players.mcts import MctsPlayer
+from repro.serve.scheduler import drive_generators
+from repro.serve.service import supports_search_steps
 
 
 def _cohort_generator(player: Player, state):
@@ -31,45 +37,19 @@ def _cohort_generator(player: Player, state):
     if not isinstance(player, MctsPlayer):
         return None
     engine = player.engine
-    if type(engine).search_steps is Engine.search_steps:
+    if not supports_search_steps(engine):
         return None  # not overridden: the engine cannot be merged
     return engine.search_steps(state, player.move_budget_s)
 
 
 def drive_merged(
     generators: dict[int, object],
-    executor: Callable[[PlayoutBatch], PlayoutResults],
+    executor: Callable,
 ) -> dict[int, object]:
     """Drive several search generators to completion, merging their
     playout requests into shared executor calls.  Returns each key's
-    SearchResult."""
-    results: dict[int, object] = {}
-    pending: dict[int, object] = {}
-    requests: dict[int, list] = {}
-    for key, gen in generators.items():
-        try:
-            requests[key] = list(next(gen))
-            pending[key] = gen
-        except StopIteration as stop:  # zero-iteration search (unused)
-            results[key] = stop.value
-    while pending:
-        order = list(pending)
-        flat: list = []
-        offsets: dict[int, tuple[int, int]] = {}
-        for key in order:
-            start = len(flat)
-            flat.extend(requests[key])
-            offsets[key] = (start, len(flat))
-        answers = executor(flat) if flat else []
-        for key in order:
-            lo, hi = offsets[key]
-            try:
-                requests[key] = list(pending[key].send(answers[lo:hi]))
-            except StopIteration as stop:
-                results[key] = stop.value
-                del pending[key]
-                del requests[key]
-    return results
+    SearchResult.  (Delegates to the serving layer's scheduler.)"""
+    return drive_generators(generators, executor)
 
 
 def play_games_cohort(

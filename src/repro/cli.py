@@ -4,8 +4,9 @@
 
     python -m repro experiments                 # list experiment ids
     python -m repro run fig5_speed --tier quick # run one, print table
-    python -m repro play --blocks 16 --tpb 32   # GPU MCTS vs greedy
+    python -m repro play --engine block:16x32   # GPU MCTS vs greedy
     python -m repro devices                     # virtual device specs
+    python -m repro serve-bench --requests 64   # batched service bench
 """
 
 from __future__ import annotations
@@ -35,30 +36,38 @@ def _cmd_run(args) -> int:
 
 def _cmd_play(args) -> int:
     from repro.arena import play_game
-    from repro.core import BlockParallelMcts
+    from repro.core import make_engine
     from repro.games import make_game
     from repro.players import GreedyPlayer, MctsPlayer, RandomPlayer
 
     game = make_game(args.game)
+    spec = args.engine or f"block:{args.blocks}x{args.tpb}"
     mcts = MctsPlayer(
         game,
-        BlockParallelMcts(
-            game,
-            args.seed,
-            blocks=args.blocks,
-            threads_per_block=args.tpb,
-        ),
+        make_engine(spec, game, args.seed),
         move_budget_s=args.budget,
-        name="gpu-mcts",
+        name=spec,
     )
-    opp_cls = GreedyPlayer if args.opponent == "greedy" else RandomPlayer
-    opponent = opp_cls(game, args.seed + 1)
+    if args.opponent_engine:
+        opp_name = args.opponent_engine
+        opponent = MctsPlayer(
+            game,
+            make_engine(args.opponent_engine, game, args.seed + 1),
+            move_budget_s=args.budget,
+            name=opp_name,
+        )
+    else:
+        opp_name = args.opponent
+        opp_cls = (
+            GreedyPlayer if args.opponent == "greedy" else RandomPlayer
+        )
+        opponent = opp_cls(game, args.seed + 1)
     record = play_game(game, mcts, opponent)
     state = game.initial_state()
     for move in record.moves:
         state = game.apply(state, move.move)
     print(game.render(state))
-    outcome = {1: "MCTS wins", -1: f"{args.opponent} wins", 0: "draw"}
+    outcome = {1: f"{spec} wins", -1: f"{opp_name} wins", 0: "draw"}
     print(
         f"\n{outcome[record.winner]} "
         f"(score {record.final_score:+d}, {record.length} plies)"
@@ -67,15 +76,65 @@ def _cmd_play(args) -> int:
 
 
 def _cmd_devices(_args) -> int:
-    from repro.gpu.device import _REGISTRY
+    from repro.gpu import list_devices
 
-    for name, spec in sorted(_REGISTRY.items()):
+    for spec in list_devices():
         print(
-            f"{name}: {spec.sm_count} SMs x {spec.max_threads_per_sm} "
+            f"{spec.name}: {spec.sm_count} SMs x "
+            f"{spec.max_threads_per_sm} "
             f"threads @ {spec.clock_hz / 1e9:.2f} GHz, "
             f"{spec.global_mem_bytes // 1024**2} MiB"
         )
     return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.gpu.trace import Tracer
+    from repro.serve import SearchService, WorkloadConfig, make_workload
+
+    tracer = Tracer() if args.trace_out else None
+    t0 = time.perf_counter()
+    for load in args.loads:
+        workload = make_workload(
+            WorkloadConfig(
+                n_requests=load,
+                seed=args.seed,
+                budget_scale=args.budget_scale,
+                deadline_s=args.deadline,
+            )
+        )
+        service = SearchService(
+            n_devices=args.devices,
+            max_active=args.max_active,
+            seed=args.seed,
+            tracer=tracer,
+        )
+        service.submit_all(workload)
+        service.run()
+        print(f"--- offered load: {load} requests ---")
+        print(service.report().render())
+        print()
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fp:
+            tracer.dump(fp)
+        print(f"trace written to {args.trace_out}")
+    print(f"[serve-bench took {time.perf_counter() - t0:.1f}s wall]")
+    return 0
+
+
+def _load_list(text: str) -> tuple[int, ...]:
+    """Parse ``--loads``: comma-separated positive request counts."""
+    try:
+        loads = tuple(int(x) for x in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not loads or any(n <= 0 for n in loads):
+        raise argparse.ArgumentTypeError(
+            f"loads must be positive integers, got {text!r}"
+        )
+    return loads
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,9 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     play = sub.add_parser(
-        "play", help="play one game: block-parallel MCTS vs a baseline"
+        "play", help="play one game: an engine spec vs a baseline"
     )
     play.add_argument("--game", default="reversi")
+    play.add_argument(
+        "--engine",
+        default=None,
+        help=(
+            "engine spec, e.g. block:16x32, root:64, sequential "
+            "(default: block:BLOCKSxTPB)"
+        ),
+    )
+    play.add_argument(
+        "--opponent-engine",
+        default=None,
+        help="engine spec for the opponent (overrides --opponent)",
+    )
     play.add_argument(
         "--opponent", choices=("greedy", "random"), default="greedy"
     )
@@ -115,6 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "devices", help="list virtual device specs"
     ).set_defaults(func=_cmd_devices)
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="load-generate the batched search service, print metrics",
+    )
+    bench.add_argument(
+        "--loads",
+        type=_load_list,
+        default=(64,),
+        help="comma-separated offered loads (requests per run)",
+    )
+    bench.add_argument("--devices", type=int, default=4)
+    bench.add_argument("--max-active", type=int, default=64)
+    bench.add_argument("--budget-scale", type=float, default=1.0)
+    bench.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="relative per-request deadline in virtual seconds",
+    )
+    bench.add_argument("--seed", type=int, default=2011)
+    bench.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace JSON of the run to this path",
+    )
+    bench.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -32,11 +32,23 @@ from repro.core.policy import MAX_RATIO, MAX_VISITS, MAX_WINS, select_move
 from repro.core.results import SearchResult
 from repro.core.root_parallel import RootParallelMcts
 from repro.core.sequential import SequentialMcts
+from repro.core.spec import (
+    EngineKind,
+    EngineSpec,
+    engine_kinds,
+    make_engine,
+    register_engine,
+)
 from repro.core.tree import Node, SearchTree, aggregate_stats
 from repro.core.tree_parallel import TreeParallelMcts
 
 __all__ = [
     "Engine",
+    "EngineKind",
+    "EngineSpec",
+    "engine_kinds",
+    "make_engine",
+    "register_engine",
     "SearchResult",
     "SearchTree",
     "Node",

@@ -1,0 +1,238 @@
+"""Declarative engine specifications and the engine factory.
+
+An :class:`EngineSpec` names an engine *kind* plus its grid/shape
+parameters, and can be written three ways::
+
+    make_engine("block:16x32", game, seed=1)          # string
+    make_engine({"kind": "root", "n_trees": 64,       # dict
+                 "vote": "majority"}, game, seed=1)
+    make_engine(EngineSpec("sequential"), game, seed=1)
+
+The string grammar is ``kind[:AxBxC]`` -- the colon suffix holds the
+kind's positional integers joined with ``x`` (``block:16x32`` is 16
+blocks of 32 threads).  Dict specs take the same positional parameters
+by name plus any keyword the engine constructor accepts (``ucb_c``,
+``vote``, ``device`` as a registered device name, ...).
+
+Construction through a spec is *exactly equivalent* to calling the
+engine class directly: same constructor arguments, same RNG streams,
+same :class:`~repro.core.results.SearchResult` for the same seed and
+budget.  The serving layer (:mod:`repro.serve`) and the CLI construct
+every engine through this factory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.base import Engine
+from repro.core.block_parallel import BlockParallelMcts
+from repro.core.hybrid import HybridMcts
+from repro.core.leaf_parallel import LeafParallelMcts
+from repro.core.multigpu import MultiGpuMcts
+from repro.core.root_parallel import RootParallelMcts
+from repro.core.sequential import SequentialMcts
+from repro.core.tree_parallel import TreeParallelMcts
+from repro.games.base import Game
+
+
+@dataclass(frozen=True)
+class EngineKind:
+    """One registered engine family: class + positional grammar."""
+
+    name: str
+    cls: type
+    #: Names of the ``x``-separated integers in the string form, in
+    #: order (empty for kinds like ``sequential`` that take none).
+    positional: tuple[str, ...]
+    #: A canonical example spec string, used in docs and error text.
+    example: str
+
+
+_KINDS: dict[str, EngineKind] = {}
+
+
+def register_engine(
+    name: str,
+    cls: type,
+    positional: tuple[str, ...] = (),
+    example: str | None = None,
+) -> EngineKind:
+    """Register an engine kind so specs can name it.
+
+    Extension point: downstream code can register its own engine class
+    and immediately construct it through :func:`make_engine`, the CLI
+    ``--engine`` flag, and the serving layer.
+    """
+    if not issubclass(cls, Engine):
+        raise TypeError(f"{cls.__name__} is not an Engine subclass")
+    kind = EngineKind(
+        name=name,
+        cls=cls,
+        positional=tuple(positional),
+        example=example
+        or (name if not positional else f"{name}:" + "x".join("8" * len(positional))),
+    )
+    _KINDS[name] = kind
+    return kind
+
+
+def engine_kinds() -> tuple[EngineKind, ...]:
+    """All registered engine kinds, sorted by name."""
+    return tuple(_KINDS[k] for k in sorted(_KINDS))
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A parsed, buildable engine description."""
+
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown engine kind {self.kind!r}; "
+                f"available: {sorted(_KINDS)}"
+            )
+
+    @staticmethod
+    def parse(text: str) -> "EngineSpec":
+        """Parse the string form (``"block:16x32"``)."""
+        if not isinstance(text, str) or not text.strip():
+            raise ValueError(f"empty engine spec: {text!r}")
+        kind_token, sep, arg_token = text.strip().partition(":")
+        kind = _KINDS.get(kind_token)
+        if kind is None:
+            raise ValueError(
+                f"unknown engine kind {kind_token!r} in spec {text!r}; "
+                f"available: {sorted(_KINDS)}"
+            )
+        if not sep:
+            if kind.positional:
+                raise ValueError(
+                    f"engine spec {text!r} is missing its parameters; "
+                    f"expected e.g. {kind.example!r}"
+                )
+            return EngineSpec(kind.name)
+        tokens = arg_token.split("x")
+        if len(tokens) != len(kind.positional):
+            raise ValueError(
+                f"engine spec {text!r} has {len(tokens)} parameter(s) "
+                f"in {arg_token!r}; {kind.name} takes "
+                f"{len(kind.positional)} "
+                f"({' x '.join(kind.positional) or 'none'}), "
+                f"e.g. {kind.example!r}"
+            )
+        params: dict[str, object] = {}
+        for pname, token in zip(kind.positional, tokens):
+            try:
+                params[pname] = int(token)
+            except ValueError:
+                raise ValueError(
+                    f"invalid integer {token!r} for {pname} in engine "
+                    f"spec {text!r}"
+                ) from None
+        return EngineSpec(kind.name, params)
+
+    @staticmethod
+    def coerce(spec: "EngineSpec | str | Mapping") -> "EngineSpec":
+        """Accept a spec in any supported form."""
+        if isinstance(spec, EngineSpec):
+            return spec
+        if isinstance(spec, str):
+            return EngineSpec.parse(spec)
+        if isinstance(spec, Mapping):
+            if "kind" not in spec:
+                raise ValueError(
+                    f"dict engine spec needs a 'kind' key: {dict(spec)!r}"
+                )
+            params = {k: v for k, v in spec.items() if k != "kind"}
+            return EngineSpec(str(spec["kind"]), params)
+        raise ValueError(
+            f"engine spec must be a string, dict or EngineSpec, "
+            f"got {type(spec).__name__}: {spec!r}"
+        )
+
+    def to_string(self) -> str:
+        """Canonical string form (positional parameters only).
+
+        Raises ``ValueError`` if the spec holds keyword parameters the
+        string grammar cannot carry.
+        """
+        kind = _KINDS[self.kind]
+        extra = set(self.params) - set(kind.positional)
+        if extra:
+            raise ValueError(
+                f"spec has non-positional parameters {sorted(extra)}; "
+                "only dict form can express them"
+            )
+        if not kind.positional:
+            return self.kind
+        missing = [p for p in kind.positional if p not in self.params]
+        if missing:
+            raise ValueError(
+                f"spec is missing positional parameters {missing}"
+            )
+        return self.kind + ":" + "x".join(
+            str(self.params[p]) for p in kind.positional
+        )
+
+    def build(self, game: Game, seed: int, **overrides) -> Engine:
+        """Construct the engine (``overrides`` win over spec params)."""
+        kind = _KINDS[self.kind]
+        kwargs = _resolve_params(self.params)
+        kwargs.update(overrides)
+        return kind.cls(game, seed, **kwargs)
+
+
+def _resolve_params(params: Mapping[str, object]) -> dict:
+    """Turn serialisable spec values into constructor arguments."""
+    out = dict(params)
+    device = out.get("device")
+    if isinstance(device, str):
+        from repro.gpu.device import get_device_spec
+
+        out["device"] = get_device_spec(device)
+    cost_model = out.get("cost_model")
+    if isinstance(cost_model, str):
+        from repro.cpu.costmodel import cpu_cost_model
+
+        out["cost_model"] = cpu_cost_model(cost_model)
+    return out
+
+
+def make_engine(
+    spec: EngineSpec | str | Mapping,
+    game: Game,
+    seed: int,
+    **overrides,
+) -> Engine:
+    """Build an engine from a declarative spec.
+
+    Equivalent to constructing the engine class directly with the same
+    arguments -- byte-for-byte identical search results for the same
+    seed and budget.
+    """
+    return EngineSpec.coerce(spec).build(game, seed, **overrides)
+
+
+register_engine("sequential", SequentialMcts, (), "sequential")
+register_engine(
+    "leaf", LeafParallelMcts, ("blocks", "threads_per_block"), "leaf:2x64"
+)
+register_engine(
+    "block", BlockParallelMcts, ("blocks", "threads_per_block"), "block:16x32"
+)
+register_engine(
+    "hybrid", HybridMcts, ("blocks", "threads_per_block"), "hybrid:16x32"
+)
+register_engine("root", RootParallelMcts, ("n_trees",), "root:64")
+register_engine("tree", TreeParallelMcts, ("n_workers",), "tree:8")
+register_engine(
+    "multigpu",
+    MultiGpuMcts,
+    ("n_gpus", "blocks", "threads_per_block"),
+    "multigpu:4x112x64",
+)

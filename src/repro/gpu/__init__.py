@@ -19,8 +19,11 @@ from repro.gpu.device import (
     TOY_DEVICE,
     DeviceSpec,
     get_device_spec,
+    list_devices,
+    register_device,
 )
 from repro.gpu.divergence import DivergenceReport, analyze_divergence
+from repro.gpu.lease import DeviceLease, DevicePool, PoolError
 from repro.gpu.kernel import (
     KernelSpec,
     LaunchConfig,
@@ -39,6 +42,11 @@ __all__ = [
     "GTX_580",
     "TOY_DEVICE",
     "get_device_spec",
+    "list_devices",
+    "register_device",
+    "DevicePool",
+    "DeviceLease",
+    "PoolError",
     "KernelSpec",
     "LaunchConfig",
     "playout_kernel_spec",

@@ -101,3 +101,18 @@ def get_device_spec(name: str) -> DeviceSpec:
         raise ValueError(
             f"unknown device {name!r}; available: {sorted(_REGISTRY)}"
         ) from None
+
+
+def list_devices() -> tuple[DeviceSpec, ...]:
+    """All registered device specs, sorted by name.
+
+    The public accessor for device enumeration -- callers must not
+    reach into the private registry.
+    """
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def register_device(spec: DeviceSpec) -> DeviceSpec:
+    """Add (or replace) a device spec in the registry."""
+    _REGISTRY[spec.name] = spec
+    return spec

@@ -1,0 +1,202 @@
+"""Shared-device pool: placement, leases and utilisation accounting.
+
+The serving layer (:mod:`repro.serve`) multiplexes many concurrent
+searches over a fixed set of virtual GPUs.  A :class:`DevicePool` owns
+one in-order :class:`~repro.gpu.stream.Stream` per device against a
+shared clock and hands out work placements:
+
+* :meth:`DevicePool.launch` enqueues one modelled kernel on the least
+  loaded device (earliest ``busy_until``) and returns a
+  :class:`DeviceLease` -- the accounting record tying the span to the
+  request that caused it.
+* Every launch is recorded as a span on the pool's
+  :class:`~repro.gpu.trace.Tracer` (track ``gpu<i>``), so a service
+  run exports directly to the Chrome trace viewer and utilisation is
+  just busy-time over elapsed-time per track.
+
+The pool does not execute playouts itself -- callers compute results
+and modelled durations (see :mod:`repro.serve.scheduler`) and the pool
+decides *where* and *when* the work runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.gpu.device import DeviceSpec
+from repro.gpu.stream import Event, Stream
+from repro.gpu.trace import Tracer
+from repro.util.clock import Clock
+
+
+class PoolError(RuntimeError):
+    """Raised on invalid pool use (empty pool, foreign lease, ...)."""
+
+
+@dataclass(frozen=True)
+class DeviceLease:
+    """One placed piece of work: who runs what on which device."""
+
+    device_id: int
+    spec: DeviceSpec
+    holder: str
+    start_s: float
+    event: Event
+
+    @property
+    def end_s(self) -> float:
+        return self.event.done_at
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class _DeviceSlot:
+    """Mutable per-device bookkeeping."""
+
+    device_id: int
+    spec: DeviceSpec
+    stream: Stream
+    busy_s: float = 0.0
+    launches: int = 0
+
+    @property
+    def busy_until(self) -> float:
+        return self.stream._busy_until
+
+
+class DevicePool:
+    """A fixed set of virtual GPUs shared by many requests."""
+
+    def __init__(
+        self,
+        specs: Sequence[DeviceSpec],
+        clock: Clock,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if not specs:
+            raise PoolError("device pool needs at least one device")
+        self.clock = clock
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._slots = [
+            _DeviceSlot(i, spec, Stream(clock))
+            for i, spec in enumerate(specs)
+        ]
+        self._leases: list[DeviceLease] = []
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def specs(self) -> tuple[DeviceSpec, ...]:
+        return tuple(slot.spec for slot in self._slots)
+
+    @property
+    def leases(self) -> tuple[DeviceLease, ...]:
+        """Every placement made so far, in launch order."""
+        return tuple(self._leases)
+
+    def track(self, device_id: int) -> str:
+        """Tracer track name for one device."""
+        return f"gpu{device_id}"
+
+    def least_busy(self) -> int:
+        """Device id whose stream frees up first (ties: lowest id)."""
+        return min(
+            self._slots, key=lambda s: (s.busy_until, s.device_id)
+        ).device_id
+
+    def spec_of(self, device_id: int) -> DeviceSpec:
+        return self._slot(device_id).spec
+
+    def _slot(self, device_id: int) -> _DeviceSlot:
+        try:
+            return self._slots[device_id]
+        except IndexError:
+            raise PoolError(
+                f"no device {device_id} in a pool of {len(self)}"
+            ) from None
+
+    def launch(
+        self,
+        holder: str,
+        duration_s: float,
+        device_id: int | None = None,
+        label: str = "kernel",
+        **trace_args,
+    ) -> DeviceLease:
+        """Enqueue ``duration_s`` of device work for ``holder``.
+
+        Placed on ``device_id`` if given, otherwise on the least busy
+        device.  The kernel starts when that device's stream is free;
+        the host is not blocked (synchronise via ``lease.event``).
+        """
+        if device_id is None:
+            device_id = self.least_busy()
+        slot = self._slot(device_id)
+        start = max(self.clock.now, slot.busy_until)
+        event = slot.stream.launch(duration_s)
+        slot.busy_s += duration_s
+        slot.launches += 1
+        lease = DeviceLease(
+            device_id=slot.device_id,
+            spec=slot.spec,
+            holder=holder,
+            start_s=start,
+            event=event,
+        )
+        self._leases.append(lease)
+        self.tracer.record(
+            label,
+            self.track(slot.device_id),
+            start,
+            event.done_at,
+            holder=holder,
+            **trace_args,
+        )
+        return lease
+
+    def synchronize(self, lease: DeviceLease) -> None:
+        """Block the host (advance the clock) until the lease's work
+        completes."""
+        self._slot(lease.device_id).stream.synchronize(lease.event)
+
+    def complete(self, lease: DeviceLease) -> bool:
+        """Has the lease's work finished at the current time?"""
+        return self._slot(lease.device_id).stream.query(lease.event)
+
+    def next_completion(self) -> float | None:
+        """Earliest future completion across all devices, or ``None``
+        if every stream is idle."""
+        pending = [
+            slot.busy_until
+            for slot in self._slots
+            if slot.busy_until > self.clock.now
+        ]
+        return min(pending) if pending else None
+
+    # -- accounting --------------------------------------------------------
+
+    def busy_seconds(self, device_id: int) -> float:
+        return self._slot(device_id).busy_s
+
+    def launches(self, device_id: int) -> int:
+        return self._slot(device_id).launches
+
+    def utilization(self, elapsed_s: float | None = None) -> dict[str, float]:
+        """Busy fraction per device track over ``elapsed_s`` (defaults
+        to the clock's current time)."""
+        horizon = self.clock.now if elapsed_s is None else elapsed_s
+        out = {}
+        for slot in self._slots:
+            track = self.track(slot.device_id)
+            if horizon <= 0:
+                out[track] = 0.0
+            else:
+                out[track] = min(
+                    1.0, self.tracer.track_busy_time(track) / horizon
+                )
+        return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arena.cohort import play_games_cohort
-from repro.core import BlockParallelMcts, SequentialMcts
+from repro.core import make_engine
 from repro.core.base import batch_executor
 from repro.core.policy import MAX_RATIO, MAX_VISITS, MAX_WINS
 from repro.games import Reversi
@@ -89,19 +89,21 @@ def run_block_size_ablation(
     for bs in cfg.block_sizes:
         blocks = max(1, cfg.total_threads // bs)
         for g in range(cfg.games_per_point):
+            tpb = min(bs, cfg.total_threads)
             subj = MctsPlayer(
                 game,
-                BlockParallelMcts(
+                make_engine(
+                    f"block:{blocks}x{tpb}",
                     game,
                     derive_seed(cfg.seed, bs, g, "s"),
-                    blocks=blocks,
-                    threads_per_block=min(bs, cfg.total_threads),
                 ),
                 cfg.move_budget_s,
             )
             opp = MctsPlayer(
                 game,
-                SequentialMcts(game, derive_seed(cfg.seed, bs, g, "o")),
+                make_engine(
+                    "sequential", game, derive_seed(cfg.seed, bs, g, "o")
+                ),
                 cfg.move_budget_s,
             )
             colour = 1 if g % 2 == 0 else -1
@@ -303,19 +305,20 @@ def run_vote_policy_ablation(
         for g in range(cfg.games_per_point):
             subj = MctsPlayer(
                 game,
-                BlockParallelMcts(
+                make_engine(
+                    f"block:{cfg.blocks}x{cfg.tpb}",
                     game,
                     derive_seed(cfg.seed, policy, g, "s"),
-                    blocks=cfg.blocks,
-                    threads_per_block=cfg.tpb,
                     **engine_kwargs,
                 ),
                 cfg.move_budget_s,
             )
             opp = MctsPlayer(
                 game,
-                SequentialMcts(
-                    game, derive_seed(cfg.seed, policy, g, "o")
+                make_engine(
+                    "sequential",
+                    game,
+                    derive_seed(cfg.seed, policy, g, "o"),
                 ),
                 cfg.move_budget_s,
             )
@@ -391,15 +394,21 @@ def run_ucb_ablation(config: UcbConfig | None = None) -> UcbResult:
         for g in range(cfg.games_per_point):
             subj = MctsPlayer(
                 game,
-                SequentialMcts(
-                    game, derive_seed(cfg.seed, str(c), g, "s"), ucb_c=c
+                make_engine(
+                    "sequential",
+                    game,
+                    derive_seed(cfg.seed, str(c), g, "s"),
+                    ucb_c=c,
                 ),
                 cfg.move_budget_s,
             )
             opp = MctsPlayer(
                 game,
-                SequentialMcts(
-                    game, derive_seed(cfg.seed, str(c), g, "o"), ucb_c=1.0
+                make_engine(
+                    "sequential",
+                    game,
+                    derive_seed(cfg.seed, str(c), g, "o"),
+                    ucb_c=1.0,
                 ),
                 cfg.move_budget_s,
             )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core import BlockParallelMcts, LeafParallelMcts
+from repro.core import make_engine
 from repro.games import Reversi
 from repro.gpu import TESLA_C2050, DeviceSpec
 from repro.harness.common import (
@@ -67,12 +67,10 @@ class Fig5Result:
 
 def _engine_for(scheme: Scheme, threads: int, cfg: Fig5Config):
     blocks, tpb = scheme.grid_for(threads)
-    cls = LeafParallelMcts if scheme.kind == "leaf" else BlockParallelMcts
-    return cls(
+    return make_engine(
+        f"{scheme.kind}:{blocks}x{tpb}",
         Reversi(),
         derive_seed(cfg.seed, scheme.label, threads),
-        blocks=blocks,
-        threads_per_block=tpb,
         device=cfg.device,
         max_iterations=cfg.iterations_per_point,
     )

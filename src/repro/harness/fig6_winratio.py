@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.arena.cohort import play_games_cohort
 from repro.arena.metrics import wilson_interval
-from repro.core import BlockParallelMcts, LeafParallelMcts, SequentialMcts
+from repro.core import make_engine
 from repro.core.base import batch_executor
 from repro.games import Reversi
 from repro.gpu import TESLA_C2050, DeviceSpec
@@ -89,9 +89,8 @@ def _gpu_player(
 ) -> MctsPlayer:
     game = Reversi()
     blocks, tpb = scheme.grid_for(threads)
-    cls = LeafParallelMcts if scheme.kind == "leaf" else BlockParallelMcts
-    engine = cls(
-        game, seed, blocks=blocks, threads_per_block=tpb, device=cfg.device
+    engine = make_engine(
+        f"{scheme.kind}:{blocks}x{tpb}", game, seed, device=cfg.device
     )
     return MctsPlayer(game, engine, cfg.move_budget_s, name=scheme.label)
 
@@ -99,7 +98,10 @@ def _gpu_player(
 def _cpu_player(seed: int, cfg: Fig6Config) -> MctsPlayer:
     game = Reversi()
     return MctsPlayer(
-        game, SequentialMcts(game, seed), cfg.move_budget_s, name="cpu-1"
+        game,
+        make_engine("sequential", game, seed),
+        cfg.move_budget_s,
+        name="cpu-1",
     )
 
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.arena.cohort import play_games_cohort
 from repro.arena.metrics import mean_score_series
-from repro.core import BlockParallelMcts, RootParallelMcts, SequentialMcts
+from repro.core import make_engine
 from repro.core.base import batch_executor
 from repro.games import Reversi
 from repro.gpu import TESLA_C2050, DeviceSpec
@@ -135,7 +135,7 @@ def run_fig7(config: Fig7Config | None = None) -> Fig7Result:
     def cpu_subject(n_cpus: int, seed: int) -> MctsPlayer:
         return MctsPlayer(
             game,
-            RootParallelMcts(game, seed, n_trees=n_cpus),
+            make_engine(f"root:{n_cpus}", game, seed),
             cfg.move_budget_s,
             name=f"{n_cpus} cpus",
         )
@@ -143,11 +143,10 @@ def run_fig7(config: Fig7Config | None = None) -> Fig7Result:
     def gpu_subject(seed: int) -> MctsPlayer:
         return MctsPlayer(
             game,
-            BlockParallelMcts(
+            make_engine(
+                f"block:{cfg.gpu_blocks}x{cfg.gpu_tpb}",
                 game,
                 seed,
-                blocks=cfg.gpu_blocks,
-                threads_per_block=cfg.gpu_tpb,
                 device=cfg.device,
             ),
             cfg.move_budget_s,
@@ -156,7 +155,7 @@ def run_fig7(config: Fig7Config | None = None) -> Fig7Result:
 
     def opponent(seed: int) -> MctsPlayer:
         return MctsPlayer(
-            game, SequentialMcts(game, seed), cfg.move_budget_s
+            game, make_engine("sequential", game, seed), cfg.move_budget_s
         )
 
     subjects: list[tuple[str, object]] = [

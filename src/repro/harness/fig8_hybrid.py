@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.arena.cohort import play_games_cohort
 from repro.arena.metrics import mean_depth_series, mean_score_series
-from repro.core import BlockParallelMcts, HybridMcts, SequentialMcts
+from repro.core import make_engine
 from repro.core.base import batch_executor
 from repro.games import Reversi
 from repro.gpu import TESLA_C2050, DeviceSpec
@@ -91,14 +91,13 @@ def run_fig8(config: Fig8Config | None = None) -> Fig8Result:
     game = Reversi()
 
     def subject(kind: str, seed: int) -> MctsPlayer:
-        cls = HybridMcts if kind == "GPU + CPU" else BlockParallelMcts
+        family = "hybrid" if kind == "GPU + CPU" else "block"
         return MctsPlayer(
             game,
-            cls(
+            make_engine(
+                f"{family}:{cfg.blocks}x{cfg.tpb}",
                 game,
                 seed,
-                blocks=cfg.blocks,
-                threads_per_block=cfg.tpb,
                 device=cfg.device,
             ),
             cfg.move_budget_s,
@@ -107,7 +106,7 @@ def run_fig8(config: Fig8Config | None = None) -> Fig8Result:
 
     def opponent(seed: int) -> MctsPlayer:
         return MctsPlayer(
-            game, SequentialMcts(game, seed), cfg.move_budget_s
+            game, make_engine("sequential", game, seed), cfg.move_budget_s
         )
 
     matchups = []

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arena.cohort import play_games_cohort
-from repro.core import MultiGpuMcts, SequentialMcts
+from repro.core import make_engine
 from repro.core.base import batch_executor
 from repro.games import Reversi
 from repro.gpu import TESLA_C2050, DeviceSpec
@@ -89,12 +89,10 @@ class Fig9Result:
 
 
 def _multigpu_engine(n_gpus: int, seed: int, cfg: Fig9Config):
-    return MultiGpuMcts(
+    return make_engine(
+        f"multigpu:{n_gpus}x{cfg.blocks}x{cfg.tpb}",
         Reversi(),
         seed,
-        n_gpus=n_gpus,
-        blocks=cfg.blocks,
-        threads_per_block=cfg.tpb,
         device=cfg.device,
         network=cfg.network,
     )
@@ -132,8 +130,10 @@ def run_fig9(config: Fig9Config | None = None) -> Fig9Result:
             )
             opp = MctsPlayer(
                 game,
-                SequentialMcts(
-                    game, derive_seed(cfg.seed, "game", n, g, "o")
+                make_engine(
+                    "sequential",
+                    game,
+                    derive_seed(cfg.seed, "game", n, g, "o"),
                 ),
                 cfg.move_budget_s,
             )

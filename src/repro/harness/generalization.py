@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.arena.cohort import play_games_cohort
 from repro.arena.metrics import wilson_interval
-from repro.core import BlockParallelMcts, LeafParallelMcts, SequentialMcts
+from repro.core import make_engine
 from repro.core.base import batch_executor
 from repro.games import make_game
 from repro.gpu import TESLA_C2050, DeviceSpec
@@ -87,25 +87,22 @@ def run_generalization(
     for game_name in cfg.games:
         game = make_game(game_name)
         matchups, keys = [], []
-        for scheme, cls in (
-            ("block", BlockParallelMcts),
-            ("leaf", LeafParallelMcts),
-        ):
+        for scheme in ("block", "leaf"):
             for g in range(cfg.games_per_point):
                 subj = MctsPlayer(
                     game,
-                    cls(
+                    make_engine(
+                        f"{scheme}:{cfg.blocks}x{cfg.tpb}",
                         game,
                         derive_seed(cfg.seed, game_name, scheme, g, "s"),
-                        blocks=cfg.blocks,
-                        threads_per_block=cfg.tpb,
                         device=cfg.device,
                     ),
                     cfg.move_budget_s,
                 )
                 opp = MctsPlayer(
                     game,
-                    SequentialMcts(
+                    make_engine(
+                        "sequential",
                         game,
                         derive_seed(cfg.seed, game_name, scheme, g, "o"),
                     ),

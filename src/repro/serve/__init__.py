@@ -1,0 +1,83 @@
+"""Batched multi-tenant search serving.
+
+The ROADMAP's "serve heavy traffic" layer: many concurrent search
+requests (mixed games, engines, budgets, deadlines) multiplexed over a
+shared pool of virtual GPUs.  CPU-engine requests run as
+``search_steps`` generators whose playout demand is merged each tick
+into wide vectorised kernel launches -- the serving-scale
+generalisation of the paper's block-parallel idea that one wide SIMT
+device should be fed from many independent trees.
+
+Entry points::
+
+    from repro.serve import SearchRequest, SearchService
+
+    service = SearchService(n_devices=4, max_active=64)
+    service.submit(SearchRequest(
+        request_id="r0", game="reversi", engine="root:8",
+        budget_s=0.004, seed=1, deadline_s=1.0,
+    ))
+    records = service.run()
+    print(service.report().render())
+
+See docs/serving.md for the scheduler design, deadline semantics and
+metric definitions.
+"""
+
+from repro.serve.metrics import ServiceReport, percentile, summarize
+from repro.serve.request import (
+    COMPLETED,
+    MISSED,
+    PENDING,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL_STATUSES,
+    RequestRecord,
+    SearchRequest,
+)
+from repro.serve.scheduler import (
+    GeneratorPool,
+    LaneBatcher,
+    drive_generators,
+    launch_config_for,
+)
+from repro.serve.service import (
+    SearchService,
+    ServiceError,
+    serve,
+    supports_search_steps,
+)
+from repro.serve.workload import (
+    MIXED_ENGINES,
+    MIXED_GAMES,
+    WorkloadConfig,
+    make_workload,
+)
+
+__all__ = [
+    "SearchRequest",
+    "RequestRecord",
+    "SearchService",
+    "ServiceError",
+    "ServiceReport",
+    "serve",
+    "summarize",
+    "percentile",
+    "supports_search_steps",
+    "GeneratorPool",
+    "LaneBatcher",
+    "drive_generators",
+    "launch_config_for",
+    "WorkloadConfig",
+    "make_workload",
+    "MIXED_ENGINES",
+    "MIXED_GAMES",
+    "PENDING",
+    "QUEUED",
+    "RUNNING",
+    "COMPLETED",
+    "REJECTED",
+    "MISSED",
+    "TERMINAL_STATUSES",
+]

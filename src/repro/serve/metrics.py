@@ -1,0 +1,119 @@
+"""Service-level metrics: latency percentiles, throughput, utilisation.
+
+Latencies are virtual seconds on the service clock, from request
+arrival to completion (queue wait included).  Percentiles use the
+nearest-rank method so reports are deterministic and exactly
+reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.serve.request import (
+    COMPLETED,
+    MISSED,
+    REJECTED,
+    RequestRecord,
+)
+from repro.util.tables import format_series
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100]: {q}")
+    ordered = sorted(values)
+    rank = max(1, -(-int(q * len(ordered)) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class ServiceReport:
+    """Aggregated outcome of one service run."""
+
+    offered: int
+    completed: int
+    rejected: int
+    missed: int
+    elapsed_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    mean_latency_s: float
+    p95_queue_wait_s: float
+    kernel_launches: int
+    mean_lanes_per_launch: float
+    #: Track name ("gpu0", ...) -> busy fraction over the run.
+    device_utilization: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def requests_per_s(self) -> float:
+        """Completed searches per virtual second."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed / self.elapsed_s
+
+    def render(self) -> str:
+        rows = {
+            "offered requests": [str(self.offered)],
+            "completed": [str(self.completed)],
+            "rejected (queue full)": [str(self.rejected)],
+            "deadline missed": [str(self.missed)],
+            "virtual elapsed (s)": [f"{self.elapsed_s:.4f}"],
+            "requests/s": [f"{self.requests_per_s:.1f}"],
+            "latency p50 (ms)": [f"{self.p50_latency_s * 1e3:.2f}"],
+            "latency p95 (ms)": [f"{self.p95_latency_s * 1e3:.2f}"],
+            "latency mean (ms)": [f"{self.mean_latency_s * 1e3:.2f}"],
+            "queue wait p95 (ms)": [
+                f"{self.p95_queue_wait_s * 1e3:.2f}"
+            ],
+            "kernel launches": [str(self.kernel_launches)],
+            "mean lanes/launch": [f"{self.mean_lanes_per_launch:.1f}"],
+        }
+        for track in sorted(self.device_utilization):
+            rows[f"{track} utilisation"] = [
+                f"{self.device_utilization[track] * 100:.0f}%"
+            ]
+        return format_series(
+            "metric",
+            list(rows),
+            {"value": [v[0] for v in rows.values()]},
+            title="service run",
+        )
+
+
+def summarize(
+    records: Sequence[RequestRecord],
+    elapsed_s: float,
+    kernel_launches: int = 0,
+    mean_lanes_per_launch: float = 0.0,
+    device_utilization: dict[str, float] | None = None,
+) -> ServiceReport:
+    """Fold a run's request records into a :class:`ServiceReport`."""
+    latencies = [
+        r.latency_s for r in records if r.status == COMPLETED
+    ]
+    waits = [
+        r.queue_wait_s
+        for r in records
+        if r.status == COMPLETED and r.queue_wait_s is not None
+    ]
+    return ServiceReport(
+        offered=len(records),
+        completed=len(latencies),
+        rejected=sum(1 for r in records if r.status == REJECTED),
+        missed=sum(1 for r in records if r.status == MISSED),
+        elapsed_s=elapsed_s,
+        p50_latency_s=percentile(latencies, 50) if latencies else 0.0,
+        p95_latency_s=percentile(latencies, 95) if latencies else 0.0,
+        mean_latency_s=(
+            sum(latencies) / len(latencies) if latencies else 0.0
+        ),
+        p95_queue_wait_s=percentile(waits, 95) if waits else 0.0,
+        kernel_launches=kernel_launches,
+        mean_lanes_per_launch=mean_lanes_per_launch,
+        device_utilization=dict(device_utilization or {}),
+    )

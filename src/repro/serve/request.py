@@ -1,0 +1,105 @@
+"""Search requests and their lifecycle records.
+
+A :class:`SearchRequest` is the unit of admission into the service:
+one game position to search, with a declarative engine spec, a search
+budget (virtual seconds on the request's own engine clock) and an
+optional completion deadline (virtual seconds on the *service* clock,
+relative to arrival).  A :class:`RequestRecord` tracks the request
+through `PENDING -> RUNNING -> COMPLETED` (or `QUEUED`, `REJECTED`,
+`MISSED`) and holds the latency accounting the service reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.results import SearchResult
+from repro.core.spec import EngineSpec
+from repro.games.base import GameState
+
+#: Lifecycle states of a request inside the service.
+PENDING = "pending"      # submitted, not yet examined
+QUEUED = "queued"        # admitted into the bounded wait queue
+RUNNING = "running"      # holds an active slot, search in progress
+COMPLETED = "completed"  # search finished inside its deadline
+REJECTED = "rejected"    # bounded queue was full at arrival
+MISSED = "missed"        # deadline passed before the search finished
+
+TERMINAL_STATUSES = frozenset({COMPLETED, REJECTED, MISSED})
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One tenant's search: position + engine spec + budget + deadline.
+
+    ``deadline_s`` is *relative to arrival* on the service clock; the
+    engine's ``budget_s`` is charged on the request's private engine
+    clock.  A request whose deadline elapses before its search
+    completes is cancelled and reported as ``missed``.
+    """
+
+    request_id: str
+    game: str
+    engine: EngineSpec | str | Mapping
+    budget_s: float
+    seed: int
+    arrival_s: float = 0.0
+    deadline_s: float | None = None
+    state: GameState | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ValueError(
+                f"budget must be positive: {self.budget_s}"
+            )
+        if self.arrival_s < 0:
+            raise ValueError(
+                f"arrival cannot be negative: {self.arrival_s}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"relative deadline must be positive: {self.deadline_s}"
+            )
+        # Fail fast on malformed specs at submission, not mid-run.
+        EngineSpec.coerce(self.engine)
+
+    @property
+    def absolute_deadline_s(self) -> float | None:
+        if self.deadline_s is None:
+            return None
+        return self.arrival_s + self.deadline_s
+
+
+@dataclass
+class RequestRecord:
+    """One request's observed lifecycle inside a service run."""
+
+    request: SearchRequest
+    status: str = PENDING
+    result: SearchResult | None = None
+    start_s: float | None = None
+    finish_s: float | None = None
+    #: Ticks in which this request contributed merged playout lanes.
+    ticks: int = 0
+    #: Total playout lanes this request asked for.
+    lanes: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def done(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def latency_s(self) -> float | None:
+        """Arrival-to-finish time on the service clock."""
+        if self.finish_s is None:
+            return None
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        """Arrival-to-start time (admission + queueing delay)."""
+        if self.start_s is None:
+            return None
+        return self.start_s - self.request.arrival_s

@@ -1,0 +1,243 @@
+"""Merged scheduling primitives: generator pool + lane batcher.
+
+Two layers, both reused outside the service:
+
+* :class:`GeneratorPool` steps many ``search_steps`` generators in
+  merged rounds -- the arena's cohort driver
+  (:func:`repro.arena.cohort.drive_merged`) is now a thin wrapper over
+  :func:`drive_generators`, and the service advances the pool one
+  round per scheduler tick.
+* :class:`LaneBatcher` converts one tick's merged playout demand (all
+  outstanding leaf states, one lane per leaf, grouped per game) into
+  wide vectorised kernel launches placed on a shared
+  :class:`~repro.gpu.lease.DevicePool`, and returns the per-lane
+  ``(winner, plies)`` results along with the leases to synchronise on.
+
+Results are deterministic: lane RNG streams derive from the batcher
+seed and a global launch counter, and placement follows insertion
+order, so the same submitted workload always produces the same
+per-request search results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Mapping, Sequence
+
+from repro.core.base import PlayoutBatch, PlayoutResults
+from repro.games import make_batch_game
+from repro.games.batch import run_playouts_tracked
+from repro.gpu.kernel import LaunchConfig, playout_kernel_spec
+from repro.gpu.lease import DeviceLease, DevicePool
+from repro.gpu.timing import kernel_time
+from repro.rng import BatchXorShift128Plus
+from repro.util.seeding import derive_seed
+
+import numpy as np
+
+
+class GeneratorPool:
+    """A set of keyed ``search_steps`` generators advanced in merged
+    rounds.
+
+    ``add`` primes each generator to its first playout request; each
+    round, callers gather ``requests_for`` every pending key, execute
+    the merged batch however they like, and ``step`` each key with its
+    slice of answers.  Finished searches land in :attr:`results`.
+    """
+
+    def __init__(self) -> None:
+        self._gens: dict[Hashable, object] = {}
+        self._requests: dict[Hashable, list] = {}
+        self.results: dict[Hashable, object] = {}
+
+    def add(self, key: Hashable, gen) -> bool:
+        """Prime ``gen``; returns False if it finished immediately."""
+        if key in self._gens or key in self.results:
+            raise ValueError(f"duplicate generator key: {key!r}")
+        try:
+            self._requests[key] = list(next(gen))
+        except StopIteration as stop:
+            self.results[key] = stop.value
+            return False
+        self._gens[key] = gen
+        return True
+
+    @property
+    def pending(self) -> tuple[Hashable, ...]:
+        """Keys still searching, in insertion order."""
+        return tuple(self._gens)
+
+    def __len__(self) -> int:
+        return len(self._gens)
+
+    def requests_for(self, key: Hashable) -> list:
+        return self._requests[key]
+
+    def step(self, key: Hashable, answers: PlayoutResults) -> bool:
+        """Deliver one round of answers; returns True if finished."""
+        gen = self._gens[key]
+        try:
+            self._requests[key] = list(gen.send(answers))
+        except StopIteration as stop:
+            self.results[key] = stop.value
+            del self._gens[key]
+            del self._requests[key]
+            return True
+        return False
+
+    def cancel(self, key: Hashable) -> None:
+        """Abandon a search (deadline miss); no result is recorded."""
+        gen = self._gens.pop(key)
+        self._requests.pop(key)
+        gen.close()
+
+
+def drive_generators(
+    generators: Mapping[Hashable, object],
+    executor: Callable[[PlayoutBatch], PlayoutResults],
+) -> dict[Hashable, object]:
+    """Drive several search generators to completion, merging their
+    playout requests into shared executor calls.  Returns each key's
+    ``SearchResult``."""
+    pool = GeneratorPool()
+    for key, gen in generators.items():
+        pool.add(key, gen)
+    while pool.pending:
+        keys = pool.pending
+        flat: list = []
+        offsets: dict[Hashable, tuple[int, int]] = {}
+        for key in keys:
+            start = len(flat)
+            flat.extend(pool.requests_for(key))
+            offsets[key] = (start, len(flat))
+        answers = executor(flat) if flat else []
+        for key in keys:
+            lo, hi = offsets[key]
+            pool.step(key, answers[lo:hi])
+    return dict(pool.results)
+
+
+# ---------------------------------------------------------------------------
+# Lane batching: merged playout demand -> wide kernel launches
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One merged kernel this tick: where it ran and what it cost."""
+
+    game: str
+    lanes: int
+    lease: DeviceLease
+
+
+def launch_config_for(lanes: int, warp_size: int = 32) -> LaunchConfig:
+    """The grid a merged launch of ``lanes`` one-playout lanes uses:
+    warp-aligned blocks of at most 128 threads (the paper's sweet spot
+    for block width), as many blocks as needed."""
+    if lanes <= 0:
+        raise ValueError(f"lanes must be positive: {lanes}")
+    tpb = min(128, -(-lanes // warp_size) * warp_size)
+    blocks = -(-lanes // tpb)
+    return LaunchConfig(blocks=blocks, threads_per_block=tpb)
+
+
+class LaneBatcher:
+    """Executes merged per-game playout batches on a device pool.
+
+    One instance per service run: it owns the batch-game caches, the
+    launch counter that seeds each launch's RNG lanes, and the policy
+    for splitting very wide batches across devices.
+    """
+
+    #: Below this many lanes a batch is never split across devices
+    #: (launch latency would dominate the win).
+    MIN_LANES_PER_DEVICE = 64
+
+    def __init__(self, pool: DevicePool, seed: int) -> None:
+        self.pool = pool
+        self.seed = derive_seed(seed, "lane_batcher")
+        self.launch_count = 0
+        self.lanes_total = 0
+        self._batch_games: dict[str, object] = {}
+
+    def _batch_game(self, game: str):
+        bg = self._batch_games.get(game)
+        if bg is None:
+            bg = make_batch_game(game)
+            self._batch_games[game] = bg
+        return bg
+
+    def _chunks(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous (lo, hi) lane spans, one per launch."""
+        per_device = max(self.MIN_LANES_PER_DEVICE, -(-n // len(self.pool)))
+        spans = []
+        lo = 0
+        while lo < n:
+            hi = min(n, lo + per_device)
+            spans.append((lo, hi))
+            lo = hi
+        return spans
+
+    def execute(
+        self, game: str, states: Sequence, holder: str = "merged"
+    ) -> tuple[PlayoutResults, list[LaunchRecord]]:
+        """Run one game's merged lane batch; one playout per state.
+
+        Returns per-lane ``(winner, plies)`` aligned with ``states``
+        and the launch records (synchronise on their leases to charge
+        the kernel time to the clock).
+        """
+        if not states:
+            return [], []
+        bg = self._batch_game(game)
+        kernel = playout_kernel_spec(game)
+        answers: list[tuple[int, int]] = []
+        records: list[LaunchRecord] = []
+        for lo, hi in self._chunks(len(states)):
+            chunk = list(states[lo:hi])
+            lanes = len(chunk)
+            self.launch_count += 1
+            self.lanes_total += lanes
+            rng = BatchXorShift128Plus(
+                lanes, derive_seed(self.seed, game, self.launch_count)
+            )
+            batch = bg.make_batch(chunk, 1)
+            tracked = run_playouts_tracked(bg, batch, rng)
+            answers.extend(
+                zip(
+                    (int(w) for w in tracked.winners),
+                    (int(p) for p in tracked.finish_steps),
+                )
+            )
+            device_id = self.pool.least_busy()
+            spec = self.pool.spec_of(device_id)
+            config = launch_config_for(lanes, spec.warp_size)
+            padded = np.zeros(config.total_threads, dtype=np.int64)
+            padded[:lanes] = tracked.finish_steps
+            block_steps = padded.reshape(
+                config.blocks, config.threads_per_block
+            ).max(axis=1)
+            timing = kernel_time(
+                spec,
+                kernel,
+                config,
+                block_steps,
+                transfer_bytes=4 * lanes,
+            )
+            lease = self.pool.launch(
+                holder,
+                timing.total_s,
+                device_id=device_id,
+                label=f"{game}_playouts",
+                lanes=lanes,
+                game=game,
+            )
+            records.append(LaunchRecord(game=game, lanes=lanes, lease=lease))
+        return answers, records
+
+    @property
+    def mean_lanes_per_launch(self) -> float:
+        if self.launch_count == 0:
+            return 0.0
+        return self.lanes_total / self.launch_count

@@ -1,0 +1,393 @@
+"""The batched multi-tenant search service.
+
+:class:`SearchService` accepts many simultaneous
+:class:`~repro.serve.request.SearchRequest`\\ s -- mixed games, engine
+specs, budgets and deadlines -- and multiplexes them over a shared
+:class:`~repro.gpu.lease.DevicePool` of virtual GPUs.
+
+Execution model (all times virtual; see docs/serving.md):
+
+* **Admission.**  A request arriving when an active slot is free
+  starts immediately; otherwise it waits in a bounded FIFO queue; if
+  the queue is full it is rejected on the spot.  Each admitted request
+  gets its own engine, built from its spec by
+  :func:`repro.core.make_engine` with a private engine clock (its own
+  virtual CPU core).
+* **Merged ticks.**  Engines that expose the ``search_steps``
+  generator protocol are advanced in lockstep rounds: every tick, all
+  outstanding playout requests are concatenated per game and executed
+  as wide vectorised kernel launches (one SIMT lane per leaf) placed
+  on the least-busy pooled device.  The tick costs the slowest
+  kernel's modelled time plus the *maximum* per-request CPU charge --
+  tenants' tree work overlaps, the shared accelerators are the
+  contended resource.
+* **Direct engines.**  GPU engines without ``search_steps`` (block /
+  leaf / hybrid / multigpu) run whole searches pinned to one pooled
+  device: the search executes against the request's private clock and
+  occupies the device's in-order stream for its full elapsed time.
+* **Deadlines.**  A request's relative deadline converts to an
+  absolute service time at arrival.  At every tick boundary, active
+  requests past their deadline are cancelled (``missed``, no result);
+  queued requests whose deadline passed before they could start are
+  likewise missed without running.
+
+The per-request latency and per-device busy spans are recorded on a
+:class:`~repro.gpu.trace.Tracer`, so a service run can be dumped to
+the Chrome trace viewer and utilisation is derived from track busy
+time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.base import Engine
+from repro.core.results import SearchResult
+from repro.core.spec import make_engine
+from repro.games import make_game
+from repro.games.base import Game
+from repro.gpu.device import TESLA_C2050, DeviceSpec
+from repro.gpu.lease import DeviceLease, DevicePool
+from repro.gpu.trace import Tracer
+from repro.serve.metrics import ServiceReport, summarize
+from repro.serve.request import (
+    COMPLETED,
+    MISSED,
+    PENDING,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    RequestRecord,
+    SearchRequest,
+)
+from repro.serve.scheduler import GeneratorPool, LaneBatcher
+from repro.util.clock import Clock
+from repro.util.seeding import derive_seed
+
+
+def supports_search_steps(engine: Engine) -> bool:
+    """Can this engine be driven through the merged generator seam?"""
+    return type(engine).search_steps is not Engine.search_steps
+
+
+@dataclass
+class _Active:
+    """Bookkeeping for one request holding an active slot."""
+
+    record: RequestRecord
+    engine: Engine
+    game: Game
+    #: CPU time charged by the engine but not yet billed to a tick
+    #: (priming the generator happens at activation).
+    pending_cpu_s: float = 0.0
+    #: Direct-path (non-generator) engines: the finished result and
+    #: the device lease its modelled execution occupies.
+    result: SearchResult | None = None
+    lease: DeviceLease | None = None
+
+
+class ServiceError(RuntimeError):
+    """Raised on invalid service use (submit after run, ...)."""
+
+
+class SearchService:
+    """Concurrent multi-tenant search over a shared virtual-GPU pool."""
+
+    def __init__(
+        self,
+        devices: tuple[DeviceSpec, ...] | None = None,
+        n_devices: int = 4,
+        max_active: int = 64,
+        max_queue: int = 256,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        tick_overhead_s: float = 2e-6,
+        enforce_deadlines: bool = True,
+    ) -> None:
+        if max_active <= 0:
+            raise ValueError(f"max_active must be positive: {max_active}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue cannot be negative: {max_queue}")
+        if devices is None:
+            devices = (TESLA_C2050,) * n_devices
+        self.clock = Clock()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.pool = DevicePool(devices, self.clock, self.tracer)
+        self.batcher = LaneBatcher(self.pool, derive_seed(seed, "serve"))
+        self.max_active = max_active
+        self.max_queue = max_queue
+        self.seed = seed
+        self.tick_overhead_s = tick_overhead_s
+        self.enforce_deadlines = enforce_deadlines
+        self.ticks = 0
+        self._records: list[RequestRecord] = []
+        self._ran = False
+        self._games: dict[str, Game] = {}
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: SearchRequest) -> RequestRecord:
+        """Register a request for the next :meth:`run`."""
+        if self._ran:
+            raise ServiceError("service already ran; build a new one")
+        if any(
+            r.request.request_id == request.request_id
+            for r in self._records
+        ):
+            raise ServiceError(
+                f"duplicate request id {request.request_id!r}"
+            )
+        record = RequestRecord(request=request, status=PENDING)
+        self._records.append(record)
+        return record
+
+    def submit_all(
+        self, requests: list[SearchRequest]
+    ) -> list[RequestRecord]:
+        return [self.submit(r) for r in requests]
+
+    # -- execution ---------------------------------------------------------
+
+    def _game(self, name: str) -> Game:
+        game = self._games.get(name)
+        if game is None:
+            game = make_game(name)
+            self._games[name] = game
+        return game
+
+    def _activate(
+        self,
+        record: RequestRecord,
+        active: dict[str, _Active],
+        gen_pool: GeneratorPool,
+    ) -> None:
+        """Give ``record`` an active slot and start its search."""
+        req = record.request
+        record.status = RUNNING
+        record.start_s = self.clock.now
+        game = self._game(req.game)
+        engine = make_engine(req.engine, game, req.seed, clock=Clock())
+        state = req.state if req.state is not None else game.initial_state()
+        slot = _Active(record=record, engine=engine, game=game)
+        active[req.request_id] = slot
+        if supports_search_steps(engine):
+            before = engine.clock.now
+            still_running = gen_pool.add(
+                req.request_id, engine.search_steps(state, req.budget_s)
+            )
+            slot.pending_cpu_s = engine.clock.now - before
+            if not still_running:
+                # Degenerate zero-playout search: done at activation.
+                self._finish(
+                    record,
+                    active,
+                    result=gen_pool.results.pop(req.request_id),
+                )
+        else:
+            # Direct path: the whole search runs pinned to one pooled
+            # device, occupying its stream for the modelled duration.
+            result = engine.search(state, req.budget_s)
+            slot.result = result
+            slot.lease = self.pool.launch(
+                req.request_id,
+                result.elapsed_s,
+                label=f"{engine.name}_search",
+                lanes=getattr(
+                    getattr(engine, "config", None), "total_threads", 0
+                ),
+                game=req.game,
+            )
+
+    def _finish(
+        self,
+        record: RequestRecord,
+        active: dict[str, _Active],
+        result: SearchResult | None,
+        status: str = COMPLETED,
+    ) -> None:
+        record.status = status
+        record.result = result
+        record.finish_s = self.clock.now
+        active.pop(record.request.request_id, None)
+
+    def _miss(
+        self,
+        record: RequestRecord,
+        active: dict[str, _Active],
+        gen_pool: GeneratorPool,
+    ) -> None:
+        rid = record.request.request_id
+        if rid in gen_pool.pending:
+            gen_pool.cancel(rid)
+        self._finish(record, active, result=None, status=MISSED)
+
+    def run(self) -> list[RequestRecord]:
+        """Serve every submitted request to a terminal status."""
+        if self._ran:
+            raise ServiceError("service already ran; build a new one")
+        self._ran = True
+        arrivals = deque(
+            sorted(
+                range(len(self._records)),
+                key=lambda i: (self._records[i].request.arrival_s, i),
+            )
+        )
+        queue: deque[RequestRecord] = deque()
+        active: dict[str, _Active] = {}
+        gen_pool = GeneratorPool()
+
+        while arrivals or queue or active:
+            now = self.clock.now
+            # Idle service: jump to the next arrival.
+            if not active and not queue and arrivals:
+                next_arrival = self._records[arrivals[0]].request.arrival_s
+                if next_arrival > now:
+                    self.clock.advance_to(next_arrival)
+                    now = self.clock.now
+
+            # Admission: activate, queue, or reject in arrival order.
+            while (
+                arrivals
+                and self._records[arrivals[0]].request.arrival_s <= now
+            ):
+                record = self._records[arrivals.popleft()]
+                if len(active) < self.max_active:
+                    self._activate(record, active, gen_pool)
+                elif len(queue) < self.max_queue:
+                    record.status = QUEUED
+                    queue.append(record)
+                else:
+                    record.status = REJECTED
+                    record.finish_s = now
+            while queue and len(active) < self.max_active:
+                record = queue.popleft()
+                deadline = record.request.absolute_deadline_s
+                if (
+                    self.enforce_deadlines
+                    and deadline is not None
+                    and now >= deadline
+                ):
+                    record.status = MISSED
+                    record.finish_s = now
+                    continue
+                self._activate(record, active, gen_pool)
+
+            # Deadline enforcement at the tick boundary.
+            if self.enforce_deadlines:
+                for slot in list(active.values()):
+                    deadline = slot.record.request.absolute_deadline_s
+                    if deadline is not None and now >= deadline:
+                        self._miss(slot.record, active, gen_pool)
+
+            # Direct-path completions.
+            for slot in list(active.values()):
+                if slot.lease is not None and self.pool.complete(
+                    slot.lease
+                ):
+                    self._finish(slot.record, active, result=slot.result)
+
+            pending = gen_pool.pending
+            if not pending:
+                if active:
+                    # Only direct-path work in flight: wait for the
+                    # earliest completion (or next arrival if sooner).
+                    target = self.pool.next_completion()
+                    if arrivals:
+                        next_arrival = self._records[
+                            arrivals[0]
+                        ].request.arrival_s
+                        target = (
+                            next_arrival
+                            if target is None
+                            else min(target, next_arrival)
+                        )
+                    if target is not None:
+                        self.clock.advance_to(target)
+                    else:  # pragma: no cover - defensive
+                        self.clock.advance(self.tick_overhead_s)
+                continue
+
+            # --- one merged tick over all generator-driven requests ---
+            self.ticks += 1
+            per_game_states: dict[str, list] = {}
+            spans: dict[str, tuple[str, int, int]] = {}
+            for rid in pending:
+                reqs = gen_pool.requests_for(rid)
+                game_name = active[rid].record.request.game
+                states = per_game_states.setdefault(game_name, [])
+                lo = len(states)
+                states.extend(reqs)
+                spans[rid] = (game_name, lo, len(states))
+                active[rid].record.ticks += 1
+                active[rid].record.lanes += len(reqs)
+
+            # Kernel phase: merged launches, one lane per leaf; the
+            # tick waits for every launch it issued.
+            answers_by_game: dict[str, list] = {}
+            tick_launches = []
+            for game_name, states in per_game_states.items():
+                answers, launches = self.batcher.execute(
+                    game_name, states
+                )
+                answers_by_game[game_name] = answers
+                tick_launches.extend(launches)
+            for launch in tick_launches:
+                self.pool.synchronize(launch.lease)
+
+            # CPU phase: deliver results; tenants' tree work runs on
+            # private cores, so the tick charges the slowest one.
+            cpu_s = 0.0
+            for rid in pending:
+                slot = active[rid]
+                game_name, lo, hi = spans[rid]
+                before = slot.engine.clock.now
+                finished = gen_pool.step(
+                    rid, answers_by_game[game_name][lo:hi]
+                )
+                delta = slot.engine.clock.now - before
+                cpu_s = max(cpu_s, slot.pending_cpu_s + delta)
+                slot.pending_cpu_s = 0.0
+                if finished:
+                    slot.result = gen_pool.results.pop(rid)
+            self.clock.advance(cpu_s + self.tick_overhead_s)
+
+            # Completions land at the post-tick timestamp.
+            for rid in list(active):
+                slot = active[rid]
+                if slot.lease is None and slot.result is not None:
+                    self._finish(slot.record, active, result=slot.result)
+
+        return list(self._records)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        return list(self._records)
+
+    def report(self) -> ServiceReport:
+        """Aggregate metrics for the finished run."""
+        if not self._ran:
+            raise ServiceError("run() the service before reporting")
+        first_arrival = min(
+            (r.request.arrival_s for r in self._records), default=0.0
+        )
+        elapsed = self.clock.now - first_arrival
+        return summarize(
+            self._records,
+            elapsed_s=elapsed,
+            kernel_launches=self.batcher.launch_count,
+            mean_lanes_per_launch=self.batcher.mean_lanes_per_launch,
+            device_utilization=self.pool.utilization(self.clock.now),
+        )
+
+
+def serve(
+    requests: list[SearchRequest], **service_kwargs
+) -> tuple[list[RequestRecord], ServiceReport]:
+    """One-shot convenience: build, submit, run, report."""
+    service = SearchService(**service_kwargs)
+    service.submit_all(requests)
+    records = service.run()
+    return records, service.report()

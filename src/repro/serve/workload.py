@@ -1,0 +1,84 @@
+"""Deterministic load generation for the search service.
+
+Builds mixed workloads -- several games, several engine specs, varied
+budgets -- from a single seed, so benchmark runs are exactly
+reproducible.  Used by ``python -m repro serve-bench`` and
+``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.request import SearchRequest
+from repro.util.seeding import derive_seed
+
+#: Engine specs a mixed workload cycles through: CPU generator engines
+#: (merged into wide launches) plus a direct-path GPU engine.
+MIXED_ENGINES = (
+    "sequential",
+    "root:4",
+    "tree:2",
+    "sequential",
+    "root:8",
+    "block:8x32",
+)
+
+#: Games a mixed workload cycles through, with per-game engine budgets
+#: (virtual seconds on the request's private engine clock).
+MIXED_GAMES = ("reversi", "tictactoe", "connect4")
+DEFAULT_BUDGETS = {
+    "reversi": 0.004,
+    "tictactoe": 0.002,
+    "connect4": 0.003,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of one generated workload."""
+
+    n_requests: int = 64
+    seed: int = 2011
+    games: tuple[str, ...] = MIXED_GAMES
+    engines: tuple[str, ...] = MIXED_ENGINES
+    #: Scale factor on the per-game default budgets.
+    budget_scale: float = 1.0
+    #: Request ``i`` arrives at ``i * arrival_period_s`` (0 = all at
+    #: once, a closed batch).
+    arrival_period_s: float = 0.0
+    #: Relative completion deadline on the service clock (None = no
+    #: deadline).
+    deadline_s: float | None = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0:
+            raise ValueError(
+                f"n_requests must be positive: {self.n_requests}"
+            )
+        if self.budget_scale <= 0:
+            raise ValueError(
+                f"budget_scale must be positive: {self.budget_scale}"
+            )
+
+
+def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
+    """The workload: ``n_requests`` mixed searches, fully determined
+    by ``config`` (and therefore by its seed)."""
+    requests = []
+    for i in range(config.n_requests):
+        game = config.games[i % len(config.games)]
+        engine = config.engines[i % len(config.engines)]
+        budget = DEFAULT_BUDGETS[game] * config.budget_scale
+        requests.append(
+            SearchRequest(
+                request_id=f"r{i:03d}",
+                game=game,
+                engine=engine,
+                budget_s=budget,
+                seed=derive_seed(config.seed, "request", i),
+                arrival_s=i * config.arrival_period_s,
+                deadline_s=config.deadline_s,
+            )
+        )
+    return requests

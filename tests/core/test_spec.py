@@ -1,0 +1,191 @@
+"""Tests for the declarative engine-spec API (repro.core.spec)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlockParallelMcts,
+    EngineSpec,
+    HybridMcts,
+    LeafParallelMcts,
+    MultiGpuMcts,
+    RootParallelMcts,
+    SequentialMcts,
+    TreeParallelMcts,
+    engine_kinds,
+    make_engine,
+)
+from repro.games import TicTacToe
+
+BUDGET = 0.002
+
+#: kind -> (small spec string, equivalent direct construction).
+EQUIVALENTS = {
+    "sequential": (
+        "sequential",
+        lambda g, s: SequentialMcts(g, s),
+    ),
+    "leaf": (
+        "leaf:2x32",
+        lambda g, s: LeafParallelMcts(g, s, blocks=2, threads_per_block=32),
+    ),
+    "block": (
+        "block:2x32",
+        lambda g, s: BlockParallelMcts(g, s, blocks=2, threads_per_block=32),
+    ),
+    "hybrid": (
+        "hybrid:2x32",
+        lambda g, s: HybridMcts(g, s, blocks=2, threads_per_block=32),
+    ),
+    "root": (
+        "root:2",
+        lambda g, s: RootParallelMcts(g, s, n_trees=2),
+    ),
+    "tree": (
+        "tree:2",
+        lambda g, s: TreeParallelMcts(g, s, n_workers=2),
+    ),
+    "multigpu": (
+        "multigpu:2x2x32",
+        lambda g, s: MultiGpuMcts(
+            g, s, n_gpus=2, blocks=2, threads_per_block=32
+        ),
+    ),
+}
+
+
+def test_every_registered_kind_has_an_equivalence_case():
+    assert {k.name for k in engine_kinds()} == set(EQUIVALENTS)
+
+
+@pytest.mark.parametrize("kind", sorted(EQUIVALENTS))
+def test_spec_build_matches_direct_construction(kind):
+    """Same seed + budget => byte-identical SearchResult either way."""
+    text, direct = EQUIVALENTS[kind]
+    game = TicTacToe()
+    seed = 7
+    via_spec = make_engine(text, game, seed).search(
+        game.initial_state(), BUDGET
+    )
+    via_class = direct(game, seed).search(game.initial_state(), BUDGET)
+    assert via_spec.move == via_class.move
+    assert via_spec.simulations == via_class.simulations
+    assert via_spec.iterations == via_class.iterations
+    assert via_spec.elapsed_s == via_class.elapsed_s
+    assert dict(via_spec.stats) == dict(via_class.stats)
+
+
+@pytest.mark.parametrize("kind", sorted(EQUIVALENTS))
+def test_string_round_trip(kind):
+    text, _ = EQUIVALENTS[kind]
+    spec = EngineSpec.parse(text)
+    assert spec.kind == kind
+    assert spec.to_string() == text
+    assert EngineSpec.parse(spec.to_string()) == spec
+
+
+def test_dict_form_equivalent_to_string_form():
+    game = TicTacToe()
+    a = make_engine("block:2x32", game, 3)
+    b = make_engine(
+        {"kind": "block", "blocks": 2, "threads_per_block": 32}, game, 3
+    )
+    ra = a.search(game.initial_state(), BUDGET)
+    rb = b.search(game.initial_state(), BUDGET)
+    assert ra.move == rb.move
+    assert ra.simulations == rb.simulations
+
+
+def test_dict_form_carries_keyword_parameters():
+    game = TicTacToe()
+    engine = make_engine(
+        {"kind": "sequential", "ucb_c": 0.7}, game, 1
+    )
+    assert engine.ucb_c == 0.7
+
+
+def test_overrides_win_over_spec_params():
+    game = TicTacToe()
+    engine = make_engine("root:2", game, 1, n_trees=4)
+    assert engine.n_trees == 4
+
+
+def test_device_resolved_from_string():
+    from repro.gpu import get_device_spec
+
+    game = TicTacToe()
+    engine = make_engine(
+        {"kind": "block", "blocks": 2, "threads_per_block": 32,
+         "device": "gtx_580"},
+        game,
+        1,
+    )
+    assert engine.gpu.spec == get_device_spec("gtx_580")
+
+
+def test_coerce_passthrough_and_rejects_junk():
+    spec = EngineSpec("sequential")
+    assert EngineSpec.coerce(spec) is spec
+    with pytest.raises(ValueError, match="int"):
+        EngineSpec.coerce(42)
+    with pytest.raises(ValueError, match="kind"):
+        EngineSpec.coerce({"blocks": 2})
+
+
+def test_to_string_rejects_keyword_only_params():
+    spec = EngineSpec("sequential", {"ucb_c": 0.5})
+    with pytest.raises(ValueError, match="ucb_c"):
+        spec.to_string()
+
+
+class TestMalformedSpecs:
+    """Every malformed spec raises ValueError naming the bad token."""
+
+    KNOWN = {k.name for k in engine_kinds()}
+
+    @given(
+        kind=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll",)),
+            min_size=1,
+            max_size=12,
+        ).filter(lambda s: s not in {k.name for k in engine_kinds()})
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_unknown_kind_named_in_error(self, kind):
+        with pytest.raises(ValueError) as err:
+            EngineSpec.parse(kind)
+        assert repr(kind) in str(err.value)
+
+    @given(
+        kind=st.sampled_from(["block", "leaf", "hybrid", "root", "tree"]),
+        token=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll",)),
+            min_size=1,
+            max_size=6,
+        ).filter(lambda s: "x" not in s and not s.isdigit()),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_non_integer_token_named_in_error(self, kind, token):
+        with pytest.raises(ValueError) as err:
+            EngineSpec.parse(f"{kind}:{token}")
+        assert repr(token) in str(err.value) or "parameter" in str(
+            err.value
+        )
+
+    @given(extra=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_wrong_arity_reports_expectation(self, extra):
+        args = "x".join(["8"] * (2 + extra))
+        with pytest.raises(ValueError) as err:
+            EngineSpec.parse(f"block:{args}")
+        msg = str(err.value)
+        assert "block" in msg and "2" in msg
+
+    def test_missing_params_names_example(self):
+        with pytest.raises(ValueError, match="block:16x32"):
+            EngineSpec.parse("block")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError, match="empty"):
+            EngineSpec.parse("   ")

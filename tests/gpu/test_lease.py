@@ -1,0 +1,97 @@
+"""Tests for the shared device pool (repro.gpu.lease)."""
+
+import pytest
+
+from repro.gpu import TESLA_C2050, DevicePool, PoolError
+from repro.gpu.trace import Tracer
+from repro.util.clock import Clock
+
+
+def make_pool(n=2):
+    clock = Clock()
+    tracer = Tracer()
+    pool = DevicePool((TESLA_C2050,) * n, clock, tracer)
+    return pool, clock, tracer
+
+
+class TestPlacement:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(PoolError, match="at least one"):
+            DevicePool((), Clock())
+
+    def test_least_busy_round_robins_under_equal_load(self):
+        pool, _, _ = make_pool(3)
+        seen = []
+        for _ in range(3):
+            lease = pool.launch("req", 1e-3)
+            seen.append(lease.device_id)
+        assert seen == [0, 1, 2]
+
+    def test_explicit_device_id_respected(self):
+        pool, _, _ = make_pool(2)
+        lease = pool.launch("req", 1e-3, device_id=1)
+        assert lease.device_id == 1
+
+    def test_unknown_device_id_rejected(self):
+        pool, _, _ = make_pool(2)
+        with pytest.raises(PoolError, match="no device 5"):
+            pool.launch("req", 1e-3, device_id=5)
+
+    def test_in_order_stream_serialises_same_device(self):
+        pool, _, _ = make_pool(1)
+        a = pool.launch("a", 1e-3)
+        b = pool.launch("b", 1e-3)
+        assert b.start_s == pytest.approx(a.end_s)
+        assert b.duration_s == pytest.approx(1e-3)
+
+
+class TestSynchronisation:
+    def test_synchronize_advances_clock_to_completion(self):
+        pool, clock, _ = make_pool(1)
+        lease = pool.launch("req", 2e-3)
+        assert clock.now == 0.0
+        pool.synchronize(lease)
+        assert clock.now == pytest.approx(2e-3)
+
+    def test_complete_tracks_clock(self):
+        pool, clock, _ = make_pool(1)
+        lease = pool.launch("req", 1e-3)
+        assert not pool.complete(lease)
+        clock.advance(2e-3)
+        assert pool.complete(lease)
+
+    def test_next_completion_is_earliest_pending(self):
+        pool, _, _ = make_pool(2)
+        pool.launch("a", 3e-3, device_id=0)
+        pool.launch("b", 1e-3, device_id=1)
+        assert pool.next_completion() == pytest.approx(1e-3)
+
+    def test_next_completion_none_when_idle(self):
+        pool, _, _ = make_pool(1)
+        assert pool.next_completion() is None
+
+
+class TestAccounting:
+    def test_tracer_spans_per_device_track(self):
+        pool, _, tracer = make_pool(2)
+        pool.launch("a", 1e-3, device_id=0, label="k0")
+        pool.launch("b", 2e-3, device_id=1, label="k1")
+        tracks = {e.track for e in tracer.events}
+        assert tracks == {"gpu0", "gpu1"}
+        holders = {e.args["holder"] for e in tracer.events}
+        assert holders == {"a", "b"}
+
+    def test_utilization_busy_over_elapsed(self):
+        pool, _, _ = make_pool(2)
+        pool.launch("a", 1e-3, device_id=0)
+        util = pool.utilization(4e-3)
+        assert util["gpu0"] == pytest.approx(0.25)
+        assert util["gpu1"] == 0.0
+
+    def test_busy_seconds_and_launch_counts(self):
+        pool, _, _ = make_pool(1)
+        pool.launch("a", 1e-3)
+        pool.launch("a", 2e-3)
+        assert pool.busy_seconds(0) == pytest.approx(3e-3)
+        assert pool.launches(0) == 2
+        assert len(pool.leases) == 2

@@ -1,0 +1,97 @@
+"""Tests for service metrics (repro.serve.metrics)."""
+
+import pytest
+
+from repro.serve import (
+    COMPLETED,
+    MISSED,
+    REJECTED,
+    RequestRecord,
+    SearchRequest,
+    percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_basics(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 95) == 4.0
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="100"):
+            percentile([1.0], 150)
+
+
+def record(i, status, arrival=0.0, start=None, finish=None):
+    req = SearchRequest(
+        request_id=f"r{i}",
+        game="tictactoe",
+        engine="sequential",
+        budget_s=0.001,
+        seed=i,
+        arrival_s=arrival,
+    )
+    return RequestRecord(
+        request=req, status=status, start_s=start, finish_s=finish
+    )
+
+
+class TestSummarize:
+    def records(self):
+        return [
+            record(0, COMPLETED, start=0.0, finish=0.1),
+            record(1, COMPLETED, start=0.05, finish=0.3),
+            record(2, REJECTED),
+            record(3, MISSED),
+        ]
+
+    def test_counts_by_status(self):
+        report = summarize(self.records(), elapsed_s=0.3)
+        assert report.offered == 4
+        assert report.completed == 2
+        assert report.rejected == 1
+        assert report.missed == 1
+
+    def test_latency_percentiles_from_completed_only(self):
+        report = summarize(self.records(), elapsed_s=0.3)
+        assert report.p50_latency_s == pytest.approx(0.1)
+        assert report.p95_latency_s == pytest.approx(0.3)
+        assert report.mean_latency_s == pytest.approx(0.2)
+
+    def test_requests_per_s(self):
+        report = summarize(self.records(), elapsed_s=0.5)
+        assert report.requests_per_s == pytest.approx(4.0)
+        empty = summarize([], elapsed_s=0.0)
+        assert empty.requests_per_s == 0.0
+
+    def test_render_lists_every_metric(self):
+        report = summarize(
+            self.records(),
+            elapsed_s=0.3,
+            kernel_launches=12,
+            mean_lanes_per_launch=48.0,
+            device_utilization={"gpu0": 0.5},
+        )
+        text = report.render()
+        for needle in (
+            "requests/s",
+            "latency p95",
+            "kernel launches",
+            "gpu0 utilisation",
+            "50%",
+        ):
+            assert needle in text

@@ -1,0 +1,51 @@
+"""Tests for deterministic workload generation (repro.serve.workload)."""
+
+import pytest
+
+from repro.serve import WorkloadConfig, make_workload
+from repro.serve.workload import DEFAULT_BUDGETS
+
+
+class TestWorkload:
+    def test_same_config_same_workload(self):
+        cfg = WorkloadConfig(n_requests=12, seed=5)
+        assert make_workload(cfg) == make_workload(cfg)
+
+    def test_different_seed_different_request_seeds(self):
+        a = make_workload(WorkloadConfig(n_requests=4, seed=1))
+        b = make_workload(WorkloadConfig(n_requests=4, seed=2))
+        assert [r.seed for r in a] != [r.seed for r in b]
+
+    def test_cycles_through_games_and_engines(self):
+        reqs = make_workload(WorkloadConfig(n_requests=12))
+        games = {r.game for r in reqs}
+        engines = {str(r.engine) for r in reqs}
+        assert games == {"reversi", "tictactoe", "connect4"}
+        assert "sequential" in engines
+        assert any(e.startswith("root:") for e in engines)
+        assert any(e.startswith("block:") for e in engines)
+
+    def test_budgets_follow_game_defaults_and_scale(self):
+        reqs = make_workload(
+            WorkloadConfig(n_requests=6, budget_scale=0.5)
+        )
+        for req in reqs:
+            assert req.budget_s == pytest.approx(
+                DEFAULT_BUDGETS[req.game] * 0.5
+            )
+
+    def test_arrival_period_spaces_requests(self):
+        reqs = make_workload(
+            WorkloadConfig(n_requests=3, arrival_period_s=0.1)
+        )
+        assert [r.arrival_s for r in reqs] == [0.0, 0.1, 0.2]
+
+    def test_unique_request_ids(self):
+        reqs = make_workload(WorkloadConfig(n_requests=64))
+        assert len({r.request_id for r in reqs}) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_requests"):
+            WorkloadConfig(n_requests=0)
+        with pytest.raises(ValueError, match="budget_scale"):
+            WorkloadConfig(budget_scale=0.0)

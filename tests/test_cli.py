@@ -58,3 +58,52 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code in (0, 1)
         assert "wins" in out or "draw" in out
+
+    def test_play_with_engine_specs(self, capsys):
+        code = main(
+            [
+                "play",
+                "--game",
+                "tictactoe",
+                "--engine",
+                "root:2",
+                "--opponent-engine",
+                "sequential",
+                "--budget",
+                "0.002",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "wins" in out or "draw" in out
+
+    def test_play_rejects_bad_engine_spec(self):
+        with pytest.raises(ValueError, match="warp_drive"):
+            main(
+                [
+                    "play",
+                    "--game",
+                    "tictactoe",
+                    "--engine",
+                    "warp_drive",
+                ]
+            )
+
+    def test_serve_bench_small_load(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code = main(
+            [
+                "serve-bench",
+                "--loads",
+                "4",
+                "--budget-scale",
+                "0.5",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "offered load: 4" in out
+        assert "requests/s" in out
+        assert trace.exists()
