@@ -1,0 +1,196 @@
+"""Fault-injection bench: resilient serving under a fault-rate sweep.
+
+The resilience layer's acceptance claims, measured end-to-end on the
+64-request mixed workload (no deadlines -- resilience, not deadline
+pressure, is under test):
+
+* at a 10% per-launch fault rate the workload completes 100% -- some
+  requests degraded (lost playout batches, reduced effective budget),
+  zero errors;
+* at fault rate 0 the resilient service is a strict no-op -- the run
+  fingerprint is identical to a service built without a fault plan;
+* injection is deterministic under the plan seed: identical retry
+  counts, placements and metrics across runs.
+
+The sweep reports completion rate, p50/p95 latency, retry overhead and
+injected-fault counts at each fault rate.  Run standalone with
+``python benchmarks/bench_faults.py``; under pytest the quick tier
+scales budgets down (REPRO_TIER=default restores the full budgets).
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.faults import FaultPlan
+from repro.harness.common import resolve_tier
+from repro.serve import SearchService, WorkloadConfig, make_workload
+
+try:
+    from benchmarks.bench_serve import fingerprint
+except ImportError:  # standalone `python benchmarks/bench_faults.py`
+    from bench_serve import fingerprint
+
+#: The canonical 10% per-launch fault mix: failed launches dominate,
+#: with lost results and absorbed latency spikes riding along.
+FAULT_MIX = FaultPlan(
+    launch_fail_rate=0.05,
+    lost_result_rate=0.03,
+    stall_rate=0.02,
+    stall_factor=8.0,
+    mpi_drop_rate=0.05,
+    seed=7,
+)
+
+
+@dataclass(frozen=True)
+class FaultBenchConfig:
+    n_requests: int = 64
+    #: Scale factors applied to FAULT_MIX's 10% total per-launch rate.
+    fault_scales: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0)
+    budget_scale: float = 1.0
+    n_devices: int = 4
+    max_active: int = 64
+    seed: int = 2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "FaultBenchConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return FaultBenchConfig(budget_scale=0.25)
+        if tier == "full":
+            return FaultBenchConfig(
+                budget_scale=2.0,
+                fault_scales=(0.0, 0.25, 0.5, 1.0, 2.0, 4.0),
+            )
+        return FaultBenchConfig()
+
+
+def run_with_faults(
+    cfg: FaultBenchConfig, plan: FaultPlan | None = FAULT_MIX
+):
+    """Serve the mixed workload under ``plan`` (None = no fault layer)."""
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=cfg.n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=None,
+        )
+    )
+    service = SearchService(
+        n_devices=cfg.n_devices,
+        max_active=cfg.max_active,
+        seed=cfg.seed,
+        faults=plan,
+    )
+    service.submit_all(workload)
+    records = service.run()
+    return records, service.report()
+
+
+def run_fault_sweep(cfg: FaultBenchConfig):
+    """Fault-rate scale -> ServiceReport, over ``cfg.fault_scales``."""
+    return {
+        scale: run_with_faults(cfg, FAULT_MIX.scaled(scale))[1]
+        for scale in cfg.fault_scales
+    }
+
+
+def render_sweep(reports) -> str:
+    from repro.util.tables import format_series
+
+    scales = sorted(reports)
+    return format_series(
+        "fault scale",
+        [f"{s:g}x" for s in scales],
+        {
+            "completion": [
+                f"{reports[s].completion_rate * 100:.0f}%"
+                for s in scales
+            ],
+            "degraded": [str(reports[s].degraded) for s in scales],
+            "p50 latency (ms)": [
+                f"{reports[s].p50_latency_s * 1e3:.2f}" for s in scales
+            ],
+            "p95 latency (ms)": [
+                f"{reports[s].p95_latency_s * 1e3:.2f}" for s in scales
+            ],
+            "retries": [str(reports[s].retries) for s in scales],
+            "retry overhead (ms)": [
+                f"{reports[s].retry_overhead_s * 1e3:.2f}"
+                for s in scales
+            ],
+            "faults": [
+                str(sum(reports[s].faults_injected.values()))
+                for s in scales
+            ],
+        },
+        title="fault-rate sweep (mixed workload, shared 4-GPU pool)",
+    )
+
+
+def test_ten_percent_faults_complete_without_errors(run_once):
+    cfg = FaultBenchConfig.for_tier()
+    _, report = run_once(run_with_faults, cfg)
+    print()
+    print(report.render())
+    assert report.completed == cfg.n_requests
+    assert report.completion_rate == 1.0
+    assert report.missed == 0
+    assert report.rejected == 0
+    assert sum(report.faults_injected.values()) > 0
+    assert report.retries > 0
+
+
+def test_zero_fault_rate_is_a_noop(run_once):
+    cfg = FaultBenchConfig.for_tier()
+
+    def compare():
+        baseline = run_with_faults(cfg, plan=None)
+        zero_rate = run_with_faults(cfg, FAULT_MIX.scaled(0.0))
+        return baseline, zero_rate
+
+    (base_records, base_report), (zero_records, zero_report) = (
+        run_once(compare)
+    )
+    assert fingerprint(base_records) == fingerprint(zero_records)
+    assert base_report == zero_report
+    assert zero_report.faults_injected == {}
+    assert zero_report.retries == 0
+
+
+def test_fault_injection_deterministic(run_once):
+    cfg = FaultBenchConfig.for_tier()
+    records, report = run_once(run_with_faults, cfg)
+    again, report2 = run_with_faults(cfg)
+    assert fingerprint(records) == fingerprint(again)
+    assert report == report2
+    assert [r.lost_lanes for r in records] == [
+        r.lost_lanes for r in again
+    ]
+    assert [r.degraded for r in records] == [r.degraded for r in again]
+
+
+def test_fault_sweep_degrades_gracefully(run_once):
+    cfg = FaultBenchConfig.for_tier()
+    reports = run_once(run_fault_sweep, cfg)
+    print()
+    print(render_sweep(reports))
+    assert set(reports) == set(cfg.fault_scales)
+    for scale, report in reports.items():
+        assert report.completion_rate == 1.0, (
+            f"errors at fault scale {scale}"
+        )
+    injected = [
+        sum(reports[s].faults_injected.values())
+        for s in sorted(reports)
+    ]
+    assert injected == sorted(injected)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    cfg = replace(FaultBenchConfig.for_tier(), budget_scale=1.0)
+    _, report = run_with_faults(cfg)
+    print("10% per-launch fault mix:")
+    print(report.render())
+    print()
+    print(render_sweep(run_fault_sweep(cfg)))

@@ -108,6 +108,7 @@ def _cmd_serve_bench(args) -> int:
             max_active=args.max_active,
             seed=args.seed,
             tracer=tracer,
+            faults=args.faults,
         )
         service.submit_all(workload)
         service.run()
@@ -120,6 +121,16 @@ def _cmd_serve_bench(args) -> int:
         print(f"trace written to {args.trace_out}")
     print(f"[serve-bench took {time.perf_counter() - t0:.1f}s wall]")
     return 0
+
+
+def _fault_plan(text: str):
+    """Parse ``--faults`` into a validated plan at argparse time."""
+    from repro.faults import FaultPlan, FaultPlanError
+
+    try:
+        return FaultPlan.parse(text)
+    except FaultPlanError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _load_list(text: str) -> tuple[int, ...]:
@@ -208,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative per-request deadline in virtual seconds",
     )
     bench.add_argument("--seed", type=int, default=2011)
+    bench.add_argument(
+        "--faults",
+        type=_fault_plan,
+        default=None,
+        metavar="PLAN",
+        help=(
+            "inject deterministic faults, e.g. "
+            "'launch=0.1,lost=0.05,stall=0.02x8,outage=1@0.5+0.2,seed=7'"
+        ),
+    )
     bench.add_argument(
         "--trace-out",
         default=None,

@@ -38,6 +38,7 @@ class MultiGpuMcts(Engine):
         device=TESLA_C2050,
         network=TSUBAME_IB,
         cost_model=XEON_X5670,
+        injector=None,
         **kwargs,
     ) -> None:
         if n_gpus <= 0:
@@ -48,12 +49,18 @@ class MultiGpuMcts(Engine):
         self.threads_per_block = threads_per_block
         self.device = device
         self.network = network
+        #: Optional :class:`~repro.faults.FaultInjector`: per-rank vote
+        #: contributions may be dropped in the final reductions.
+        self.injector = injector
         self._engine_kwargs = kwargs
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         self._check_budget(budget_s, state)
         cluster = MpiCluster(
-            self.n_gpus, self.network, derive_seed(self.seed, "cluster")
+            self.n_gpus,
+            self.network,
+            derive_seed(self.seed, "cluster"),
+            injector=self.injector,
         )
         states = cluster.bcast(state, root=0)
 
@@ -111,5 +118,6 @@ class MultiGpuMcts(Engine):
                 "per_rank_simulations": [
                     r.simulations for r in rank_results
                 ],
+                "dropped_messages": cluster.dropped,
             },
         )

@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the virtual-GPU serving stack.
+
+The paper's block-parallel design assumes every kernel launch and MPI
+exchange succeeds; a production service cannot.  This package provides
+the failure side of that contract as *modelled* events against the
+virtual clock, so resilience logic (retry, quarantine, degradation) is
+exercised deterministically and byte-reproducibly:
+
+* :class:`FaultPlan` -- a declarative, seedable description of what
+  goes wrong: per-launch kernel failures, device stalls (latency
+  spikes), lost results, scheduled whole-device outages, and dropped
+  MPI messages.  Plans parse from a compact string grammar
+  (``"launch=0.1,lost=0.05,seed=7"``) for the CLI.
+* :class:`FaultInjector` -- the stateful decision engine built from a
+  plan.  Every decision is a counter-based hash draw (splitmix64), so
+  the same plan always injects the same faults at the same points, no
+  matter how callers interleave other RNG use.
+
+See docs/faults.md for the grammar, the retry/degradation semantics of
+the serving layer, and how to write a fault-injection test.
+"""
+
+from repro.faults.injector import (
+    Fault,
+    FaultInjector,
+    KIND_LAUNCH_FAIL,
+    KIND_LOST_RESULT,
+    KIND_MPI_DROP,
+    KIND_OUTAGE,
+    KIND_STALL,
+)
+from repro.faults.plan import DeviceOutage, FaultPlan, FaultPlanError
+
+__all__ = [
+    "DeviceOutage",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "KIND_LAUNCH_FAIL",
+    "KIND_LOST_RESULT",
+    "KIND_MPI_DROP",
+    "KIND_OUTAGE",
+    "KIND_STALL",
+]

@@ -1,0 +1,127 @@
+"""The fault decision engine: counter-based, exactly reproducible.
+
+Every probabilistic decision consumes one *counter-hash draw*: the
+uniform value is ``splitmix64(seed, tag, counter) / 2^64``, not a step
+of a shared RNG stream.  Two consequences matter for the serving
+stack:
+
+* Determinism is independent of interleaving.  Kernel-launch draws and
+  MPI-drop draws advance separate counters, so adding an MPI search to
+  a workload cannot shift which kernel launches fail.
+* The injector can be shared by every layer of one service run (the
+  launcher, the MPI cluster) and still reproduce byte-identical fault
+  sequences from the plan's seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.plan import DeviceOutage, FaultPlan
+from repro.util.seeding import derive_seed
+
+#: Fault kinds, as reported in injector/service counters.
+KIND_LAUNCH_FAIL = "launch_fail"
+KIND_LOST_RESULT = "lost_result"
+KIND_STALL = "stall"
+KIND_OUTAGE = "outage"
+KIND_MPI_DROP = "mpi_drop"
+
+_SCALE = float(2**64)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault decision for a launch attempt."""
+
+    kind: str
+    #: Duration multiplier (only meaningful for stalls).
+    factor: float = 1.0
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-event fault decisions."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._launch_draws = 0
+        self._mpi_draws = 0
+        self.counters: dict[str, int] = {
+            KIND_LAUNCH_FAIL: 0,
+            KIND_LOST_RESULT: 0,
+            KIND_STALL: 0,
+            KIND_OUTAGE: 0,
+            KIND_MPI_DROP: 0,
+        }
+
+    def _uniform(self, tag: str, counter: int) -> float:
+        return derive_seed(self.plan.seed, tag, counter) / _SCALE
+
+    # -- device outages ----------------------------------------------------
+
+    def outage_at(self, device_id: int, t: float) -> DeviceOutage | None:
+        """The outage window covering device ``device_id`` at time
+        ``t``, if any.  Scheduled (not probabilistic): consumes no
+        draw."""
+        for outage in self.plan.outages:
+            if outage.device_id == device_id and outage.covers(t):
+                return outage
+        return None
+
+    # -- kernel launches ---------------------------------------------------
+
+    def launch_fault(self, device_id: int, t: float) -> Fault | None:
+        """The fault (if any) afflicting one kernel-launch attempt.
+
+        Outage windows take precedence (a down device cannot run
+        anything); otherwise one counter draw picks between launch
+        failure, lost result, stall, or clean execution.
+        """
+        if self.outage_at(device_id, t) is not None:
+            self.counters[KIND_OUTAGE] += 1
+            return Fault(KIND_OUTAGE)
+        plan = self.plan
+        if not (
+            plan.launch_fail_rate
+            or plan.lost_result_rate
+            or plan.stall_rate
+        ):
+            return None
+        self._launch_draws += 1
+        u = self._uniform("launch", self._launch_draws)
+        if u < plan.launch_fail_rate:
+            self.counters[KIND_LAUNCH_FAIL] += 1
+            return Fault(KIND_LAUNCH_FAIL)
+        u -= plan.launch_fail_rate
+        if u < plan.lost_result_rate:
+            self.counters[KIND_LOST_RESULT] += 1
+            return Fault(KIND_LOST_RESULT)
+        u -= plan.lost_result_rate
+        if u < plan.stall_rate:
+            self.counters[KIND_STALL] += 1
+            return Fault(KIND_STALL, factor=plan.stall_factor)
+        return None
+
+    # -- MPI messages ------------------------------------------------------
+
+    def drop_message(self) -> bool:
+        """Is the next MPI rank contribution dropped?"""
+        if not self.plan.mpi_drop_rate:
+            return False
+        self._mpi_draws += 1
+        dropped = (
+            self._uniform("mpi", self._mpi_draws) < self.plan.mpi_drop_rate
+        )
+        if dropped:
+            self.counters[KIND_MPI_DROP] += 1
+        return dropped
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counters.values())
+
+    def injected(self) -> dict[str, int]:
+        """Non-zero fault counts by kind."""
+        return {k: v for k, v in self.counters.items() if v}

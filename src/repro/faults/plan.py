@@ -1,0 +1,191 @@
+"""Fault plans: declarative, seedable descriptions of what goes wrong.
+
+A plan is pure data -- rates, factors and outage windows -- with a
+compact string grammar for the CLI (``serve-bench --faults ...``)::
+
+    launch=0.1            10% of kernel launches fail at the API
+    lost=0.05             5% of kernels complete but their results
+                          never reach the host
+    stall=0.02x8          2% of kernels run 8x slower than modelled
+    outage=1@0.5+0.2      device 1 is down from t=0.5s for 0.2s
+                          (repeatable for multiple windows)
+    drop=0.01             1% of MPI rank contributions are dropped
+    seed=7                the injection seed
+
+Entries are comma-separated; unknown keys are rejected.  A plan with
+every rate at zero and no outages injects nothing, and the serving
+stack is bit-identical to running without a plan at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+class FaultPlanError(ValueError):
+    """Raised on malformed fault-plan specs."""
+
+
+@dataclass(frozen=True)
+class DeviceOutage:
+    """One scheduled whole-device outage window ``[start, start+duration)``."""
+
+    device_id: int
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise FaultPlanError(
+                f"outage device id cannot be negative: {self.device_id}"
+            )
+        if self.start_s < 0:
+            raise FaultPlanError(
+                f"outage start cannot be negative: {self.start_s}"
+            )
+        if self.duration_s <= 0:
+            raise FaultPlanError(
+                f"outage duration must be positive: {self.duration_s}"
+            )
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def covers(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise FaultPlanError(f"{name} must be in [0, 1]: {value}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to inject, with what probability, under which seed."""
+
+    #: Probability a kernel launch fails immediately at the API.
+    launch_fail_rate: float = 0.0
+    #: Probability a kernel runs to completion but its results are lost
+    #: (the host only notices at the per-launch timeout).
+    lost_result_rate: float = 0.0
+    #: Probability a kernel stalls: its modelled duration is multiplied
+    #: by :attr:`stall_factor`.
+    stall_rate: float = 0.0
+    stall_factor: float = 8.0
+    #: Probability one rank's contribution to an MPI reduction is lost.
+    mpi_drop_rate: float = 0.0
+    #: Scheduled whole-device outage windows.
+    outages: tuple[DeviceOutage, ...] = field(default_factory=tuple)
+    #: Seed of the injection hash stream (independent of workload seeds).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_rate("launch_fail_rate", self.launch_fail_rate)
+        _check_rate("lost_result_rate", self.lost_result_rate)
+        _check_rate("stall_rate", self.stall_rate)
+        _check_rate("mpi_drop_rate", self.mpi_drop_rate)
+        total = (
+            self.launch_fail_rate + self.lost_result_rate + self.stall_rate
+        )
+        if total > 1.0:
+            raise FaultPlanError(
+                f"per-launch fault rates sum to {total}; must be <= 1"
+            )
+        if self.stall_factor <= 1.0:
+            raise FaultPlanError(
+                f"stall factor must exceed 1: {self.stall_factor}"
+            )
+
+    @property
+    def injects_anything(self) -> bool:
+        return bool(
+            self.launch_fail_rate
+            or self.lost_result_rate
+            or self.stall_rate
+            or self.mpi_drop_rate
+            or self.outages
+        )
+
+    def scaled(self, scale: float) -> "FaultPlan":
+        """The same plan with every probabilistic rate multiplied by
+        ``scale`` (outage windows are kept as-is).  Used by the fault
+        benchmark to sweep a plan's intensity."""
+        if scale < 0:
+            raise FaultPlanError(f"scale cannot be negative: {scale}")
+        return replace(
+            self,
+            launch_fail_rate=min(1.0, self.launch_fail_rate * scale),
+            lost_result_rate=min(1.0, self.lost_result_rate * scale),
+            stall_rate=min(1.0, self.stall_rate * scale),
+            mpi_drop_rate=min(1.0, self.mpi_drop_rate * scale),
+        )
+
+    @staticmethod
+    def parse(text: str) -> "FaultPlan":
+        """Parse the string grammar (see module docstring)."""
+        if not isinstance(text, str) or not text.strip():
+            raise FaultPlanError(f"empty fault plan spec: {text!r}")
+        kwargs: dict = {}
+        outages: list[DeviceOutage] = []
+        for raw in text.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            key, sep, value = entry.partition("=")
+            if not sep:
+                raise FaultPlanError(
+                    f"fault plan entry {entry!r} is not key=value"
+                )
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "launch":
+                    kwargs["launch_fail_rate"] = float(value)
+                elif key == "lost":
+                    kwargs["lost_result_rate"] = float(value)
+                elif key == "stall":
+                    rate, _, factor = value.partition("x")
+                    kwargs["stall_rate"] = float(rate)
+                    if factor:
+                        kwargs["stall_factor"] = float(factor)
+                elif key == "drop":
+                    kwargs["mpi_drop_rate"] = float(value)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "outage":
+                    dev, _, window = value.partition("@")
+                    start, _, duration = window.partition("+")
+                    if not window or not duration:
+                        raise FaultPlanError(
+                            f"outage spec {value!r} must be "
+                            "DEVICE@START+DURATION"
+                        )
+                    outages.append(
+                        DeviceOutage(int(dev), float(start), float(duration))
+                    )
+                else:
+                    raise FaultPlanError(
+                        f"unknown fault plan key {key!r} in {text!r}; "
+                        "known: launch, lost, stall, outage, drop, seed"
+                    )
+            except FaultPlanError:
+                raise
+            except ValueError:
+                raise FaultPlanError(
+                    f"malformed fault plan entry {entry!r}"
+                ) from None
+        return FaultPlan(outages=tuple(outages), **kwargs)
+
+    @staticmethod
+    def coerce(plan: "FaultPlan | str | None") -> "FaultPlan | None":
+        """Accept a plan, a spec string, or None."""
+        if plan is None or isinstance(plan, FaultPlan):
+            return plan
+        if isinstance(plan, str):
+            return FaultPlan.parse(plan)
+        raise FaultPlanError(
+            f"fault plan must be a FaultPlan, string or None, "
+            f"got {type(plan).__name__}: {plan!r}"
+        )

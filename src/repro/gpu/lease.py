@@ -1,4 +1,4 @@
-"""Shared-device pool: placement, leases and utilisation accounting.
+"""Shared-device pool: placement, leases, health and utilisation.
 
 The serving layer (:mod:`repro.serve`) multiplexes many concurrent
 searches over a fixed set of virtual GPUs.  A :class:`DevicePool` owns
@@ -13,6 +13,15 @@ shared clock and hands out work placements:
   :class:`~repro.gpu.trace.Tracer` (track ``gpu<i>``), so a service
   run exports directly to the Chrome trace viewer and utilisation is
   just busy-time over elapsed-time per track.
+* Devices carry *health*: callers report launch outcomes via
+  :meth:`mark_failure`/:meth:`mark_success`, and a device whose
+  consecutive failures reach the quarantine threshold is taken out of
+  :meth:`least_busy` placement for a cooldown window -- how the
+  resilient scheduler steers retries away from flaky or dead devices.
+* Every lease must eventually be *resolved* -- synchronised, observed
+  complete, or explicitly abandoned.  :meth:`assert_drained` enforces
+  the invariant at service drain; an unresolved lease means a caller
+  leaked busy-time accounting.
 
 The pool does not execute playouts itself -- callers compute results
 and modelled durations (see :mod:`repro.serve.scheduler`) and the pool
@@ -22,7 +31,7 @@ decides *where* and *when* the work runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.gpu.device import DeviceSpec
 from repro.gpu.stream import Event, Stream
@@ -43,6 +52,8 @@ class DeviceLease:
     holder: str
     start_s: float
     event: Event
+    #: Pool-wide launch sequence number; resolution is tracked by id.
+    lease_id: int = 0
 
     @property
     def end_s(self) -> float:
@@ -62,6 +73,12 @@ class _DeviceSlot:
     stream: Stream
     busy_s: float = 0.0
     launches: int = 0
+    #: Health tracking for quarantine decisions.
+    failures: int = 0
+    successes: int = 0
+    consecutive_failures: int = 0
+    quarantined_until: float = 0.0
+    quarantines: int = 0
 
     @property
     def busy_until(self) -> float:
@@ -69,23 +86,43 @@ class _DeviceSlot:
 
 
 class DevicePool:
-    """A fixed set of virtual GPUs shared by many requests."""
+    """A fixed set of virtual GPUs shared by many requests.
+
+    ``quarantine_after`` consecutive launch failures on one device put
+    it in quarantine for ``quarantine_s`` virtual seconds; quarantined
+    devices are skipped by default placement until the window expires
+    (or every device is quarantined, in which case placement falls
+    back to the full pool rather than deadlocking).
+    """
 
     def __init__(
         self,
         specs: Sequence[DeviceSpec],
         clock: Clock,
         tracer: Tracer | None = None,
+        quarantine_after: int = 3,
+        quarantine_s: float = 1e-3,
     ) -> None:
         if not specs:
             raise PoolError("device pool needs at least one device")
+        if quarantine_after <= 0:
+            raise PoolError(
+                f"quarantine_after must be positive: {quarantine_after}"
+            )
+        if quarantine_s < 0:
+            raise PoolError(
+                f"quarantine_s cannot be negative: {quarantine_s}"
+            )
         self.clock = clock
         self.tracer = tracer if tracer is not None else Tracer()
+        self.quarantine_after = quarantine_after
+        self.quarantine_s = quarantine_s
         self._slots = [
             _DeviceSlot(i, spec, Stream(clock))
             for i, spec in enumerate(specs)
         ]
         self._leases: list[DeviceLease] = []
+        self._unresolved: set[int] = set()
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -103,10 +140,24 @@ class DevicePool:
         """Tracer track name for one device."""
         return f"gpu{device_id}"
 
-    def least_busy(self) -> int:
-        """Device id whose stream frees up first (ties: lowest id)."""
+    def least_busy(
+        self, candidates: Iterable[int] | None = None
+    ) -> int:
+        """Device id whose stream frees up first (ties: lowest id).
+
+        With no ``candidates``, quarantined devices are skipped unless
+        *every* device is quarantined.  An explicit candidate list is
+        used verbatim.
+        """
+        if candidates is None:
+            ids = self.healthy_ids() or range(len(self._slots))
+        else:
+            ids = list(candidates)
+            if not ids:
+                raise PoolError("least_busy over no candidate devices")
         return min(
-            self._slots, key=lambda s: (s.busy_until, s.device_id)
+            (self._slot(i) for i in ids),
+            key=lambda s: (s.busy_until, s.device_id),
         ).device_id
 
     def spec_of(self, device_id: int) -> DeviceSpec:
@@ -126,19 +177,21 @@ class DevicePool:
         duration_s: float,
         device_id: int | None = None,
         label: str = "kernel",
+        not_before_s: float = 0.0,
         **trace_args,
     ) -> DeviceLease:
         """Enqueue ``duration_s`` of device work for ``holder``.
 
         Placed on ``device_id`` if given, otherwise on the least busy
-        device.  The kernel starts when that device's stream is free;
-        the host is not blocked (synchronise via ``lease.event``).
+        healthy device.  The kernel starts when that device's stream is
+        free (and ``not_before_s`` has passed); the host is not blocked
+        (synchronise via ``lease.event``).
         """
         if device_id is None:
             device_id = self.least_busy()
         slot = self._slot(device_id)
-        start = max(self.clock.now, slot.busy_until)
-        event = slot.stream.launch(duration_s)
+        start = max(self.clock.now, slot.busy_until, not_before_s)
+        event = slot.stream.launch(duration_s, not_before_s=not_before_s)
         slot.busy_s += duration_s
         slot.launches += 1
         lease = DeviceLease(
@@ -147,8 +200,10 @@ class DevicePool:
             holder=holder,
             start_s=start,
             event=event,
+            lease_id=len(self._leases),
         )
         self._leases.append(lease)
+        self._unresolved.add(lease.lease_id)
         self.tracer.record(
             label,
             self.track(slot.device_id),
@@ -163,10 +218,21 @@ class DevicePool:
         """Block the host (advance the clock) until the lease's work
         completes."""
         self._slot(lease.device_id).stream.synchronize(lease.event)
+        self._unresolved.discard(lease.lease_id)
 
     def complete(self, lease: DeviceLease) -> bool:
         """Has the lease's work finished at the current time?"""
-        return self._slot(lease.device_id).stream.query(lease.event)
+        done = self._slot(lease.device_id).stream.query(lease.event)
+        if done:
+            self._unresolved.discard(lease.lease_id)
+        return done
+
+    def abandon(self, lease: DeviceLease) -> None:
+        """Resolve a lease the host will never wait on (timed-out or
+        failed attempt).  The device span stays on the books -- the
+        kernel still occupied the stream -- but the host stops
+        tracking it."""
+        self._unresolved.discard(lease.lease_id)
 
     def next_completion(self) -> float | None:
         """Earliest future completion across all devices, or ``None``
@@ -178,6 +244,50 @@ class DevicePool:
         ]
         return min(pending) if pending else None
 
+    # -- health ------------------------------------------------------------
+
+    def mark_failure(self, device_id: int) -> bool:
+        """Record a failed launch attempt; returns True if the device
+        just entered quarantine."""
+        slot = self._slot(device_id)
+        slot.failures += 1
+        slot.consecutive_failures += 1
+        if (
+            slot.consecutive_failures >= self.quarantine_after
+            and not self.is_quarantined(device_id)
+        ):
+            slot.quarantined_until = self.clock.now + self.quarantine_s
+            slot.quarantines += 1
+            slot.consecutive_failures = 0
+            return True
+        return False
+
+    def mark_success(self, device_id: int) -> None:
+        """Record a successful launch; clears the failure streak."""
+        slot = self._slot(device_id)
+        slot.successes += 1
+        slot.consecutive_failures = 0
+
+    def is_quarantined(self, device_id: int) -> bool:
+        return self.clock.now < self._slot(device_id).quarantined_until
+
+    def healthy_ids(self) -> list[int]:
+        """Devices currently accepting placements."""
+        return [
+            slot.device_id
+            for slot in self._slots
+            if not self.is_quarantined(slot.device_id)
+        ]
+
+    def health(self, device_id: int) -> dict[str, int]:
+        """Observed launch outcomes for one device."""
+        slot = self._slot(device_id)
+        return {
+            "failures": slot.failures,
+            "successes": slot.successes,
+            "quarantines": slot.quarantines,
+        }
+
     # -- accounting --------------------------------------------------------
 
     def busy_seconds(self, device_id: int) -> float:
@@ -185,6 +295,27 @@ class DevicePool:
 
     def launches(self, device_id: int) -> int:
         return self._slot(device_id).launches
+
+    @property
+    def unresolved_leases(self) -> tuple[DeviceLease, ...]:
+        """Leases no caller has synchronised, completed or abandoned."""
+        return tuple(
+            lease
+            for lease in self._leases
+            if lease.lease_id in self._unresolved
+        )
+
+    def assert_drained(self) -> None:
+        """Raise if any lease was never resolved -- the caller leaked
+        busy-time accounting (launched work it never waited on)."""
+        leaked = self.unresolved_leases
+        if leaked:
+            holders = sorted({lease.holder for lease in leaked})
+            raise PoolError(
+                f"{len(leaked)} unresolved lease(s) at drain "
+                f"(holders: {', '.join(holders)}); every launch must "
+                "be synchronized, completed or abandoned"
+            )
 
     def utilization(self, elapsed_s: float | None = None) -> dict[str, float]:
         """Busy fraction per device track over ``elapsed_s`` (defaults

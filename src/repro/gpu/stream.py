@@ -40,18 +40,24 @@ class Stream:
     _busy_until: float = 0.0
     _events: list = field(default_factory=list)
 
-    def launch(self, duration_s: float, payload: Any = None) -> Event:
+    def launch(
+        self,
+        duration_s: float,
+        payload: Any = None,
+        not_before_s: float = 0.0,
+    ) -> Event:
         """Enqueue ``duration_s`` of device work; returns its event.
 
         The host is *not* blocked: only the stream's internal timeline
         advances.  The kernel starts when the stream is free and the
-        host has issued it (now).
+        host has issued it (now, or at ``not_before_s`` if later --
+        how a backed-off retry is scheduled onto a future instant).
         """
         if duration_s < 0:
             raise StreamError(
                 f"kernel duration must be non-negative: {duration_s}"
             )
-        start = max(self.clock.now, self._busy_until)
+        start = max(self.clock.now, self._busy_until, not_before_s)
         event = Event(done_at=start + duration_s, payload=payload)
         self._busy_until = event.done_at
         self._events.append(event)

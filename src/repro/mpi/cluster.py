@@ -8,6 +8,13 @@ parallel).  Collectives operate on all ranks' values at once and charge
 binomial-tree costs to every participant, then leave all clocks
 synchronised at the collective's completion time -- the semantics of a
 blocking MPI collective.
+
+A :class:`~repro.faults.FaultInjector` can be attached to model lossy
+vote aggregation: each non-root rank's contribution to ``reduce`` /
+``allreduce`` may be dropped (the root's never is, so a reduction is
+never empty).  Dropped contributions are counted in :attr:`dropped`;
+timing is unaffected -- the collective still runs, the payload just
+arrives without that rank's votes.
 """
 
 from __future__ import annotations
@@ -70,12 +77,19 @@ class MpiCluster:
     """A fixed-size communicator over a simulated network."""
 
     def __init__(
-        self, size: int, network: NetworkModel, seed: int = 0
+        self,
+        size: int,
+        network: NetworkModel,
+        seed: int = 0,
+        injector=None,
     ) -> None:
         if size <= 0:
             raise MpiError(f"cluster size must be positive: {size}")
         self.size = size
         self.network = network
+        self.injector = injector
+        #: Rank contributions lost to injected message drops.
+        self.dropped = 0
         self.clocks = [Clock() for _ in range(size)]
         self._contexts = [
             RankContext(r, size, self.clocks[r], derive_seed(seed, "rank", r))
@@ -116,7 +130,7 @@ class MpiCluster:
         """Reduce per-rank ``values`` to ``root``; returns the reduced
         value (as seen by the root)."""
         self._check_rank(root)
-        result = self._apply_op(values, op)
+        result = self._apply_op(self._surviving(values, root), op)
         done = self._collective_done(_payload_bytes(values[root]))
         for c in self.clocks:
             c.advance_to(done)
@@ -124,7 +138,7 @@ class MpiCluster:
 
     def allreduce(self, values: Sequence, op: str = "sum") -> list:
         """Reduce and redistribute; every rank gets the result."""
-        result = self._apply_op(values, op)
+        result = self._apply_op(self._surviving(values, 0), op)
         nbytes = _payload_bytes(values[0])
         latest = max(c.now for c in self.clocks)
         done = latest + self.network.allreduce_time(nbytes, self.size)
@@ -212,8 +226,26 @@ class MpiCluster:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _apply_op(self, values: Sequence, op: str):
+    def _surviving(self, values: Sequence, keep_rank: int) -> list:
+        """Drop injected-lossy rank contributions -- never
+        ``keep_rank``'s, so the surviving list is never empty."""
         if len(values) != self.size:
+            raise MpiError(
+                f"expected one value per rank ({self.size}), "
+                f"got {len(values)}"
+            )
+        if self.injector is None:
+            return list(values)
+        kept = []
+        for rank, value in enumerate(values):
+            if rank != keep_rank and self.injector.drop_message():
+                self.dropped += 1
+            else:
+                kept.append(value)
+        return kept
+
+    def _apply_op(self, values: Sequence, op: str):
+        if not 0 < len(values) <= self.size:
             raise MpiError(
                 f"expected one value per rank ({self.size}), "
                 f"got {len(values)}"

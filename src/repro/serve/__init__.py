@@ -25,6 +25,12 @@ metric definitions.
 """
 
 from repro.serve.metrics import ServiceReport, percentile, summarize
+from repro.serve.resilience import (
+    Attempt,
+    LaunchOutcome,
+    ResilientLauncher,
+    RetryPolicy,
+)
 from repro.serve.request import (
     COMPLETED,
     MISSED,
@@ -65,6 +71,10 @@ __all__ = [
     "summarize",
     "percentile",
     "supports_search_steps",
+    "Attempt",
+    "LaunchOutcome",
+    "ResilientLauncher",
+    "RetryPolicy",
     "GeneratorPool",
     "LaneBatcher",
     "drive_generators",

@@ -48,6 +48,16 @@ class ServiceReport:
     mean_lanes_per_launch: float
     #: Track name ("gpu0", ...) -> busy fraction over the run.
     device_utilization: dict[str, float] = field(default_factory=dict)
+    #: Completed-but-degraded requests (lost playout batches).
+    degraded: int = 0
+    #: Resilience accounting: launch retries issued, chains lost after
+    #: exhausting retries, lanes dropped, host wait wasted on failed
+    #: attempts, and injected fault counts by kind.
+    retries: int = 0
+    lost_launches: int = 0
+    lost_lanes: int = 0
+    retry_overhead_s: float = 0.0
+    faults_injected: dict[str, int] = field(default_factory=dict)
 
     @property
     def requests_per_s(self) -> float:
@@ -55,6 +65,13 @@ class ServiceReport:
         if self.elapsed_s <= 0:
             return 0.0
         return self.completed / self.elapsed_s
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed over offered (degraded completions count)."""
+        if self.offered <= 0:
+            return 0.0
+        return self.completed / self.offered
 
     def render(self) -> str:
         rows = {
@@ -73,6 +90,23 @@ class ServiceReport:
             "kernel launches": [str(self.kernel_launches)],
             "mean lanes/launch": [f"{self.mean_lanes_per_launch:.1f}"],
         }
+        if (
+            self.degraded
+            or self.retries
+            or self.lost_launches
+            or self.faults_injected
+        ):
+            rows["degraded"] = [str(self.degraded)]
+            rows["launch retries"] = [str(self.retries)]
+            rows["lost launches"] = [str(self.lost_launches)]
+            rows["lost lanes"] = [str(self.lost_lanes)]
+            rows["retry overhead (ms)"] = [
+                f"{self.retry_overhead_s * 1e3:.2f}"
+            ]
+            for kind in sorted(self.faults_injected):
+                rows[f"faults: {kind}"] = [
+                    str(self.faults_injected[kind])
+                ]
         for track in sorted(self.device_utilization):
             rows[f"{track} utilisation"] = [
                 f"{self.device_utilization[track] * 100:.0f}%"
@@ -91,6 +125,10 @@ def summarize(
     kernel_launches: int = 0,
     mean_lanes_per_launch: float = 0.0,
     device_utilization: dict[str, float] | None = None,
+    retries: int = 0,
+    lost_launches: int = 0,
+    retry_overhead_s: float = 0.0,
+    faults_injected: dict[str, int] | None = None,
 ) -> ServiceReport:
     """Fold a run's request records into a :class:`ServiceReport`."""
     latencies = [
@@ -102,6 +140,16 @@ def summarize(
         if r.status == COMPLETED and r.queue_wait_s is not None
     ]
     return ServiceReport(
+        degraded=sum(
+            1
+            for r in records
+            if r.status == COMPLETED and r.degraded
+        ),
+        lost_lanes=sum(r.lost_lanes for r in records),
+        retries=retries,
+        lost_launches=lost_launches,
+        retry_overhead_s=retry_overhead_s,
+        faults_injected=dict(faults_injected or {}),
         offered=len(records),
         completed=len(latencies),
         rejected=sum(1 for r in records if r.status == REJECTED),

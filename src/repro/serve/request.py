@@ -84,6 +84,11 @@ class RequestRecord:
     ticks: int = 0
     #: Total playout lanes this request asked for.
     lanes: int = 0
+    #: Completed, but with playout batches lost to faults (reduced
+    #: effective budget) or after exhausting its launch retries.
+    degraded: bool = False
+    #: Playout lanes this request lost to exhausted launch chains.
+    lost_lanes: int = 0
     extras: dict = field(default_factory=dict)
 
     @property

@@ -31,6 +31,7 @@ from repro.gpu.kernel import LaunchConfig, playout_kernel_spec
 from repro.gpu.lease import DeviceLease, DevicePool
 from repro.gpu.timing import kernel_time
 from repro.rng import BatchXorShift128Plus
+from repro.serve.resilience import LaunchOutcome, ResilientLauncher
 from repro.util.seeding import derive_seed
 
 import numpy as np
@@ -128,7 +129,26 @@ class LaunchRecord:
 
     game: str
     lanes: int
-    lease: DeviceLease
+    #: The successful placement; None when the launch chain was lost
+    #: (resilient path only -- its lanes' results were dropped).
+    lease: DeviceLease | None
+    #: Full retry-chain outcome (resilient path only).
+    outcome: LaunchOutcome | None = None
+    #: Lane span ``[lo, hi)`` of the merged per-game batch this launch
+    #: covered.
+    lo: int = 0
+    hi: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        return self.lease is not None
+
+    @property
+    def ready_s(self) -> float:
+        """When the host has (or gives up on) this launch's results."""
+        if self.outcome is not None:
+            return self.outcome.ready_s
+        return self.lease.end_s
 
 
 def launch_config_for(lanes: int, warp_size: int = 32) -> LaunchConfig:
@@ -154,11 +174,20 @@ class LaneBatcher:
     #: (launch latency would dominate the win).
     MIN_LANES_PER_DEVICE = 64
 
-    def __init__(self, pool: DevicePool, seed: int) -> None:
+    def __init__(
+        self,
+        pool: DevicePool,
+        seed: int,
+        launcher: ResilientLauncher | None = None,
+    ) -> None:
         self.pool = pool
         self.seed = derive_seed(seed, "lane_batcher")
+        self.launcher = launcher
         self.launch_count = 0
         self.lanes_total = 0
+        #: Lanes whose launch chain exhausted its retries (results
+        #: dropped, requests degraded).
+        self.lost_lanes = 0
         self._batch_games: dict[str, object] = {}
 
     def _batch_game(self, game: str):
@@ -179,19 +208,42 @@ class LaneBatcher:
             lo = hi
         return spans
 
+    def _duration_for(self, game: str, tracked, lanes: int):
+        """Closure mapping a device spec to this chunk's modelled
+        kernel time there (re-placement may land on any device)."""
+        kernel = playout_kernel_spec(game)
+
+        def duration(spec) -> float:
+            config = launch_config_for(lanes, spec.warp_size)
+            padded = np.zeros(config.total_threads, dtype=np.int64)
+            padded[:lanes] = tracked.finish_steps
+            block_steps = padded.reshape(
+                config.blocks, config.threads_per_block
+            ).max(axis=1)
+            return kernel_time(
+                spec,
+                kernel,
+                config,
+                block_steps,
+                transfer_bytes=4 * lanes,
+            ).total_s
+
+        return duration
+
     def execute(
         self, game: str, states: Sequence, holder: str = "merged"
     ) -> tuple[PlayoutResults, list[LaunchRecord]]:
         """Run one game's merged lane batch; one playout per state.
 
         Returns per-lane ``(winner, plies)`` aligned with ``states``
-        and the launch records (synchronise on their leases to charge
-        the kernel time to the clock).
+        and the launch records (wait on their ``ready_s`` / leases to
+        charge the kernel time to the clock).  A chunk whose resilient
+        launch chain was lost yields neutral ``(0, 0)`` answers for its
+        lanes -- the dropped-playout-batch degradation contract.
         """
         if not states:
             return [], []
         bg = self._batch_game(game)
-        kernel = playout_kernel_spec(game)
         answers: list[tuple[int, int]] = []
         records: list[LaunchRecord] = []
         for lo, hi in self._chunks(len(states)):
@@ -204,36 +256,50 @@ class LaneBatcher:
             )
             batch = bg.make_batch(chunk, 1)
             tracked = run_playouts_tracked(bg, batch, rng)
-            answers.extend(
+            chunk_answers = list(
                 zip(
                     (int(w) for w in tracked.winners),
                     (int(p) for p in tracked.finish_steps),
                 )
             )
-            device_id = self.pool.least_busy()
-            spec = self.pool.spec_of(device_id)
-            config = launch_config_for(lanes, spec.warp_size)
-            padded = np.zeros(config.total_threads, dtype=np.int64)
-            padded[:lanes] = tracked.finish_steps
-            block_steps = padded.reshape(
-                config.blocks, config.threads_per_block
-            ).max(axis=1)
-            timing = kernel_time(
-                spec,
-                kernel,
-                config,
-                block_steps,
-                transfer_bytes=4 * lanes,
-            )
-            lease = self.pool.launch(
-                holder,
-                timing.total_s,
-                device_id=device_id,
-                label=f"{game}_playouts",
-                lanes=lanes,
-                game=game,
-            )
-            records.append(LaunchRecord(game=game, lanes=lanes, lease=lease))
+            duration_for = self._duration_for(game, tracked, lanes)
+            if self.launcher is not None:
+                outcome = self.launcher.launch(
+                    holder,
+                    duration_for,
+                    label=f"{game}_playouts",
+                    lanes=lanes,
+                    game=game,
+                )
+                if not outcome.delivered:
+                    chunk_answers = [(0, 0)] * lanes
+                    self.lost_lanes += lanes
+                records.append(
+                    LaunchRecord(
+                        game=game,
+                        lanes=lanes,
+                        lease=outcome.lease,
+                        outcome=outcome,
+                        lo=lo,
+                        hi=hi,
+                    )
+                )
+            else:
+                device_id = self.pool.least_busy()
+                lease = self.pool.launch(
+                    holder,
+                    duration_for(self.pool.spec_of(device_id)),
+                    device_id=device_id,
+                    label=f"{game}_playouts",
+                    lanes=lanes,
+                    game=game,
+                )
+                records.append(
+                    LaunchRecord(
+                        game=game, lanes=lanes, lease=lease, lo=lo, hi=hi
+                    )
+                )
+            answers.extend(chunk_answers)
         return answers, records
 
     @property

@@ -44,13 +44,19 @@ from dataclasses import dataclass
 
 from repro.core.base import Engine
 from repro.core.results import SearchResult
-from repro.core.spec import make_engine
+from repro.core.spec import EngineSpec, make_engine
+from repro.faults import FaultInjector, FaultPlan
 from repro.games import make_game
 from repro.games.base import Game
 from repro.gpu.device import TESLA_C2050, DeviceSpec
-from repro.gpu.lease import DeviceLease, DevicePool
+from repro.gpu.lease import DevicePool
 from repro.gpu.trace import Tracer
 from repro.serve.metrics import ServiceReport, summarize
+from repro.serve.resilience import (
+    LaunchOutcome,
+    ResilientLauncher,
+    RetryPolicy,
+)
 from repro.serve.request import (
     COMPLETED,
     MISSED,
@@ -82,9 +88,9 @@ class _Active:
     #: (priming the generator happens at activation).
     pending_cpu_s: float = 0.0
     #: Direct-path (non-generator) engines: the finished result and
-    #: the device lease its modelled execution occupies.
+    #: the launch-chain outcome its modelled execution occupies.
     result: SearchResult | None = None
-    lease: DeviceLease | None = None
+    outcome: LaunchOutcome | None = None
 
 
 class ServiceError(RuntimeError):
@@ -104,6 +110,8 @@ class SearchService:
         tracer: Tracer | None = None,
         tick_overhead_s: float = 2e-6,
         enforce_deadlines: bool = True,
+        faults: FaultPlan | str | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if max_active <= 0:
             raise ValueError(f"max_active must be positive: {max_active}")
@@ -114,7 +122,18 @@ class SearchService:
         self.clock = Clock()
         self.tracer = tracer if tracer is not None else Tracer()
         self.pool = DevicePool(devices, self.clock, self.tracer)
-        self.batcher = LaneBatcher(self.pool, derive_seed(seed, "serve"))
+        self.fault_plan = FaultPlan.coerce(faults)
+        self.injector = (
+            FaultInjector(self.fault_plan)
+            if self.fault_plan is not None
+            else None
+        )
+        self.launcher = ResilientLauncher(
+            self.pool, policy=retry, injector=self.injector
+        )
+        self.batcher = LaneBatcher(
+            self.pool, derive_seed(seed, "serve"), launcher=self.launcher
+        )
         self.max_active = max_active
         self.max_queue = max_queue
         self.seed = seed
@@ -167,7 +186,15 @@ class SearchService:
         record.status = RUNNING
         record.start_s = self.clock.now
         game = self._game(req.game)
-        engine = make_engine(req.engine, game, req.seed, clock=Clock())
+        spec = EngineSpec.coerce(req.engine)
+        overrides = {}
+        if self.injector is not None and spec.kind == "multigpu":
+            # Multi-GPU vote aggregation shares the service's fault
+            # stream: rank contributions may be dropped.
+            overrides["injector"] = self.injector
+        engine = make_engine(
+            spec, game, req.seed, clock=Clock(), **overrides
+        )
         state = req.state if req.state is not None else game.initial_state()
         slot = _Active(record=record, engine=engine, game=game)
         active[req.request_id] = slot
@@ -186,18 +213,23 @@ class SearchService:
                 )
         else:
             # Direct path: the whole search runs pinned to one pooled
-            # device, occupying its stream for the modelled duration.
+            # device, occupying its stream for the modelled duration
+            # (re-placed onto another healthy device if faults strike).
             result = engine.search(state, req.budget_s)
             slot.result = result
-            slot.lease = self.pool.launch(
+            slot.outcome = self.launcher.launch(
                 req.request_id,
-                result.elapsed_s,
+                lambda _spec: result.elapsed_s,
                 label=f"{engine.name}_search",
                 lanes=getattr(
                     getattr(engine, "config", None), "total_threads", 0
                 ),
                 game=req.game,
             )
+            if not slot.outcome.delivered:
+                # Retry budget exhausted: salvage the computed result,
+                # report the request degraded instead of failing it.
+                record.degraded = True
 
     def _finish(
         self,
@@ -220,6 +252,15 @@ class SearchService:
         rid = record.request.request_id
         if rid in gen_pool.pending:
             gen_pool.cancel(rid)
+        slot = active.get(rid)
+        if (
+            slot is not None
+            and slot.outcome is not None
+            and slot.outcome.lease is not None
+        ):
+            # The host will never wait on a cancelled request's device
+            # work; resolve the lease so busy-time accounting drains.
+            self.pool.abandon(slot.outcome.lease)
         self._finish(record, active, result=None, status=MISSED)
 
     def run(self) -> list[RequestRecord]:
@@ -280,19 +321,32 @@ class SearchService:
                     if deadline is not None and now >= deadline:
                         self._miss(slot.record, active, gen_pool)
 
-            # Direct-path completions.
+            # Direct-path completions: delivered work finishes with its
+            # lease; a lost launch chain finishes (degraded) once the
+            # host has given up waiting on it.
             for slot in list(active.values()):
-                if slot.lease is not None and self.pool.complete(
-                    slot.lease
-                ):
+                if slot.outcome is None:
+                    continue
+                lease = slot.outcome.lease
+                if lease is not None:
+                    if self.pool.complete(lease):
+                        self._finish(
+                            slot.record, active, result=slot.result
+                        )
+                elif now >= slot.outcome.ready_s:
                     self._finish(slot.record, active, result=slot.result)
 
             pending = gen_pool.pending
             if not pending:
                 if active:
                     # Only direct-path work in flight: wait for the
-                    # earliest completion (or next arrival if sooner).
-                    target = self.pool.next_completion()
+                    # earliest ready time (or next arrival if sooner).
+                    ready = [
+                        slot.outcome.ready_s
+                        for slot in active.values()
+                        if slot.outcome is not None
+                    ]
+                    target = min(ready) if ready else None
                     if arrivals:
                         next_arrival = self._records[
                             arrivals[0]
@@ -333,7 +387,30 @@ class SearchService:
                 answers_by_game[game_name] = answers
                 tick_launches.extend(launches)
             for launch in tick_launches:
-                self.pool.synchronize(launch.lease)
+                if launch.lease is not None:
+                    self.pool.synchronize(launch.lease)
+                elif launch.ready_s > self.clock.now:
+                    # Lost chain: the host still waited out the retry
+                    # storm before giving up on this launch's lanes.
+                    self.clock.advance_to(launch.ready_s)
+
+            # Attribute lost lanes to the requests whose leaf spans
+            # overlapped the dropped launch chunks; those requests
+            # complete with a reduced effective budget.
+            lost = [l for l in tick_launches if not l.delivered]
+            if lost:
+                for rid in pending:
+                    game_name, lo, hi = spans[rid]
+                    overlap = sum(
+                        min(hi, l.hi) - max(lo, l.lo)
+                        for l in lost
+                        if l.game == game_name
+                        and min(hi, l.hi) > max(lo, l.lo)
+                    )
+                    if overlap:
+                        record = active[rid].record
+                        record.lost_lanes += overlap
+                        record.degraded = True
 
             # CPU phase: deliver results; tenants' tree work runs on
             # private cores, so the tick charges the slowest one.
@@ -355,9 +432,12 @@ class SearchService:
             # Completions land at the post-tick timestamp.
             for rid in list(active):
                 slot = active[rid]
-                if slot.lease is None and slot.result is not None:
+                if slot.outcome is None and slot.result is not None:
                     self._finish(slot.record, active, result=slot.result)
 
+        # Lease-resolution invariant: every launch issued during the
+        # run must have been synchronized, completed, or abandoned.
+        self.pool.assert_drained()
         return list(self._records)
 
     # -- reporting ---------------------------------------------------------
@@ -380,6 +460,14 @@ class SearchService:
             kernel_launches=self.batcher.launch_count,
             mean_lanes_per_launch=self.batcher.mean_lanes_per_launch,
             device_utilization=self.pool.utilization(self.clock.now),
+            retries=self.launcher.retries,
+            lost_launches=self.launcher.lost_launches,
+            retry_overhead_s=self.launcher.wasted_wait_s,
+            faults_injected=(
+                self.injector.injected()
+                if self.injector is not None
+                else {}
+            ),
         )
 
 

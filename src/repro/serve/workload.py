@@ -50,6 +50,9 @@ class WorkloadConfig:
     #: Relative completion deadline on the service clock (None = no
     #: deadline).
     deadline_s: float | None = 2.0
+    #: Request-id prefix; ids are ``f"{id_prefix}{i:03d}"`` so several
+    #: workloads can share one service without id collisions.
+    id_prefix: str = "r"
 
     def __post_init__(self) -> None:
         if self.n_requests <= 0:
@@ -60,6 +63,8 @@ class WorkloadConfig:
             raise ValueError(
                 f"budget_scale must be positive: {self.budget_scale}"
             )
+        if not self.id_prefix:
+            raise ValueError("id_prefix cannot be empty")
 
 
 def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
@@ -72,7 +77,7 @@ def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
         budget = DEFAULT_BUDGETS[game] * config.budget_scale
         requests.append(
             SearchRequest(
-                request_id=f"r{i:03d}",
+                request_id=f"{config.id_prefix}{i:03d}",
                 game=game,
                 engine=engine,
                 budget_s=budget,

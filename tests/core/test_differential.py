@@ -1,0 +1,83 @@
+"""Differential tests across the engine-spec registry.
+
+Two oracles:
+
+* every registered engine kind is exactly reproducible -- the same
+  spec, seed and budget produce the identical chosen move and root
+  visit totals across independent runs;
+* a block-parallel engine with one thread per block is root
+  parallelism in disguise: ``block:Nx1`` must agree with ``root:N`` on
+  the *aggregated* root statistics (total visits, simulations, visited
+  moves) under a fixed iteration budget.  Per-move statistics differ
+  -- the two engines draw from differently-derived RNG streams -- so
+  the oracle compares what the algorithms must share, not incidental
+  stream layout.
+"""
+
+import pytest
+
+from repro.core.spec import engine_kinds, make_engine
+from repro.games import make_game
+
+#: One small spec per registered engine kind -- update when a kind is
+#: registered without a row here (the registry test enforces this).
+SMALL_SPECS = {
+    "sequential": "sequential",
+    "leaf": "leaf:1x32",
+    "block": "block:2x8",
+    "hybrid": "hybrid:2x32",
+    "root": "root:2",
+    "tree": "tree:2",
+    "multigpu": "multigpu:2x2x16",
+}
+
+BUDGET_S = 4e-4
+SEED = 2011
+
+
+def test_every_registered_kind_is_covered():
+    assert {k.name for k in engine_kinds()} == set(SMALL_SPECS)
+
+
+def _run(spec: str, game_name: str = "tictactoe"):
+    game = make_game(game_name)
+    engine = make_engine(spec, game, SEED)
+    return engine.search(game.initial_state(), BUDGET_S)
+
+
+@pytest.mark.parametrize("spec", sorted(SMALL_SPECS.values()))
+def test_fixed_seed_reproduces_identical_search(spec):
+    first = _run(spec)
+    second = _run(spec)
+    assert first.move == second.move
+    assert first.stats == second.stats
+    assert first.simulations == second.simulations
+    assert first.iterations == second.iterations
+    assert first.elapsed_s == second.elapsed_s
+
+
+@pytest.mark.parametrize("n_trees", [2, 4])
+def test_block_with_one_thread_matches_root_aggregates(n_trees):
+    game = make_game("tictactoe")
+    iterations = 50
+
+    def aggregate(spec):
+        engine = make_engine(spec, game, SEED, max_iterations=iterations)
+        result = engine.search(game.initial_state(), 1e9)
+        visits = sum(v for v, _ in result.stats.values())
+        return visits, result.simulations, frozenset(result.stats)
+
+    block = aggregate(f"block:{n_trees}x1")
+    root = aggregate(f"root:{n_trees}")
+    assert block == root
+    # Both ran every tree for the full iteration budget.
+    assert block[0] == n_trees * iterations
+
+
+def test_block_trees_report_matches_root():
+    game = make_game("tictactoe")
+    block = make_engine("block:4x1", game, SEED, max_iterations=10)
+    root = make_engine("root:4", game, SEED, max_iterations=10)
+    rb = block.search(game.initial_state(), 1e9)
+    rr = root.search(game.initial_state(), 1e9)
+    assert rb.trees == rr.trees == 4

@@ -1,0 +1,118 @@
+"""Property tests: every batched game agrees with its scalar twin.
+
+For each registered game, hypothesis drives a random (but legal)
+scalar move sequence to an arbitrary reachable state, then checks the
+batch engine against the scalar rules at that state:
+
+* ``make_batch`` lanes round-trip through ``lane_state`` to the exact
+  scalar state;
+* ``active`` agrees with scalar terminal detection, and ``winners`` /
+  ``scores`` agree with the scalar winner and score on finished lanes;
+* one vectorised ``step`` moves every active lane to a state reachable
+  by exactly one scalar legal move (the legal-move-mask oracle: a lane
+  can never land outside the scalar successor set);
+* a full ``run_playouts`` leaves every lane in a scalar-terminal state
+  whose batch winner/score equals the scalar evaluation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import make_batch_game, make_game
+from repro.rng import BatchXorShift128Plus, XorShift64Star
+
+GAME_NAMES = ("tictactoe", "connect4", "reversi", "breakthrough")
+
+#: Enough random plies to reach mid- and end-game states everywhere.
+MAX_PLIES = {
+    "tictactoe": 9,
+    "connect4": 42,
+    "reversi": 60,
+    "breakthrough": 60,
+}
+
+state_params = st.tuples(
+    st.integers(min_value=0, max_value=60),
+    st.integers(min_value=0, max_value=2**32),
+)
+
+
+def reach_state(game, plies, seed):
+    """Walk ``plies`` uniformly-random scalar legal moves."""
+    rng = XorShift64Star(seed)
+    state = game.initial_state()
+    for _ in range(plies):
+        if game.is_terminal(state):
+            break
+        moves = game.legal_moves(state)
+        state = game.apply(state, moves[rng.randrange(len(moves))])
+    return state
+
+
+@pytest.mark.parametrize("name", GAME_NAMES)
+@settings(max_examples=30, deadline=None)
+@given(params=state_params)
+def test_lane_state_roundtrips_and_terminal_detection(name, params):
+    plies, seed = params
+    game = make_game(name)
+    bg = make_batch_game(name)
+    state = reach_state(game, min(plies, MAX_PLIES[name]), seed)
+
+    batch = bg.make_batch([state], lanes_per_state=3)
+    for lane in range(3):
+        assert bg.lane_state(batch, lane) == state
+    terminal = game.is_terminal(state)
+    assert list(bg.active(batch)) == [not terminal] * 3
+    if terminal:
+        assert list(bg.winners(batch)) == [game.winner(state)] * 3
+        assert list(bg.scores(batch)) == [game.score(state)] * 3
+
+
+@pytest.mark.parametrize("name", GAME_NAMES)
+@settings(max_examples=30, deadline=None)
+@given(params=state_params)
+def test_step_stays_inside_scalar_successor_set(name, params):
+    plies, seed = params
+    game = make_game(name)
+    bg = make_batch_game(name)
+    state = reach_state(game, min(plies, MAX_PLIES[name]), seed)
+    if game.is_terminal(state):
+        return
+
+    lanes = 8
+    batch = bg.make_batch([state], lanes_per_state=lanes)
+    rng = BatchXorShift128Plus(lanes, seed=seed + 1)
+    bg.step(batch, rng)
+    successors = {
+        game.apply(state, move) for move in game.legal_moves(state)
+    }
+    for lane in range(lanes):
+        assert bg.lane_state(batch, lane) in successors
+
+
+@pytest.mark.parametrize("name", GAME_NAMES)
+@settings(max_examples=15, deadline=None)
+@given(params=state_params)
+def test_playout_outcomes_match_scalar_evaluation(name, params):
+    plies, seed = params
+    game = make_game(name)
+    bg = make_batch_game(name)
+    state = reach_state(game, min(plies, MAX_PLIES[name]), seed)
+
+    lanes = 4
+    batch = bg.make_batch([state], lanes_per_state=lanes)
+    rng = BatchXorShift128Plus(lanes, seed=seed + 2)
+    winners, steps = bg.run_playouts(batch, rng)
+    assert steps <= bg.max_game_length
+    scores = bg.scores(batch)
+    for lane in range(lanes):
+        final = bg.lane_state(batch, lane)
+        assert game.is_terminal(final)
+        assert int(winners[lane]) == game.winner(final)
+        assert int(scores[lane]) == game.score(final)
+
+
+@pytest.mark.parametrize("name", GAME_NAMES)
+def test_batch_name_matches_scalar(name):
+    assert make_batch_game(name).name == make_game(name).name == name

@@ -95,3 +95,109 @@ class TestAccounting:
         assert pool.busy_seconds(0) == pytest.approx(3e-3)
         assert pool.launches(0) == 2
         assert len(pool.leases) == 2
+
+
+class TestHealth:
+    def test_quarantine_after_consecutive_failures(self):
+        pool, _, _ = make_pool(2)
+        assert not pool.mark_failure(0)
+        assert not pool.mark_failure(0)
+        assert pool.mark_failure(0)  # third strike quarantines
+        assert pool.is_quarantined(0)
+        assert pool.healthy_ids() == [1]
+        assert pool.health(0)["quarantines"] == 1
+
+    def test_success_clears_the_failure_streak(self):
+        pool, _, _ = make_pool(1)
+        pool.mark_failure(0)
+        pool.mark_failure(0)
+        pool.mark_success(0)
+        assert not pool.mark_failure(0)
+        assert not pool.is_quarantined(0)
+
+    def test_quarantine_expires_with_the_clock(self):
+        pool, clock, _ = make_pool(1)
+        for _ in range(3):
+            pool.mark_failure(0)
+        assert pool.is_quarantined(0)
+        clock.advance(pool.quarantine_s)
+        assert not pool.is_quarantined(0)
+        assert pool.healthy_ids() == [0]
+
+    def test_least_busy_skips_quarantined_devices(self):
+        pool, _, _ = make_pool(2)
+        for _ in range(3):
+            pool.mark_failure(0)
+        assert pool.least_busy() == 1
+
+    def test_placement_falls_back_when_all_quarantined(self):
+        pool, _, _ = make_pool(2)
+        for device in (0, 1):
+            for _ in range(3):
+                pool.mark_failure(device)
+        # No healthy device left: don't deadlock, use the full pool.
+        assert pool.least_busy() == 0
+
+    def test_explicit_candidates_used_verbatim(self):
+        pool, _, _ = make_pool(2)
+        for _ in range(3):
+            pool.mark_failure(1)
+        assert pool.least_busy([1]) == 1
+        with pytest.raises(PoolError, match="no candidate"):
+            pool.least_busy([])
+
+
+class TestLeaseResolution:
+    """Regression tests for the lease-leak bug: every launch must be
+    synchronized, completed or abandoned by service drain."""
+
+    def test_unresolved_lease_fails_drain(self):
+        pool, _, _ = make_pool(1)
+        pool.launch("leaker", 1e-3)
+        with pytest.raises(PoolError, match="leaker"):
+            pool.assert_drained()
+
+    def test_synchronize_resolves(self):
+        pool, _, _ = make_pool(1)
+        lease = pool.launch("req", 1e-3)
+        assert pool.unresolved_leases == (lease,)
+        pool.synchronize(lease)
+        pool.assert_drained()
+
+    def test_complete_resolves_only_when_done(self):
+        pool, clock, _ = make_pool(1)
+        lease = pool.launch("req", 1e-3)
+        assert not pool.complete(lease)
+        assert pool.unresolved_leases == (lease,)
+        clock.advance(2e-3)
+        assert pool.complete(lease)
+        pool.assert_drained()
+
+    def test_abandon_resolves_without_waiting(self):
+        pool, clock, _ = make_pool(1)
+        lease = pool.launch("req", 1e-3)
+        pool.abandon(lease)
+        pool.assert_drained()
+        # Abandoning never blocks the host clock.
+        assert clock.now == 0.0
+
+    def test_drain_reports_every_leaking_holder(self):
+        pool, _, _ = make_pool(2)
+        pool.launch("r1", 1e-3, device_id=0)
+        pool.launch("r2", 1e-3, device_id=1)
+        with pytest.raises(PoolError, match="r1, r2"):
+            pool.assert_drained()
+
+
+class TestNotBefore:
+    def test_launch_delayed_to_not_before(self):
+        pool, _, _ = make_pool(1)
+        lease = pool.launch("req", 1e-3, not_before_s=5e-3)
+        assert lease.start_s == pytest.approx(5e-3)
+        assert lease.end_s == pytest.approx(6e-3)
+
+    def test_busy_stream_dominates_not_before(self):
+        pool, _, _ = make_pool(1)
+        pool.launch("a", 4e-3)
+        lease = pool.launch("b", 1e-3, not_before_s=1e-3)
+        assert lease.start_s == pytest.approx(4e-3)

@@ -120,3 +120,60 @@ class TestScaling:
         assert elapsed[0] < elapsed[1] < elapsed[2]
         # 16 ranks is 4 rounds vs 1 round for 2 ranks: exactly 4x here.
         assert elapsed[2] == pytest.approx(4 * elapsed[0])
+
+
+@pytest.mark.faults
+class TestDroppedMessages:
+    """Lossy vote aggregation via an attached fault injector."""
+
+    def _lossy(self, size=4, rate=1.0, seed=1):
+        from repro.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan(mpi_drop_rate=rate, seed=seed))
+        return MpiCluster(size, TSUBAME_IB, seed=1, injector=injector)
+
+    def test_reduce_drops_non_root_contributions(self):
+        cluster = self._lossy(rate=1.0)
+        total = cluster.reduce([1, 10, 100, 1000], op="sum", root=0)
+        # Every non-root contribution dropped; the root's survives.
+        assert total == 1
+        assert cluster.dropped == 3
+
+    def test_reduce_root_contribution_never_dropped(self):
+        cluster = self._lossy(rate=1.0)
+        total = cluster.reduce([1, 10, 100, 1000], op="sum", root=2)
+        assert total == 100
+
+    def test_allreduce_drops_contributions(self):
+        cluster = self._lossy(rate=1.0)
+        results = cluster.allreduce([1, 10, 100, 1000], op="sum")
+        assert results == [1, 1, 1, 1]
+        assert cluster.dropped == 3
+
+    def test_drops_deterministic_under_seed(self):
+        def run():
+            cluster = self._lossy(rate=0.5, seed=9)
+            totals = [
+                cluster.reduce([1, 2, 3, 4], op="sum")
+                for _ in range(10)
+            ]
+            return totals, cluster.dropped
+
+        assert run() == run()
+
+    def test_zero_rate_drops_nothing(self):
+        cluster = self._lossy(rate=0.0)
+        assert cluster.reduce([1, 2, 3, 4], op="sum") == 10
+        assert cluster.dropped == 0
+
+    def test_no_injector_unchanged(self, cluster):
+        assert cluster.injector is None
+        assert cluster.reduce([1, 2, 3, 4], op="sum") == 10
+        assert cluster.dropped == 0
+
+    def test_timing_unaffected_by_drops(self):
+        lossless = MpiCluster(4, TSUBAME_IB, seed=1)
+        lossy = self._lossy(rate=1.0)
+        lossless.reduce([1, 2, 3, 4], op="sum")
+        lossy.reduce([1, 2, 3, 4], op="sum")
+        assert lossy.elapsed == lossless.elapsed

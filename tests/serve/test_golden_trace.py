@@ -1,0 +1,77 @@
+"""Golden-trace regression for the service scheduler.
+
+A tiny fixed-seed service run is projected to its Chrome trace event
+sequence -- per-track span names, holders and microsecond timestamps
+-- and compared against a checked-in golden JSON.  Any change to
+placement order, span naming, tick cadence or timing model shows up as
+a diff here before it shows up as a silent behaviour change.
+
+To intentionally update the golden after a deliberate scheduler
+change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/serve/test_golden_trace.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.gpu.trace import Tracer
+from repro.serve import SearchService, WorkloadConfig, make_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "service_trace.json"
+
+
+def run_tiny_service() -> Tracer:
+    tracer = Tracer()
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=6,
+            seed=5,
+            budget_scale=0.25,
+            deadline_s=None,
+        )
+    )
+    service = SearchService(n_devices=2, seed=5, tracer=tracer)
+    service.submit_all(workload)
+    service.run()
+    return tracer
+
+
+def project(tracer: Tracer) -> dict:
+    """The trace's regression-relevant shape: per-track ordered spans
+    with stable-rounded microsecond timestamps."""
+    tracks: dict[str, list] = {}
+    for event in tracer.events:
+        tracks.setdefault(event.track, []).append(
+            {
+                "name": event.name,
+                "holder": event.args.get("holder"),
+                "ts_us": round(event.start_s * 1e6, 3),
+                "dur_us": round(event.duration_s * 1e6, 3),
+            }
+        )
+    for spans in tracks.values():
+        spans.sort(key=lambda s: (s["ts_us"], s["name"]))
+    return {"tracks": tracks, "events": len(tracer.events)}
+
+
+def test_service_trace_matches_golden():
+    projected = project(run_tiny_service())
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(projected, indent=2, sort_keys=True) + "\n"
+        )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert projected["events"] == golden["events"]
+    assert set(projected["tracks"]) == set(golden["tracks"])
+    for track, spans in golden["tracks"].items():
+        assert projected["tracks"][track] == spans, (
+            f"trace diverged on track {track!r}"
+        )
+
+
+def test_projection_is_deterministic():
+    assert project(run_tiny_service()) == project(run_tiny_service())
