@@ -1,14 +1,25 @@
 """Microbenchmarks of the substrates the figures stand on.
 
 These use pytest-benchmark's statistics properly (many rounds): batched
-playout throughput, the scalar playout fast path, tree operations, the
-RNG, and simulated-MPI collectives.
+playout throughput, the scalar playout fast path, tree operations (on
+both the pointer-tree and arena backends), the RNG, and simulated-MPI
+collectives.
+
+Run directly (``python benchmarks/bench_micro.py [--quick]``) it
+compares block-parallel iterations/sec on the ``node`` vs ``arena``
+tree backends and exits non-zero if the arena is not faster -- the CI
+benchmark-smoke gate.
 """
+
+import argparse
+import sys
+import time
 
 import numpy as np
 
+from repro.core.backend import make_forest, make_tree
 from repro.core.tree import SearchTree
-from repro.games import BatchReversi, Reversi
+from repro.games import BatchReversi, Reversi, make_game
 from repro.games.batch import run_playouts_tracked, select_random_bit
 from repro.mpi import MpiCluster, TSUBAME_IB
 from repro.rng import BatchXorShift128Plus, XorShift64Star
@@ -56,6 +67,42 @@ def test_micro_tree_iteration(benchmark):
     assert tree.node_count == 1001
 
 
+def test_micro_arena_tree_iteration(benchmark):
+    game = Reversi()
+
+    def thousand_iterations():
+        tree = make_tree(
+            "arena", game, game.initial_state(), XorShift64Star(5), 1.0
+        )
+        for _ in range(1000):
+            node, _ = tree.select_expand()
+            tree.backprop_winner(node, 1)
+        return tree
+
+    tree = benchmark.pedantic(
+        thousand_iterations, iterations=1, rounds=3
+    )
+    assert tree.node_count == 1001
+
+
+def test_micro_arena_forest_lockstep(benchmark):
+    game = make_game("connect4")
+
+    def lockstep_rounds():
+        rngs = [XorShift64Star(b) for b in range(64)]
+        forest = make_forest(
+            "arena", game, game.initial_state(), rngs, 1.0
+        )
+        for _ in range(100):
+            leaves, _ = forest.select_expand_all()
+            for i, leaf in enumerate(leaves):
+                forest.backprop_winner(i, leaf, 1)
+        return forest
+
+    forest = benchmark.pedantic(lockstep_rounds, iterations=1, rounds=3)
+    assert forest.node_count() == 64 * 101
+
+
 def test_micro_rng_batch(benchmark):
     rng = BatchXorShift128Plus(4096, 9)
     out = benchmark(rng.next_u64)
@@ -78,3 +125,113 @@ def test_micro_mpi_allreduce(benchmark):
 
     out = benchmark.pedantic(allreduce_round, iterations=1, rounds=5)
     assert float(out[0][0]) == 16.0
+
+
+# --------------------------------------------------------------------
+# Direct invocation: node-vs-arena backend comparison (CI smoke gate).
+# --------------------------------------------------------------------
+
+
+def bench_backends(args) -> int:
+    """Time block-parallel search on both tree backends and report.
+
+    Returns 0 when the arena backend is faster (iterations/sec) and
+    produced bit-identical results, 1 otherwise.
+    """
+    from repro.core import make_engine
+    from repro.util.profile import Profiler
+    from repro.util.tables import format_table
+
+    game = make_game(args.game)
+    state = game.initial_state()
+    spec = {
+        "kind": "block",
+        "blocks": args.blocks,
+        "threads_per_block": args.tpb,
+        "max_iterations": args.iterations,
+    }
+    runs = {}
+    for backend in ("node", "arena"):
+        engine = make_engine(dict(spec, backend=backend), game, args.seed)
+        engine.profiler = prof = Profiler()
+        t0 = time.perf_counter()
+        result = engine.search(state, 1e9)
+        wall = time.perf_counter() - t0
+        runs[backend] = (result, result.iterations / wall, prof)
+
+    (res_n, ips_n, prof_n), (res_a, ips_a, prof_a) = (
+        runs["node"],
+        runs["arena"],
+    )
+    identical = (
+        res_n.move == res_a.move
+        and res_n.stats == res_a.stats
+        and res_n.iterations == res_a.iterations
+        and res_n.simulations == res_a.simulations
+    )
+    rows = [
+        (
+            backend,
+            f"{ips:.1f}",
+            res.iterations,
+            res.simulations,
+            res.tree_nodes,
+            res.move,
+        )
+        for backend, (res, ips, _) in runs.items()
+    ]
+    print(
+        format_table(
+            ("backend", "iters/s", "iters", "sims", "nodes", "move"),
+            rows,
+            title=(
+                f"block-parallel {args.game} "
+                f"{args.blocks}x{args.tpb}, seed {args.seed}"
+            ),
+        )
+    )
+    print(
+        f"\nspeedup (arena/node): {ips_a / ips_n:.2f}x"
+        f"   identical results: {identical}"
+    )
+    if args.profile:
+        for backend, (_, _, prof) in runs.items():
+            print()
+            print(prof.render(title=f"{backend} phases"))
+    if not identical:
+        print("FAIL: backends disagree", file=sys.stderr)
+        return 1
+    if ips_a <= ips_n:
+        print("FAIL: arena backend not faster than node", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="block-parallel node-vs-arena backend benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small shape for CI smoke (128 trees, 120 iterations)",
+    )
+    parser.add_argument("--game", default="tictactoe")
+    parser.add_argument("--blocks", type=int, default=256)
+    parser.add_argument("--tpb", type=int, default=1)
+    parser.add_argument("--iterations", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=85_2011)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase wall-clock breakdown for both backends",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.blocks = min(args.blocks, 128)
+        args.iterations = min(args.iterations, 120)
+    return bench_backends(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,8 @@ def _cmd_play(args) -> int:
 
     game = make_game(args.game)
     spec = args.engine or f"block:{args.blocks}x{args.tpb}"
+    if args.backend != "node" and "@" not in spec:
+        spec = f"{spec}@{args.backend}"
     mcts = MctsPlayer(
         game,
         make_engine(spec, game, args.seed),
@@ -92,28 +94,40 @@ def _cmd_serve_bench(args) -> int:
     from repro.gpu.trace import Tracer
     from repro.serve import SearchService, WorkloadConfig, make_workload
 
+    from repro.util.profile import NULL_PROFILER, Profiler
+
     tracer = Tracer() if args.trace_out else None
     t0 = time.perf_counter()
     for load in args.loads:
-        workload = make_workload(
-            WorkloadConfig(
-                n_requests=load,
-                seed=args.seed,
-                budget_scale=args.budget_scale,
-                deadline_s=args.deadline,
+        profiler = Profiler() if args.profile else NULL_PROFILER
+        with profiler.phase("build_workload"):
+            workload = make_workload(
+                WorkloadConfig(
+                    n_requests=load,
+                    seed=args.seed,
+                    budget_scale=args.budget_scale,
+                    deadline_s=args.deadline,
+                    backend=args.backend,
+                )
             )
-        )
-        service = SearchService(
-            n_devices=args.devices,
-            max_active=args.max_active,
-            seed=args.seed,
-            tracer=tracer,
-            faults=args.faults,
-        )
-        service.submit_all(workload)
-        service.run()
+            service = SearchService(
+                n_devices=args.devices,
+                max_active=args.max_active,
+                seed=args.seed,
+                tracer=tracer,
+                faults=args.faults,
+                backend=args.backend,
+            )
+            service.submit_all(workload)
+        with profiler.phase("service_run"):
+            service.run()
+        profiler.count("requests", load)
+        profiler.count("ticks", service.ticks)
         print(f"--- offered load: {load} requests ---")
         print(service.report().render())
+        if profiler.enabled:
+            print()
+            print(profiler.render(title=f"serve-bench load={load}"))
         print()
     if args.trace_out:
         with open(args.trace_out, "w", encoding="utf-8") as fp:
@@ -193,6 +207,12 @@ def build_parser() -> argparse.ArgumentParser:
     play.add_argument("--tpb", type=int, default=32)
     play.add_argument("--budget", type=float, default=0.02)
     play.add_argument("--seed", type=int, default=2011)
+    play.add_argument(
+        "--backend",
+        choices=("node", "arena"),
+        default="node",
+        help="tree backend for the engine (@suffix in a spec wins)",
+    )
     play.set_defaults(func=_cmd_play)
 
     sub.add_parser(
@@ -233,6 +253,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out",
         default=None,
         help="write a Chrome trace JSON of the run to this path",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=("node", "arena"),
+        default="node",
+        help="tree backend applied to every engine in the workload",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall-clock phase profile per offered load",
     )
     bench.set_defaults(func=_cmd_serve_bench)
     return parser

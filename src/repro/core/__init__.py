@@ -17,6 +17,16 @@ Engines (one per parallelisation scheme in the paper):
   MPI (paper Figure 9).
 """
 
+from repro.core.arena import TreeArena
+from repro.core.backend import (
+    BACKENDS,
+    ArenaForest,
+    ArenaTree,
+    NodeForest,
+    make_forest,
+    make_tree,
+    validate_backend,
+)
 from repro.core.base import (
     Engine,
     batch_executor,
@@ -28,7 +38,14 @@ from repro.core.block_parallel import BlockParallelMcts
 from repro.core.hybrid import HybridMcts
 from repro.core.leaf_parallel import LeafParallelMcts
 from repro.core.multigpu import MultiGpuMcts
-from repro.core.policy import MAX_RATIO, MAX_VISITS, MAX_WINS, select_move
+from repro.core.policy import (
+    MAX_RATIO,
+    MAX_VISITS,
+    MAX_WINS,
+    SELECTION_RULES,
+    select_move,
+    validate_selection_rule,
+)
 from repro.core.results import SearchResult
 from repro.core.root_parallel import RootParallelMcts
 from repro.core.sequential import SequentialMcts
@@ -39,7 +56,12 @@ from repro.core.spec import (
     make_engine,
     register_engine,
 )
-from repro.core.tree import Node, SearchTree, aggregate_stats
+from repro.core.tree import (
+    Node,
+    SearchTree,
+    aggregate_stat_dicts,
+    aggregate_stats,
+)
 from repro.core.tree_parallel import TreeParallelMcts
 
 __all__ = [
@@ -51,9 +73,20 @@ __all__ = [
     "register_engine",
     "SearchResult",
     "SearchTree",
+    "TreeArena",
+    "ArenaTree",
+    "ArenaForest",
+    "NodeForest",
+    "BACKENDS",
+    "make_tree",
+    "make_forest",
+    "validate_backend",
     "Node",
     "aggregate_stats",
+    "aggregate_stat_dicts",
     "select_move",
+    "SELECTION_RULES",
+    "validate_selection_rule",
     "MAX_VISITS",
     "MAX_RATIO",
     "MAX_WINS",

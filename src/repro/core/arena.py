@@ -1,0 +1,647 @@
+"""Array-backed MCTS tree arena with vectorised selection.
+
+The pointer tree in :mod:`repro.core.tree` stores one Python object per
+node, so walking ``B`` block-parallel trees costs ``B`` pointer-chasing
+UCB descents per iteration -- the *sequential part* that bends the
+paper's Figure 5 curves.  :class:`TreeArena` stores one or many trees
+in a single preallocated, growable struct-of-arrays: numpy arrays for
+parent, move, mover, visits, wins, virtual loss, child spans,
+untried-move bitmasks and terminal flags, plus a Python list of states
+(immutable game positions are cold data -- they are touched once per
+expansion, never during selection).
+
+Layout invariants
+-----------------
+* A node's children occupy one contiguous *span* of slots.  The span
+  is reserved at the node's **first** expansion, sized ``n_legal`` (the
+  node's branching factor), and filled left to right as further
+  children are expanded; ``child_count`` tracks the filled prefix.
+* Trees never share nodes: each tree's slots form a disjoint set, so
+  batched backpropagation can use plain fancy indexing.
+* ``untried_order[i]`` holds node ``i``'s not-yet-expanded moves in
+  the same shuffled order the pointer backend would use, popped from
+  the end; ``untried_mask`` mirrors it as a bitmask.
+
+Bit-for-bit equivalence with the pointer backend
+------------------------------------------------
+The arena replicates the pointer tree's arithmetic exactly: the same
+RNG consumption (one Fisher-Yates shuffle per created node, on the
+move list ``Game.legal_mask`` extracts in ``legal_moves`` order), the
+same UCB expression evaluation order, first-max argmax tie-breaking,
+and ``math.log`` (not ``np.log``, which differs in the last ulp on
+some inputs) for the per-node visit logarithm.  Same seeds therefore
+produce identical root statistics and chosen moves on both backends --
+the differential test suite enforces this for every engine kind.
+
+The payoff is :meth:`select_expand_all`: one lockstep descent of all
+``B`` trees per iteration, scoring every active tree's child span in a
+handful of vectorised numpy passes instead of ``B`` independent Python
+walks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.policy import validate_selection_rule
+from repro.core.tree import aggregate_stat_dicts, majority_vote_stat_dicts
+from repro.games.base import Game, GameState
+from repro.rng import XorShift64Star
+from repro.util.bitops import bits_of
+
+_U64_MASK = (1 << 64) - 1
+
+
+class TreeArena:
+    """``n_trees`` MCTS trees in one struct-of-arrays node store."""
+
+    def __init__(
+        self,
+        game: Game,
+        root_state: GameState,
+        rngs: "list[XorShift64Star]",
+        ucb_c: float = 1.0,
+        selection_rule: str = "ucb1",
+        capacity: int | None = None,
+    ) -> None:
+        if ucb_c < 0:
+            raise ValueError(f"ucb_c must be non-negative: {ucb_c}")
+        validate_selection_rule(selection_rule)
+        if not rngs:
+            raise ValueError("arena needs at least one tree RNG")
+        self.game = game
+        self.rngs = list(rngs)
+        self.n_trees = len(self.rngs)
+        self.ucb_c = ucb_c
+        self.selection_rule = selection_rule
+        #: uint64 words per untried-move bitmask row.
+        self.mask_words = (game.num_moves + 63) // 64
+
+        cap = capacity if capacity else max(256, 8 * self.n_trees)
+        self._cap = 0
+        self._allocated = 0
+        #: ``_log_table[n] == math.log(n)`` for integer visit totals
+        #: (the common case -- whole playout counts); grown on demand.
+        self._log_table = np.zeros(2, dtype=np.float64)
+        #: Any virtual loss outstanding?  While False, ``n_i`` and the
+        #: totals reduce to plain visit reads (fewer vector ops).
+        self._vloss_active = False
+        self._make_arrays(cap)
+
+        self.roots = np.empty(self.n_trees, dtype=np.int64)
+        self.tree_node_count = np.ones(self.n_trees, dtype=np.int64)
+        self.tree_max_depth = np.zeros(self.n_trees, dtype=np.int64)
+        for t in range(self.n_trees):
+            root = self._alloc_span(1)
+            self._init_node(root, -1, -1, root_state, self.rngs[t])
+            if self.terminal[root]:
+                raise ValueError("cannot search a terminal position")
+            self.roots[t] = root
+
+    # -- storage ------------------------------------------------------------
+
+    def _make_arrays(self, cap: int) -> None:
+        self.parent = np.full(cap, -1, dtype=np.int64)
+        self.move = np.full(cap, -1, dtype=np.int32)
+        self.mover = np.zeros(cap, dtype=np.int8)
+        self.to_move = np.zeros(cap, dtype=np.int8)
+        self.visits = np.zeros(cap, dtype=np.float64)
+        self.wins = np.zeros(cap, dtype=np.float64)
+        self.vloss = np.zeros(cap, dtype=np.float64)
+        self.terminal = np.zeros(cap, dtype=bool)
+        self.winner = np.zeros(cap, dtype=np.int8)
+        self.child_start = np.full(cap, -1, dtype=np.int64)
+        self.child_count = np.zeros(cap, dtype=np.int32)
+        self.n_legal = np.zeros(cap, dtype=np.int32)
+        self.untried_count = np.zeros(cap, dtype=np.int32)
+        self.untried_mask = np.zeros(
+            (cap, self.mask_words), dtype=np.uint64
+        )
+        self.states: list = [None] * cap
+        self.untried_order: list = [None] * cap
+        self._cap = cap
+
+    def _grow(self, min_cap: int) -> None:
+        new_cap = max(2 * self._cap, min_cap)
+        pad = new_cap - self._cap
+        self.parent = np.concatenate(
+            [self.parent, np.full(pad, -1, dtype=np.int64)]
+        )
+        self.move = np.concatenate(
+            [self.move, np.full(pad, -1, dtype=np.int32)]
+        )
+        for name in ("mover", "to_move", "winner"):
+            arr = getattr(self, name)
+            setattr(
+                self, name, np.concatenate([arr, np.zeros(pad, arr.dtype)])
+            )
+        for name in ("visits", "wins", "vloss"):
+            arr = getattr(self, name)
+            setattr(
+                self, name, np.concatenate([arr, np.zeros(pad, arr.dtype)])
+            )
+        self.terminal = np.concatenate(
+            [self.terminal, np.zeros(pad, dtype=bool)]
+        )
+        self.child_start = np.concatenate(
+            [self.child_start, np.full(pad, -1, dtype=np.int64)]
+        )
+        for name in ("child_count", "n_legal", "untried_count"):
+            arr = getattr(self, name)
+            setattr(
+                self, name, np.concatenate([arr, np.zeros(pad, arr.dtype)])
+            )
+        self.untried_mask = np.concatenate(
+            [
+                self.untried_mask,
+                np.zeros((pad, self.mask_words), dtype=np.uint64),
+            ]
+        )
+        self.states.extend([None] * pad)
+        self.untried_order.extend([None] * pad)
+        self._cap = new_cap
+
+    def _alloc_span(self, n: int) -> int:
+        """Reserve ``n`` contiguous slots; returns the span start."""
+        start = self._allocated
+        if start + n > self._cap:
+            self._grow(start + n)
+        self._allocated = start + n
+        return start
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    @property
+    def allocated(self) -> int:
+        """Slots handed out, including reserved-but-unfilled ones."""
+        return self._allocated
+
+    def __len__(self) -> int:
+        """Initialised (live) nodes across all trees."""
+        return int(self.tree_node_count.sum())
+
+    # -- node construction --------------------------------------------------
+
+    def _init_node(
+        self,
+        idx: int,
+        parent: int,
+        move: int,
+        state: GameState,
+        rng: XorShift64Star,
+    ) -> None:
+        # Slots arrive virgin (fresh allocations and compact() both
+        # leave defaults in place), so default-valued fields -- visits,
+        # wins, vloss, child_start, child_count, terminal, winner --
+        # are only written when they differ from the default.
+        self.states[idx] = state
+        self.parent[idx] = parent
+        self.move[idx] = move
+        tm = self.game.to_move(state)
+        self.to_move[idx] = tm
+        self.mover[idx] = self.to_move[parent] if parent >= 0 else -tm
+        mask = self.game.legal_mask(state)
+        if mask:
+            legal = list(bits_of(mask))
+        else:
+            legal = []
+            self.terminal[idx] = True
+            self.winner[idx] = self.game.winner(state)
+        rng.shuffle(legal)
+        self.untried_order[idx] = legal
+        n = len(legal)
+        self.n_legal[idx] = n
+        self.untried_count[idx] = n
+        m = mask
+        for w in range(self.mask_words):
+            self.untried_mask[idx, w] = m & _U64_MASK
+            m >>= 64
+
+    def _expand(self, node: int, t: int, child_depth: int) -> int:
+        """Pop one untried move of ``node`` and create its child."""
+        if self.child_start[node] < 0:
+            self.child_start[node] = self._alloc_span(
+                int(self.n_legal[node])
+            )
+        mv = self.untried_order[node].pop()
+        self.untried_count[node] -= 1
+        word, bit = divmod(mv, 64)
+        self.untried_mask[node, word] = np.uint64(
+            int(self.untried_mask[node, word]) & ~(1 << bit)
+        )
+        child = int(self.child_start[node]) + int(self.child_count[node])
+        self.child_count[node] += 1
+        state = self.game.apply(self.states[node], mv)
+        self._init_node(child, node, mv, state, self.rngs[t])
+        self.tree_node_count[t] += 1
+        if child_depth > self.tree_max_depth[t]:
+            self.tree_max_depth[t] = child_depth
+        return child
+
+    def _expand_many(
+        self,
+        nodes: np.ndarray,
+        ts: np.ndarray,
+        child_depths: np.ndarray,
+    ) -> np.ndarray:
+        """Batched :meth:`_expand` over several *distinct* nodes.
+
+        The per-node work that must stay scalar (game calls, the
+        tree's own RNG shuffle, span allocation) runs in row order --
+        the same order the per-tree loop would use, so RNG consumption
+        is identical -- but every array field is then written with one
+        fancy-indexed store instead of ``len(nodes)`` scalar stores.
+        """
+        k = len(nodes)
+        children = np.empty(k, dtype=np.int64)
+        moves = np.empty(k, dtype=np.int32)
+        to_moves = np.empty(k, dtype=np.int8)
+        n_legals = np.empty(k, dtype=np.int32)
+        terminals = np.zeros(k, dtype=bool)
+        winners = np.zeros(k, dtype=np.int8)
+        mask_rows = np.zeros((k, self.mask_words), dtype=np.uint64)
+        game = self.game
+        states = self.states
+        orders = self.untried_order
+        counts = self.child_count[nodes]
+        starts = self.child_start[nodes]
+        for i in range(k):
+            node = int(nodes[i])
+            start = int(starts[i])
+            if start < 0:
+                start = self._alloc_span(int(self.n_legal[node]))
+                self.child_start[node] = start
+            mv = orders[node].pop()
+            child = start + int(counts[i])
+            state = game.apply(states[node], mv)
+            mask = game.legal_mask(state)
+            if mask:
+                legal = list(bits_of(mask))
+            else:
+                legal = []
+                terminals[i] = True
+                winners[i] = game.winner(state)
+            self.rngs[int(ts[i])].shuffle(legal)
+            states[child] = state
+            orders[child] = legal
+            children[i] = child
+            moves[i] = mv
+            to_moves[i] = game.to_move(state)
+            n_legals[i] = len(legal)
+            m = mask
+            for w in range(self.mask_words):
+                mask_rows[i, w] = m & _U64_MASK
+                m >>= 64
+        # Parents: pop the tried move's mask bit, bump the fill count.
+        mv64 = moves.astype(np.uint64)
+        words = (mv64 >> np.uint64(6)).astype(np.int64)
+        bits = mv64 & np.uint64(63)
+        self.untried_mask[nodes, words] &= ~(np.uint64(1) << bits)
+        self.untried_count[nodes] -= 1
+        self.child_count[nodes] += 1
+        # Children: all slots are virgin, so default-valued fields
+        # (visits, wins, vloss, child_start, child_count) stay as-is.
+        self.parent[children] = nodes
+        self.move[children] = moves
+        self.to_move[children] = to_moves
+        self.mover[children] = self.to_move[nodes]
+        self.n_legal[children] = n_legals
+        self.untried_count[children] = n_legals
+        if terminals.any():
+            self.terminal[children] = terminals
+            self.winner[children] = winners
+        self.untried_mask[children] = mask_rows
+        self.tree_node_count[ts] += 1
+        self.tree_max_depth[ts] = np.maximum(
+            self.tree_max_depth[ts], child_depths
+        )
+        return children
+
+    # -- selection + expansion ---------------------------------------------
+
+    def select_expand(self, t: int) -> tuple[int, int]:
+        """Single-tree descent; mirrors ``SearchTree.select_expand``."""
+        node = int(self.roots[t])
+        depth = 0
+        while True:
+            if self.terminal[node]:
+                return node, depth
+            if self.untried_count[node] > 0:
+                return self._expand(node, t, depth + 1), depth + 1
+            node = self._best_child(node)
+            depth += 1
+
+    def select_expand_all(
+        self, indices: "np.ndarray | list[int] | None" = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lockstep descent of several trees at once.
+
+        Returns ``(leaves, depths)`` aligned with ``indices`` (all
+        trees when ``None``).  Per level, every still-descending tree's
+        child span is scored in one vectorised pass; expansions (one
+        per tree per call, exactly like the scalar walk) drop back to
+        per-tree code because they touch the game and the tree's own
+        RNG.
+        """
+        idx = (
+            np.arange(self.n_trees, dtype=np.int64)
+            if indices is None
+            else np.asarray(indices, dtype=np.int64)
+        )
+        cur = self.roots[idx].copy()
+        depths = np.zeros(len(idx), dtype=np.int64)
+        leaves = np.full(len(idx), -1, dtype=np.int64)
+        active = np.ones(len(idx), dtype=bool)
+        while True:
+            rows = np.nonzero(active)[0]
+            if not len(rows):
+                break
+            nodes = cur[rows]
+            # Trees parked on a terminal node stop here.
+            term = self.terminal[nodes]
+            if term.any():
+                stop = rows[term]
+                leaves[stop] = cur[stop]
+                active[stop] = False
+                rows = rows[~term]
+                nodes = cur[rows]
+                if not len(rows):
+                    continue
+            # Trees at a node with untried moves expand one child.
+            expandable = self.untried_count[nodes] > 0
+            if expandable.any():
+                erows = rows[expandable]
+                leaves[erows] = self._expand_many(
+                    cur[erows], idx[erows], depths[erows] + 1
+                )
+                depths[erows] += 1
+                active[erows] = False
+                rows = rows[~expandable]
+                nodes = cur[rows]
+                if not len(rows):
+                    continue
+            # Everyone else descends one level, scored in one batch.
+            cur[rows] = self._best_children(nodes)
+            depths[rows] += 1
+        return leaves, depths
+
+    def _log_totals(self, totals: np.ndarray) -> np.ndarray:
+        # math.log, not np.log: the vectorised log differs from libm's
+        # in the last ulp for some inputs, which would break the
+        # bit-for-bit backend equivalence the differential tests pin.
+        # Integral totals (every whole-playout engine) go through a
+        # lazily grown lookup table of math.log values instead of a
+        # Python loop; math.log(float(n)) == table[n] exactly.
+        as_int = totals.astype(np.int64)
+        if np.array_equal(as_int, totals):
+            hi = int(as_int.max(initial=0))
+            table = self._log_table
+            if hi >= len(table):
+                old = len(table)
+                table = np.resize(table, max(hi + 1, 2 * old))
+                for n in range(old, len(table)):
+                    table[n] = math.log(n)
+                self._log_table = table
+            out = table[as_int]
+            out[totals <= 1.0] = 0.0
+            return out
+        log = math.log
+        return np.fromiter(
+            (log(tv) if tv > 1.0 else 0.0 for tv in totals.tolist()),
+            dtype=np.float64,
+            count=len(totals),
+        )
+
+    def _best_child(self, node: int) -> int:
+        """Selection-rule argmax over ``node``'s child span."""
+        start = int(self.child_start[node])
+        span = slice(start, start + int(self.child_count[node]))
+        n_i = self.visits[span] + self.vloss[span]
+        unvisited = n_i <= 0.0
+        if unvisited.any():
+            return start + int(np.argmax(unvisited))
+        total = self.visits[node] + self.vloss[node]
+        log_total = math.log(total) if total > 1.0 else 0.0
+        p = self.wins[span] / n_i
+        c = self.ucb_c
+        if self.selection_rule == "ucb1_tuned":
+            variance = p * (1.0 - p) + np.sqrt(2.0 * log_total / n_i)
+            width = np.minimum(0.25, variance)
+            score = p + c * np.sqrt(log_total / n_i * width)
+        else:
+            score = p + c * np.sqrt(log_total / n_i)
+        return start + int(np.argmax(score))
+
+    def _best_children(self, nodes: np.ndarray) -> np.ndarray:
+        """Vectorised ``_best_child`` over many nodes' child spans."""
+        starts = self.child_start[nodes]
+        counts = self.child_count[nodes].astype(np.int64)
+        width = int(counts.max())
+        cols = np.arange(width, dtype=np.int64)
+        uniform = width == int(counts.min())
+        if uniform:
+            # Every span has the same width: no padding machinery.
+            valid = None
+            cids = starts[:, None] + cols[None, :]
+        else:
+            valid = cols[None, :] < counts[:, None]
+            cids = np.where(valid, starts[:, None] + cols[None, :], 0)
+        if self._vloss_active:
+            n_i = self.visits[cids] + self.vloss[cids]
+            totals = self.visits[nodes] + self.vloss[nodes]
+        else:
+            n_i = self.visits[cids]
+            totals = self.visits[nodes]
+        log_tot = self._log_totals(totals)[:, None]
+        safe = np.where(n_i > 0.0, n_i, 1.0)
+        p = self.wins[cids] / safe
+        c = self.ucb_c
+        if self.selection_rule == "ucb1_tuned":
+            variance = p * (1.0 - p) + np.sqrt(2.0 * log_tot / safe)
+            width_term = np.minimum(0.25, variance)
+            score = p + c * np.sqrt(log_tot / safe * width_term)
+        else:
+            score = p + c * np.sqrt(log_tot / safe)
+        # Unvisited children outrank everything (the scalar walk
+        # returns the first one immediately); padding never wins.
+        score = np.where(n_i <= 0.0, np.inf, score)
+        if not uniform:
+            score = np.where(valid, score, -np.inf)
+        return starts + np.argmax(score, axis=1)
+
+    # -- statistics updates -------------------------------------------------
+
+    def backprop(
+        self,
+        leaf: int,
+        simulations: int,
+        wins_black: float,
+        wins_white: float,
+        draws: float = 0.0,
+    ) -> None:
+        """Scalar path update; mirrors ``SearchTree.backprop``."""
+        node = int(leaf)
+        while node >= 0:
+            self.visits[node] += simulations
+            side = wins_black if self.mover[node] == 1 else wins_white
+            self.wins[node] += side + 0.5 * draws
+            node = int(self.parent[node])
+
+    def backprop_winner(
+        self, leaf: int, winner: int, simulations: int = 1
+    ) -> None:
+        self.backprop(
+            leaf,
+            simulations,
+            simulations if winner == 1 else 0,
+            simulations if winner == -1 else 0,
+            simulations if winner == 0 else 0,
+        )
+
+    def backprop_many(
+        self,
+        leaves: np.ndarray,
+        simulations: float,
+        wins_black: np.ndarray,
+        wins_white: np.ndarray,
+        draws: np.ndarray,
+    ) -> None:
+        """Vectorised backprop of one leaf per tree.
+
+        Requires at most one leaf per tree (paths in distinct trees
+        are disjoint, so fancy-indexed ``+=`` never collides).
+        """
+        cur = np.asarray(leaves, dtype=np.int64).copy()
+        wb = np.asarray(wins_black, dtype=np.float64)
+        ww = np.asarray(wins_white, dtype=np.float64)
+        dr = np.asarray(draws, dtype=np.float64)
+        act = cur >= 0
+        while act.any():
+            nodes = cur[act]
+            self.visits[nodes] += simulations
+            side = np.where(self.mover[nodes] == 1, wb[act], ww[act])
+            self.wins[nodes] += side + 0.5 * dr[act]
+            cur[act] = self.parent[nodes]
+            act = cur >= 0
+
+    def apply_virtual_loss(self, leaf: int, amount: float = 1.0) -> None:
+        self._vloss_active = True
+        node = int(leaf)
+        while node >= 0:
+            self.vloss[node] += amount
+            node = int(self.parent[node])
+
+    def revert_virtual_loss(self, leaf: int, amount: float = 1.0) -> None:
+        self.apply_virtual_loss(leaf, -amount)
+
+    # -- ref accessors ------------------------------------------------------
+
+    def state_of(self, ref: int) -> GameState:
+        return self.states[int(ref)]
+
+    def terminal_of(self, ref: int) -> bool:
+        return bool(self.terminal[int(ref)])
+
+    def winner_of(self, ref: int) -> int:
+        return int(self.winner[int(ref)])
+
+    # -- reporting ----------------------------------------------------------
+
+    def root_stats(self, t: int = 0) -> dict[int, tuple[float, float]]:
+        root = int(self.roots[t])
+        start = int(self.child_start[root])
+        if start < 0:
+            return {}
+        count = int(self.child_count[root])
+        return {
+            int(self.move[c]): (float(self.visits[c]), float(self.wins[c]))
+            for c in range(start, start + count)
+        }
+
+    def aggregate_stats(self) -> dict[int, tuple[float, float]]:
+        return aggregate_stat_dicts(
+            [self.root_stats(t) for t in range(self.n_trees)]
+        )
+
+    def majority_vote_stats(self) -> dict[int, tuple[float, float]]:
+        return majority_vote_stat_dicts(
+            [self.root_stats(t) for t in range(self.n_trees)]
+        )
+
+    def node_count(self, t: int) -> int:
+        return int(self.tree_node_count[t])
+
+    def max_depth(self, t: int) -> int:
+        return int(self.tree_max_depth[t])
+
+    # -- maintenance --------------------------------------------------------
+
+    def compact(self) -> None:
+        """Rewrite the arena in breadth-first order, trimming slack.
+
+        Child spans keep their reserved ``n_legal`` width (unfilled
+        slots are future children), but the capacity tail beyond the
+        last allocation is dropped and nodes land in BFS order, which
+        improves gather locality for the vectorised selection.  Node
+        ids change: outstanding refs from before the call are invalid.
+        Logical structure and statistics are untouched -- searching on
+        after a compact yields bit-identical results.
+        """
+        mapping = np.full(self._allocated, -1, dtype=np.int64)
+        new_span_start = np.full(self._allocated, -1, dtype=np.int64)
+        new_alloc = 0
+        queue: list[int] = []
+        for t in range(self.n_trees):
+            root = int(self.roots[t])
+            mapping[root] = new_alloc
+            new_alloc += 1
+            queue.append(root)
+        head = 0
+        while head < len(queue):
+            node = queue[head]
+            head += 1
+            start = int(self.child_start[node])
+            if start < 0:
+                continue
+            new_span_start[node] = new_alloc
+            new_alloc += int(self.n_legal[node])
+            for k in range(int(self.child_count[node])):
+                child = start + k
+                mapping[child] = new_span_start[node] + k
+                queue.append(child)
+
+        copied = (
+            "move",
+            "mover",
+            "to_move",
+            "visits",
+            "wins",
+            "vloss",
+            "terminal",
+            "winner",
+            "child_count",
+            "n_legal",
+            "untried_count",
+            "untried_mask",
+        )
+        old_arrays = {name: getattr(self, name) for name in copied}
+        old_parent = self.parent
+        old_states = self.states
+        old_orders = self.untried_order
+        olds = np.nonzero(mapping >= 0)[0]
+        news = mapping[olds]
+        self._make_arrays(new_alloc)
+        self._allocated = new_alloc
+        for name in copied:
+            getattr(self, name)[news] = old_arrays[name][olds]
+        parents = old_parent[olds]
+        self.parent[news] = np.where(parents >= 0, mapping[parents], -1)
+        self.child_start[news] = new_span_start[olds]
+        for o, n in zip(olds.tolist(), news.tolist()):
+            self.states[n] = old_states[o]
+            self.untried_order[n] = old_orders[o]
+        self.roots = mapping[self.roots]

@@ -1,0 +1,307 @@
+"""Tree backends: one protocol, two representations.
+
+Every engine stores its search state behind one of two interchangeable
+*backends*:
+
+* ``"node"`` -- the pointer tree (:class:`repro.core.tree.SearchTree`,
+  one Python object per node).  The reference implementation: simple,
+  debuggable, and the differential-testing oracle.
+* ``"arena"`` -- the struct-of-arrays
+  :class:`repro.core.arena.TreeArena` with vectorised selection; same
+  seeds give bit-identical results, multi-tree engines get a lockstep
+  ``select_expand_all`` over all trees per iteration.
+
+Engines address tree positions through opaque *refs* (``Node`` objects
+or integer slots) and never look inside them, so the same engine code
+drives both representations.  :func:`make_tree` and :func:`make_forest`
+are the only construction points; the backend string travels through
+``EngineSpec`` (``block:16x32@arena``), the CLI ``--backend`` flag and
+the serving layer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.arena import TreeArena
+from repro.core.tree import (
+    SearchTree,
+    aggregate_stat_dicts,
+    majority_vote_stat_dicts,
+)
+from repro.games.base import Game, GameState
+from repro.rng import XorShift64Star
+
+#: Supported tree backends.
+BACKENDS = ("node", "arena")
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` if supported, raise ``ValueError`` otherwise."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown tree backend {backend!r}; available: {BACKENDS}"
+        )
+    return backend
+
+
+class ArenaTree:
+    """Single-tree adapter giving a :class:`TreeArena` the pointer
+    tree's surface (select/backprop/virtual-loss/root stats)."""
+
+    def __init__(
+        self,
+        game: Game,
+        root_state: GameState,
+        rng: XorShift64Star,
+        ucb_c: float = 1.0,
+        selection_rule: str = "ucb1",
+    ) -> None:
+        self.arena = TreeArena(
+            game, root_state, [rng], ucb_c, selection_rule
+        )
+
+    def select_expand(self) -> tuple[int, int]:
+        return self.arena.select_expand(0)
+
+    def backprop(
+        self,
+        ref: int,
+        simulations: int,
+        wins_black: float,
+        wins_white: float,
+        draws: float = 0.0,
+    ) -> None:
+        self.arena.backprop(
+            ref, simulations, wins_black, wins_white, draws
+        )
+
+    def backprop_winner(
+        self, ref: int, winner: int, simulations: int = 1
+    ) -> None:
+        self.arena.backprop_winner(ref, winner, simulations)
+
+    def apply_virtual_loss(self, ref: int, amount: float = 1.0) -> None:
+        self.arena.apply_virtual_loss(ref, amount)
+
+    def revert_virtual_loss(self, ref: int, amount: float = 1.0) -> None:
+        self.arena.revert_virtual_loss(ref, amount)
+
+    def state_of(self, ref: int) -> GameState:
+        return self.arena.state_of(ref)
+
+    def terminal_of(self, ref: int) -> bool:
+        return self.arena.terminal_of(ref)
+
+    def winner_of(self, ref: int) -> int:
+        return self.arena.winner_of(ref)
+
+    def root_stats(self) -> dict[int, tuple[float, float]]:
+        return self.arena.root_stats(0)
+
+    @property
+    def node_count(self) -> int:
+        return self.arena.node_count(0)
+
+    @property
+    def max_depth(self) -> int:
+        return self.arena.max_depth(0)
+
+    def depth(self) -> int:
+        return self.max_depth
+
+
+def make_tree(
+    backend: str,
+    game: Game,
+    root_state: GameState,
+    rng: XorShift64Star,
+    ucb_c: float = 1.0,
+    selection_rule: str = "ucb1",
+):
+    """One tree on the chosen backend."""
+    validate_backend(backend)
+    if backend == "arena":
+        return ArenaTree(game, root_state, rng, ucb_c, selection_rule)
+    return SearchTree(game, root_state, rng, ucb_c, selection_rule)
+
+
+class NodeForest:
+    """Many independent pointer trees (the reference forest)."""
+
+    def __init__(
+        self,
+        game: Game,
+        root_state: GameState,
+        rngs: Sequence[XorShift64Star],
+        ucb_c: float = 1.0,
+        selection_rule: str = "ucb1",
+    ) -> None:
+        self.trees = [
+            SearchTree(game, root_state, rng, ucb_c, selection_rule)
+            for rng in rngs
+        ]
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    def select_expand_all(self, indices=None):
+        which = range(self.n_trees) if indices is None else indices
+        refs, depths = [], []
+        for i in which:
+            node, depth = self.trees[i].select_expand()
+            refs.append(node)
+            depths.append(depth)
+        return refs, depths
+
+    def select_expand(self, i: int):
+        return self.trees[i].select_expand()
+
+    def state_of(self, ref) -> GameState:
+        return ref.state
+
+    def terminal_of(self, ref) -> bool:
+        return ref.terminal
+
+    def winner_of(self, ref) -> int:
+        return ref.winner
+
+    def backprop(
+        self, i, ref, simulations, wins_black, wins_white, draws=0.0
+    ) -> None:
+        self.trees[i].backprop(
+            ref, simulations, wins_black, wins_white, draws
+        )
+
+    def backprop_winner(self, i, ref, winner, simulations=1) -> None:
+        self.trees[i].backprop_winner(ref, winner, simulations)
+
+    def backprop_block(self, refs, simulations, winners_2d) -> None:
+        """Per-tree playout tallies: row ``b`` of ``winners_2d`` holds
+        tree ``b``'s playout outcomes."""
+        from repro.core.base import tally
+
+        for b, tree in enumerate(self.trees):
+            wins_b, wins_w, draws = tally(winners_2d[b])
+            tree.backprop(refs[b], simulations, wins_b, wins_w, draws)
+
+    def root_stats(self, i: int) -> dict[int, tuple[float, float]]:
+        return self.trees[i].root_stats()
+
+    def aggregate_stats(self) -> dict[int, tuple[float, float]]:
+        return aggregate_stat_dicts(
+            [t.root_stats() for t in self.trees]
+        )
+
+    def majority_vote_stats(self) -> dict[int, tuple[float, float]]:
+        return majority_vote_stat_dicts(
+            [t.root_stats() for t in self.trees]
+        )
+
+    def max_depth(self) -> int:
+        return max(t.max_depth for t in self.trees)
+
+    def node_count(self) -> int:
+        return sum(t.node_count for t in self.trees)
+
+    def per_tree_depth(self) -> list[int]:
+        return [t.max_depth for t in self.trees]
+
+    def per_tree_nodes(self) -> list[int]:
+        return [t.node_count for t in self.trees]
+
+
+class ArenaForest:
+    """Many trees in one arena with lockstep vectorised selection."""
+
+    def __init__(
+        self,
+        game: Game,
+        root_state: GameState,
+        rngs: Sequence[XorShift64Star],
+        ucb_c: float = 1.0,
+        selection_rule: str = "ucb1",
+    ) -> None:
+        self.arena = TreeArena(
+            game, root_state, list(rngs), ucb_c, selection_rule
+        )
+
+    @property
+    def n_trees(self) -> int:
+        return self.arena.n_trees
+
+    def select_expand_all(self, indices=None):
+        return self.arena.select_expand_all(indices)
+
+    def select_expand(self, i: int):
+        return self.arena.select_expand(i)
+
+    def state_of(self, ref) -> GameState:
+        return self.arena.state_of(ref)
+
+    def terminal_of(self, ref) -> bool:
+        return self.arena.terminal_of(ref)
+
+    def winner_of(self, ref) -> int:
+        return self.arena.winner_of(ref)
+
+    def backprop(
+        self, i, ref, simulations, wins_black, wins_white, draws=0.0
+    ) -> None:
+        self.arena.backprop(
+            ref, simulations, wins_black, wins_white, draws
+        )
+
+    def backprop_winner(self, i, ref, winner, simulations=1) -> None:
+        self.arena.backprop_winner(ref, winner, simulations)
+
+    def backprop_block(self, refs, simulations, winners_2d) -> None:
+        winners = np.asarray(winners_2d)
+        wins_b = (winners == 1).sum(axis=1)
+        wins_w = (winners == -1).sum(axis=1)
+        draws = (winners == 0).sum(axis=1)
+        self.arena.backprop_many(
+            np.asarray(refs, dtype=np.int64),
+            simulations,
+            wins_b,
+            wins_w,
+            draws,
+        )
+
+    def root_stats(self, i: int) -> dict[int, tuple[float, float]]:
+        return self.arena.root_stats(i)
+
+    def aggregate_stats(self) -> dict[int, tuple[float, float]]:
+        return self.arena.aggregate_stats()
+
+    def majority_vote_stats(self) -> dict[int, tuple[float, float]]:
+        return self.arena.majority_vote_stats()
+
+    def max_depth(self) -> int:
+        return int(self.arena.tree_max_depth.max())
+
+    def node_count(self) -> int:
+        return int(self.arena.tree_node_count.sum())
+
+    def per_tree_depth(self) -> list[int]:
+        return [int(d) for d in self.arena.tree_max_depth]
+
+    def per_tree_nodes(self) -> list[int]:
+        return [int(n) for n in self.arena.tree_node_count]
+
+
+def make_forest(
+    backend: str,
+    game: Game,
+    root_state: GameState,
+    rngs: Sequence[XorShift64Star],
+    ucb_c: float = 1.0,
+    selection_rule: str = "ucb1",
+):
+    """``len(rngs)`` trees from one root on the chosen backend."""
+    validate_backend(backend)
+    cls = ArenaForest if backend == "arena" else NodeForest
+    return cls(game, root_state, rngs, ucb_c, selection_rule)

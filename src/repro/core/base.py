@@ -23,11 +23,13 @@ import numpy as np
 from repro.cpu import XEON_X5670, CpuCostModel
 from repro.games.base import Game, GameState
 from repro.games.batch import run_playouts_tracked
-from repro.core.policy import MAX_VISITS
+from repro.core.backend import make_forest, make_tree, validate_backend
+from repro.core.policy import MAX_VISITS, validate_selection_rule
 from repro.core.results import SearchResult
 from repro.games import make_batch_game
 from repro.rng import BatchXorShift128Plus, XorShift64Star
 from repro.util.clock import Clock
+from repro.util.profile import NULL_PROFILER, Profiler
 from repro.util.seeding import derive_seed
 
 #: What engines yield: leaf states needing one playout each.
@@ -54,11 +56,15 @@ class Engine(abc.ABC):
         final_policy: str = MAX_VISITS,
         max_iterations: int | None = None,
         selection_rule: str = "ucb1",
+        backend: str = "node",
+        profiler: Profiler | None = None,
     ) -> None:
         if max_iterations is not None and max_iterations <= 0:
             raise ValueError(
                 f"max_iterations must be positive: {max_iterations}"
             )
+        validate_selection_rule(selection_rule)
+        validate_backend(backend)
         self.game = game
         self.seed = seed
         self.ucb_c = ucb_c
@@ -67,6 +73,8 @@ class Engine(abc.ABC):
         self.final_policy = final_policy
         self.max_iterations = max_iterations
         self.selection_rule = selection_rule
+        self.backend = backend
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.rng = XorShift64Star(derive_seed(seed, "engine", self.name))
 
     @abc.abstractmethod
@@ -79,6 +87,28 @@ class Engine(abc.ABC):
         """Generator protocol (CPU engines only); see module docstring."""
         raise NotImplementedError(
             f"{self.name} engine does not support cohort driving"
+        )
+
+    def _make_tree(self, state: GameState, rng: XorShift64Star):
+        """One tree on the engine's configured backend."""
+        return make_tree(
+            self.backend,
+            self.game,
+            state,
+            rng,
+            self.ucb_c,
+            self.selection_rule,
+        )
+
+    def _make_forest(self, state: GameState, rngs):
+        """``len(rngs)`` trees on the engine's configured backend."""
+        return make_forest(
+            self.backend,
+            self.game,
+            state,
+            rngs,
+            self.ucb_c,
+            self.selection_rule,
         )
 
     def _check_budget(self, budget_s: float, state: GameState) -> None:

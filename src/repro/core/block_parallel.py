@@ -15,10 +15,9 @@ communication -- which is exactly why it maps onto SIMT hardware.
 
 from __future__ import annotations
 
-from repro.core.base import Engine, tally
+from repro.core.base import Engine
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
-from repro.core.tree import SearchTree, aggregate_stats, majority_vote_stats
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
@@ -56,48 +55,60 @@ class BlockParallelMcts(Engine):
         self._check_budget(budget_s, state)
         blocks = self.config.blocks
         tpb = self.config.threads_per_block
-        trees = [
-            SearchTree(
-                self.game,
-                state,
-                self.rng.fork("tree", b),
-                self.ucb_c,
-                self.selection_rule,
-            )
-            for b in range(blocks)
-        ]
+        forest = self._make_forest(
+            state, [self.rng.fork("tree", b) for b in range(blocks)]
+        )
+        prof = self.profiler
+        # tree_control_time is a pure function of depth; memoising it
+        # repeats the exact same floats, so clock accumulation (and
+        # therefore every budget decision) is unchanged.
+        control_time = self.cost.tree_control_time
+        control_cache: dict[int, float] = {}
+        advance = self.clock.advance
         sw = Stopwatch(self.clock)
         cap = self._iteration_cap()
         iterations = 0
         simulations = 0
         while (sw.elapsed < budget_s and iterations < cap) or iterations == 0:
-            leaves = []
-            # Sequential part: the one controlling CPU walks each tree.
-            for tree in trees:
-                node, depth = tree.select_expand()
-                self.clock.advance(self.cost.tree_control_time(depth))
-                leaves.append(node)
-            result = self.gpu.run_playouts(
-                [leaf.state for leaf in leaves], self.config
-            )
-            per_block = result.winners.reshape(blocks, tpb)
-            for b, tree in enumerate(trees):
-                wins_b, wins_w, draws = tally(per_block[b])
-                tree.backprop(leaves[b], tpb, wins_b, wins_w, draws)
+            # Sequential part: the one controlling CPU walks each tree
+            # (lockstep-vectorised on the arena backend).
+            with prof.phase("select"):
+                leaves, depths = forest.select_expand_all()
+                for depth in (
+                    depths.tolist() if hasattr(depths, "tolist") else depths
+                ):
+                    t = control_cache.get(depth)
+                    if t is None:
+                        t = control_cache[depth] = control_time(depth)
+                    advance(t)
+            with prof.phase("playout"):
+                result = self.gpu.run_playouts(
+                    [forest.state_of(leaf) for leaf in leaves],
+                    self.config,
+                )
+            with prof.phase("backprop"):
+                per_block = result.winners.reshape(blocks, tpb)
+                forest.backprop_block(leaves, tpb, per_block)
             iterations += 1
             simulations += result.playouts
-        stats = aggregate_stats(trees)
+        stats = forest.aggregate_stats()
         voted = (
-            majority_vote_stats(trees) if self.vote == "majority" else stats
+            forest.majority_vote_stats()
+            if self.vote == "majority"
+            else stats
         )
         return SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
             iterations=iterations,
             simulations=simulations,
-            max_depth=max(t.max_depth for t in trees),
-            tree_nodes=sum(t.node_count for t in trees),
+            max_depth=forest.max_depth(),
+            tree_nodes=forest.node_count(),
             elapsed_s=sw.elapsed,
             trees=blocks,
-            extras={"kernels": self.gpu.stats.kernels_launched},
+            extras={
+                "kernels": self.gpu.stats.kernels_launched,
+                "per_tree_depth": forest.per_tree_depth(),
+                "per_tree_nodes": forest.per_tree_nodes(),
+            },
         )

@@ -11,10 +11,9 @@ its telemetry (``max_depth``, ``extras['cpu_iterations']``).
 
 from __future__ import annotations
 
-from repro.core.base import Engine, tally
+from repro.core.base import Engine
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
-from repro.core.tree import SearchTree, aggregate_stats
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
@@ -48,17 +47,11 @@ class HybridMcts(Engine):
         self._check_budget(budget_s, state)
         blocks = self.config.blocks
         tpb = self.config.threads_per_block
-        trees = [
-            SearchTree(
-                self.game,
-                state,
-                self.rng.fork("tree", b),
-                self.ucb_c,
-                self.selection_rule,
-            )
-            for b in range(blocks)
-        ]
+        forest = self._make_forest(
+            state, [self.rng.fork("tree", b) for b in range(blocks)]
+        )
         playout_rng = self.rng.fork("cpu_playout")
+        prof = self.profiler
         sw = Stopwatch(self.clock)
         cap = self._iteration_cap()
         gpu_iterations = 0
@@ -69,52 +62,57 @@ class HybridMcts(Engine):
         while (
             sw.elapsed < budget_s and gpu_iterations < cap
         ) or gpu_iterations == 0:
-            leaves = []
-            for tree in trees:
-                node, depth = tree.select_expand()
-                self.clock.advance(self.cost.tree_control_time(depth))
-                leaves.append(node)
+            with prof.phase("select"):
+                leaves, depths = forest.select_expand_all()
+                for depth in depths:
+                    self.clock.advance(self.cost.tree_control_time(depth))
             event = self.gpu.launch_async(
-                [leaf.state for leaf in leaves], self.config
+                [forest.state_of(leaf) for leaf in leaves], self.config
             )
-            # The GPU is busy; the CPU keeps deepening the same trees.
-            while not self.gpu.stream.query(event):
-                tree = trees[next_tree]
-                next_tree = (next_tree + 1) % blocks
-                node, depth = tree.select_expand()
-                if node.terminal:
-                    tree.backprop_winner(node, node.winner)
-                    plies = 0
-                else:
-                    winner, plies = self.game.playout(
-                        node.state, playout_rng
+            # The GPU is busy; the CPU keeps deepening the same trees
+            # (round-robin; the shared playout RNG makes this order
+            # part of the engine's deterministic contract).
+            with prof.phase("cpu_overlap"):
+                while not self.gpu.stream.query(event):
+                    t = next_tree
+                    next_tree = (next_tree + 1) % blocks
+                    node, depth = forest.select_expand(t)
+                    if forest.terminal_of(node):
+                        forest.backprop_winner(
+                            t, node, forest.winner_of(node)
+                        )
+                        plies = 0
+                    else:
+                        winner, plies = self.game.playout(
+                            forest.state_of(node), playout_rng
+                        )
+                        forest.backprop_winner(t, node, winner)
+                    self.clock.advance(
+                        self.cost.iteration_time(depth, plies)
                     )
-                    tree.backprop_winner(node, winner)
-                self.clock.advance(
-                    self.cost.iteration_time(depth, plies)
-                )
-                cpu_iterations += 1
-                simulations += 1
+                    cpu_iterations += 1
+                    simulations += 1
             result = self.gpu.stream.synchronize(event)
-            per_block = result.winners.reshape(blocks, tpb)
-            for b, tree in enumerate(trees):
-                wins_b, wins_w, draws = tally(per_block[b])
-                tree.backprop(leaves[b], tpb, wins_b, wins_w, draws)
+            with prof.phase("backprop"):
+                per_block = result.winners.reshape(blocks, tpb)
+                forest.backprop_block(leaves, tpb, per_block)
             gpu_iterations += 1
             simulations += result.playouts
 
-        stats = aggregate_stats(trees)
+        stats = forest.aggregate_stats()
         return SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
             iterations=gpu_iterations,
             simulations=simulations,
-            max_depth=max(t.max_depth for t in trees),
-            tree_nodes=sum(t.node_count for t in trees),
+            max_depth=forest.max_depth(),
+            tree_nodes=forest.node_count(),
             elapsed_s=sw.elapsed,
             trees=blocks,
             extras={
                 "cpu_iterations": cpu_iterations,
                 "kernels": self.gpu.stats.kernels_launched,
+                "per_tree_depth": forest.per_tree_depth(),
+                "per_tree_nodes": forest.per_tree_nodes(),
             },
         )

@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.core.base import Engine, tally
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
-from repro.core.tree import SearchTree
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
@@ -46,13 +45,7 @@ class LeafParallelMcts(Engine):
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         self._check_budget(budget_s, state)
-        tree = SearchTree(
-            self.game,
-            state,
-            self.rng.fork("tree"),
-            self.ucb_c,
-            self.selection_rule,
-        )
+        tree = self._make_tree(state, self.rng.fork("tree"))
         sw = Stopwatch(self.clock)
         cap = self._iteration_cap()
         grid = self.config.total_threads
@@ -62,12 +55,14 @@ class LeafParallelMcts(Engine):
             node, depth = tree.select_expand()
             # CPU sequential share: tree walk + kernel marshalling.
             self.clock.advance(self.cost.tree_control_time(depth))
-            if node.terminal:
+            if tree.terminal_of(node):
                 # The kernel would return the same outcome in every
                 # lane; skip the launch, keep the statistics faithful.
-                tree.backprop_winner(node, node.winner, grid)
+                tree.backprop_winner(node, tree.winner_of(node), grid)
             else:
-                result = self.gpu.run_playouts([node.state], self.config)
+                result = self.gpu.run_playouts(
+                    [tree.state_of(node)], self.config
+                )
                 wins_b, wins_w, draws = tally(result.winners)
                 tree.backprop(node, grid, wins_b, wins_w, draws)
             iterations += 1
@@ -81,5 +76,9 @@ class LeafParallelMcts(Engine):
             max_depth=tree.max_depth,
             tree_nodes=tree.node_count,
             elapsed_s=sw.elapsed,
-            extras={"kernels": self.gpu.stats.kernels_launched},
+            extras={
+                "kernels": self.gpu.stats.kernels_launched,
+                "per_tree_depth": [tree.depth()],
+                "per_tree_nodes": [tree.node_count],
+            },
         )

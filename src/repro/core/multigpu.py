@@ -76,6 +76,8 @@ class MultiGpuMcts(Engine):
                 clock=ctx.clock,
                 final_policy=self.final_policy,
                 max_iterations=self.max_iterations,
+                selection_rule=self.selection_rule,
+                backend=self.backend,
             )
             return engine.search(states[ctx.rank], budget_s)
 
@@ -117,6 +119,16 @@ class MultiGpuMcts(Engine):
                 "ranks": self.n_gpus,
                 "per_rank_simulations": [
                     r.simulations for r in rank_results
+                ],
+                "per_tree_depth": [
+                    d
+                    for r in rank_results
+                    for d in r.extras["per_tree_depth"]
+                ],
+                "per_tree_nodes": [
+                    n
+                    for r in rank_results
+                    for n in r.extras["per_tree_nodes"]
                 ],
                 "dropped_messages": cluster.dropped,
             },

@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.core.base import Engine, SearchGenerator, batch_executor, drive_search
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
-from repro.core.tree import SearchTree, aggregate_stats, majority_vote_stats
 from repro.games.base import GameState
 from repro.util.seeding import derive_seed
 
@@ -49,16 +48,9 @@ class RootParallelMcts(Engine):
         self, state: GameState, budget_s: float
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
-        trees = [
-            SearchTree(
-                self.game,
-                state,
-                self.rng.fork("tree", i),
-                self.ucb_c,
-                self.selection_rule,
-            )
-            for i in range(self.n_trees)
-        ]
+        forest = self._make_forest(
+            state, [self.rng.fork("tree", i) for i in range(self.n_trees)]
+        )
         core_time = [0.0] * self.n_trees
         cap = self._iteration_cap()
         iterations = 0
@@ -73,25 +65,30 @@ class RootParallelMcts(Engine):
             ]
             if not active:
                 break
+            # Independent trees: selecting them all first, then
+            # resolving terminals, is identical to the interleaved
+            # order (no tree ever observes another's statistics).
+            refs, depths = forest.select_expand_all(active)
             requests = []
             pending = []  # (tree index, node, depth)
-            for i in active:
-                node, depth = trees[i].select_expand()
-                if node.terminal:
-                    trees[i].backprop_winner(node, node.winner)
+            for i, node, depth in zip(active, refs, depths):
+                if forest.terminal_of(node):
+                    forest.backprop_winner(
+                        i, node, forest.winner_of(node)
+                    )
                     core_time[i] += self.cost.iteration_time(depth, 0)
                     per_tree_iters[i] += 1
                     iterations += 1
                     simulations += 1
                 else:
-                    requests.append(node.state)
+                    requests.append(forest.state_of(node))
                     pending.append((i, node, depth))
             if requests:
                 results = yield requests
                 for (i, node, depth), (winner, plies) in zip(
                     pending, results
                 ):
-                    trees[i].backprop_winner(node, winner)
+                    forest.backprop_winner(i, node, winner)
                     core_time[i] += self.cost.iteration_time(depth, plies)
                     per_tree_iters[i] += 1
                     iterations += 1
@@ -99,17 +96,23 @@ class RootParallelMcts(Engine):
 
         # Wall time of the parallel search = the slowest core.
         self.clock.advance(max(core_time))
-        stats = aggregate_stats(trees)
+        stats = forest.aggregate_stats()
         voted = (
-            majority_vote_stats(trees) if self.vote == "majority" else stats
+            forest.majority_vote_stats()
+            if self.vote == "majority"
+            else stats
         )
         return SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
             iterations=iterations,
             simulations=simulations,
-            max_depth=max(t.max_depth for t in trees),
-            tree_nodes=sum(t.node_count for t in trees),
+            max_depth=forest.max_depth(),
+            tree_nodes=forest.node_count(),
             elapsed_s=max(core_time),
             trees=self.n_trees,
+            extras={
+                "per_tree_depth": forest.per_tree_depth(),
+                "per_tree_nodes": forest.per_tree_nodes(),
+            },
         )

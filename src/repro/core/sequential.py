@@ -11,7 +11,6 @@ from __future__ import annotations
 from repro.core.base import Engine, SearchGenerator, drive_search, scalar_executor
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
-from repro.core.tree import SearchTree
 from repro.games.base import GameState
 from repro.util.clock import Stopwatch
 
@@ -31,24 +30,18 @@ class SequentialMcts(Engine):
         self, state: GameState, budget_s: float
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
-        tree = SearchTree(
-            self.game,
-            state,
-            self.rng.fork("tree"),
-            self.ucb_c,
-            self.selection_rule,
-        )
+        tree = self._make_tree(state, self.rng.fork("tree"))
         sw = Stopwatch(self.clock)
         cap = self._iteration_cap()
         iterations = 0
         simulations = 0
         while sw.elapsed < budget_s and iterations < cap:
             node, depth = tree.select_expand()
-            if node.terminal:
-                tree.backprop_winner(node, node.winner)
+            if tree.terminal_of(node):
+                tree.backprop_winner(node, tree.winner_of(node))
                 plies = 0
             else:
-                (result,) = yield (node.state,)
+                (result,) = yield (tree.state_of(node),)
                 winner, plies = result
                 tree.backprop_winner(node, winner)
             self.clock.advance(self.cost.iteration_time(depth, plies))
@@ -63,4 +56,8 @@ class SequentialMcts(Engine):
             max_depth=tree.max_depth,
             tree_nodes=tree.node_count,
             elapsed_s=sw.elapsed,
+            extras={
+                "per_tree_depth": [tree.depth()],
+                "per_tree_nodes": [tree.node_count],
+            },
         )

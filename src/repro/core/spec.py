@@ -8,11 +8,13 @@ parameters, and can be written three ways::
                  "vote": "majority"}, game, seed=1)
     make_engine(EngineSpec("sequential"), game, seed=1)
 
-The string grammar is ``kind[:AxBxC]`` -- the colon suffix holds the
-kind's positional integers joined with ``x`` (``block:16x32`` is 16
-blocks of 32 threads).  Dict specs take the same positional parameters
-by name plus any keyword the engine constructor accepts (``ucb_c``,
-``vote``, ``device`` as a registered device name, ...).
+The string grammar is ``kind[:AxBxC][@backend]`` -- the colon suffix
+holds the kind's positional integers joined with ``x`` (``block:16x32``
+is 16 blocks of 32 threads) and the optional ``@`` suffix picks the
+tree backend (``block:16x32@arena``; default ``node``).  Dict specs
+take the same positional parameters by name plus any keyword the
+engine constructor accepts (``ucb_c``, ``vote``, ``backend``,
+``device`` as a registered device name, ...).
 
 Construction through a spec is *exactly equivalent* to calling the
 engine class directly: same constructor arguments, same RNG streams,
@@ -26,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.core.backend import validate_backend
 from repro.core.base import Engine
 from repro.core.block_parallel import BlockParallelMcts
 from repro.core.hybrid import HybridMcts
@@ -99,10 +102,15 @@ class EngineSpec:
 
     @staticmethod
     def parse(text: str) -> "EngineSpec":
-        """Parse the string form (``"block:16x32"``)."""
+        """Parse the string form (``"block:16x32[@backend]"``)."""
         if not isinstance(text, str) or not text.strip():
             raise ValueError(f"empty engine spec: {text!r}")
-        kind_token, sep, arg_token = text.strip().partition(":")
+        body, at, backend_token = text.strip().partition("@")
+        backend_params: dict[str, object] = {}
+        if at:
+            validate_backend(backend_token)
+            backend_params["backend"] = backend_token
+        kind_token, sep, arg_token = body.partition(":")
         kind = _KINDS.get(kind_token)
         if kind is None:
             raise ValueError(
@@ -115,7 +123,7 @@ class EngineSpec:
                     f"engine spec {text!r} is missing its parameters; "
                     f"expected e.g. {kind.example!r}"
                 )
-            return EngineSpec(kind.name)
+            return EngineSpec(kind.name, backend_params)
         tokens = arg_token.split("x")
         if len(tokens) != len(kind.positional):
             raise ValueError(
@@ -125,7 +133,7 @@ class EngineSpec:
                 f"({' x '.join(kind.positional) or 'none'}), "
                 f"e.g. {kind.example!r}"
             )
-        params: dict[str, object] = {}
+        params: dict[str, object] = dict(backend_params)
         for pname, token in zip(kind.positional, tokens):
             try:
                 params[pname] = int(token)
@@ -156,27 +164,32 @@ class EngineSpec:
         )
 
     def to_string(self) -> str:
-        """Canonical string form (positional parameters only).
+        """Canonical string form (positional parameters + backend).
 
         Raises ``ValueError`` if the spec holds keyword parameters the
         string grammar cannot carry.
         """
         kind = _KINDS[self.kind]
-        extra = set(self.params) - set(kind.positional)
+        extra = set(self.params) - set(kind.positional) - {"backend"}
         if extra:
             raise ValueError(
                 f"spec has non-positional parameters {sorted(extra)}; "
                 "only dict form can express them"
             )
+        backend = self.params.get("backend")
+        suffix = f"@{backend}" if backend and backend != "node" else ""
         if not kind.positional:
-            return self.kind
+            return self.kind + suffix
         missing = [p for p in kind.positional if p not in self.params]
         if missing:
             raise ValueError(
                 f"spec is missing positional parameters {missing}"
             )
-        return self.kind + ":" + "x".join(
-            str(self.params[p]) for p in kind.positional
+        return (
+            self.kind
+            + ":"
+            + "x".join(str(self.params[p]) for p in kind.positional)
+            + suffix
         )
 
     def build(self, game: Game, seed: int, **overrides) -> Engine:

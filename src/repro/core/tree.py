@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from repro.core.policy import SELECTION_RULES, validate_selection_rule
 from repro.games.base import Game, GameState
 from repro.rng import XorShift64Star
 
@@ -83,8 +84,8 @@ class Node:
 class SearchTree:
     """One MCTS tree with UCB1 selection and single-node expansion."""
 
-    #: Supported child-selection rules.
-    SELECTION_RULES = ("ucb1", "ucb1_tuned")
+    #: Supported child-selection rules (shared with the arena backend).
+    SELECTION_RULES = SELECTION_RULES
 
     def __init__(
         self,
@@ -96,11 +97,7 @@ class SearchTree:
     ) -> None:
         if ucb_c < 0:
             raise ValueError(f"ucb_c must be non-negative: {ucb_c}")
-        if selection_rule not in self.SELECTION_RULES:
-            raise ValueError(
-                f"unknown selection rule {selection_rule!r}; "
-                f"available: {self.SELECTION_RULES}"
-            )
+        validate_selection_rule(selection_rule)
         self.game = game
         self.rng = rng
         self.ucb_c = ucb_c
@@ -218,7 +215,26 @@ class SearchTree:
             node.vloss -= amount
             node = node.parent
 
+    # -- backend-neutral ref accessors ---------------------------------------
+
+    # Engines address tree positions through opaque *refs* so the same
+    # engine code drives this pointer tree (refs are ``Node`` objects)
+    # and the array arena (refs are integer slots).
+
+    def state_of(self, node: Node) -> GameState:
+        return node.state
+
+    def terminal_of(self, node: Node) -> bool:
+        return node.terminal
+
+    def winner_of(self, node: Node) -> int:
+        return node.winner
+
     # -- reporting -----------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Deepest expanded path (same quantity as ``max_depth``)."""
+        return self.max_depth
 
     def root_stats(self) -> dict[int, tuple[float, float]]:
         """Per root move: ``(visits, wins)`` of the corresponding child
@@ -243,18 +259,48 @@ class SearchTree:
             stack.extend(n.children)
 
 
+def aggregate_stat_dicts(
+    per_tree: "list[dict[int, tuple[float, float]]]",
+) -> dict[int, tuple[float, float]]:
+    """Sum per-move ``(visits, wins)`` dicts in tree order.
+
+    Shared by both tree backends so the float accumulation order -- and
+    therefore the aggregate, bit for bit -- is identical whichever
+    representation produced the per-tree dicts.
+    """
+    agg: dict[int, list[float]] = {}
+    for stats in per_tree:
+        for move, (visits, wins) in stats.items():
+            cell = agg.setdefault(move, [0.0, 0.0])
+            cell[0] += visits
+            cell[1] += wins
+    return {m: (v, w) for m, (v, w) in agg.items()}
+
+
+def majority_vote_stat_dicts(
+    per_tree: "list[dict[int, tuple[float, float]]]",
+) -> dict[int, tuple[float, float]]:
+    """Chaslot-style plurality ballot over per-tree root stats; see
+    :func:`majority_vote_stats`."""
+    ballots: dict[int, list[float]] = {}
+    for stats in per_tree:
+        if not stats:
+            continue
+        move = max(
+            stats, key=lambda m: (stats[m][0], stats[m][1], -m)
+        )
+        cell = ballots.setdefault(move, [0.0, 0.0])
+        cell[0] += 1.0
+        cell[1] += stats[move][1]
+    return {m: (v, w) for m, (v, w) in ballots.items()}
+
+
 def aggregate_stats(
     trees: "list[SearchTree]",
 ) -> dict[int, tuple[float, float]]:
     """Root-parallel vote: sum per-move visits and wins over trees
     (how the paper merges block/root-parallel results at the root)."""
-    agg: dict[int, list[float]] = {}
-    for tree in trees:
-        for move, (visits, wins) in tree.root_stats().items():
-            cell = agg.setdefault(move, [0.0, 0.0])
-            cell[0] += visits
-            cell[1] += wins
-    return {m: (v, w) for m, (v, w) in agg.items()}
+    return aggregate_stat_dicts([tree.root_stats() for tree in trees])
 
 
 def majority_vote_stats(
@@ -265,15 +311,6 @@ def majority_vote_stats(
     visits (wins carry the voting trees' win mass for tie-breaks).
     Feeding this through ``select_move(..., MAX_VISITS)`` implements
     plurality voting."""
-    ballots: dict[int, list[float]] = {}
-    for tree in trees:
-        stats = tree.root_stats()
-        if not stats:
-            continue
-        move = max(
-            stats, key=lambda m: (stats[m][0], stats[m][1], -m)
-        )
-        cell = ballots.setdefault(move, [0.0, 0.0])
-        cell[0] += 1.0
-        cell[1] += stats[move][1]
-    return {m: (v, w) for m, (v, w) in ballots.items()}
+    return majority_vote_stat_dicts(
+        [tree.root_stats() for tree in trees]
+    )

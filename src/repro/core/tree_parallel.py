@@ -13,7 +13,6 @@ from __future__ import annotations
 from repro.core.base import Engine, SearchGenerator, batch_executor, drive_search
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
-from repro.core.tree import SearchTree
 from repro.games.base import GameState
 from repro.util.seeding import derive_seed
 
@@ -46,13 +45,7 @@ class TreeParallelMcts(Engine):
         self, state: GameState, budget_s: float
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
-        tree = SearchTree(
-            self.game,
-            state,
-            self.rng.fork("tree"),
-            self.ucb_c,
-            self.selection_rule,
-        )
+        tree = self._make_tree(state, self.rng.fork("tree"))
         worker_time = [0.0] * self.n_workers
         cap = self._iteration_cap()
         iterations = 0
@@ -67,15 +60,15 @@ class TreeParallelMcts(Engine):
                     continue
                 node, depth = tree.select_expand()
                 tree.apply_virtual_loss(node, self.virtual_loss)
-                if node.terminal:
+                if tree.terminal_of(node):
                     instant.append((w, node, depth))
                 else:
-                    requests.append(node.state)
+                    requests.append(tree.state_of(node))
                     pending.append((w, node, depth))
             results = (yield requests) if requests else []
             for w, node, depth in instant:
                 tree.revert_virtual_loss(node, self.virtual_loss)
-                tree.backprop_winner(node, node.winner)
+                tree.backprop_winner(node, tree.winner_of(node))
                 worker_time[w] += self.cost.iteration_time(depth, 0)
                 iterations += 1
                 simulations += 1
@@ -98,4 +91,8 @@ class TreeParallelMcts(Engine):
             max_depth=tree.max_depth,
             tree_nodes=tree.node_count,
             elapsed_s=max(worker_time),
+            extras={
+                "per_tree_depth": [tree.depth()],
+                "per_tree_nodes": [tree.node_count],
+            },
         )

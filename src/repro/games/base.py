@@ -61,6 +61,21 @@ class Game(abc.ABC):
         """Point difference (player +1 minus player -1); 0 if the game
         has no notion of points beyond the winner."""
 
+    def legal_mask(self, state: GameState) -> int:
+        """Bitmask of legal move ids: bit ``m`` set iff ``m`` is legal.
+
+        Invariant (tested per game): iterating the set bits lowest
+        first reproduces :meth:`legal_moves` exactly, so a zero mask
+        means the state is terminal.  The array-backed tree arena
+        (:mod:`repro.core.arena`) builds its untried-move bookkeeping
+        from this mask; games with bitboard move generation override it
+        to skip the tuple materialisation.
+        """
+        mask = 0
+        for move in self.legal_moves(state):
+            mask |= 1 << move
+        return mask
+
     def render(self, state: GameState) -> str:
         """ASCII diagram of the position (optional, for examples)."""
         return repr(state)

@@ -195,6 +195,15 @@ class Reversi(Game):
             return (PASS_MOVE,)
         return ()  # terminal: neither side can move
 
+    def legal_mask(self, state: ReversiState) -> int:
+        own, opp = _own_opp(state)
+        mob = mobility(own, opp)
+        if mob:
+            return mob
+        if mobility(opp, own):
+            return 1 << PASS_MOVE
+        return 0
+
     def apply(self, state: ReversiState, move: int) -> ReversiState:
         own, opp = _own_opp(state)
         if move == PASS_MOVE:

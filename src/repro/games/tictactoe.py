@@ -33,8 +33,16 @@ class TicTacToeState(NamedTuple):
     to_move: int
 
 
+#: ``_HAS_LINE[mask]`` == "does this 9-bit occupancy contain a win
+#: line".  Terminal checks run once per node created and once per
+#: playout ply, hot enough that the table lookup matters.
+_HAS_LINE = tuple(
+    any(m & line == line for line in WIN_LINES) for m in range(512)
+)
+
+
 def _has_line(mask: int) -> bool:
-    return any(mask & line == line for line in WIN_LINES)
+    return _HAS_LINE[mask]
 
 
 class TicTacToe(Game):
@@ -53,6 +61,11 @@ class TicTacToe(Game):
             return ()
         empty = ~(state.x | state.o) & FULL_BOARD
         return tuple(bits_of(empty))
+
+    def legal_mask(self, state: TicTacToeState) -> int:
+        if self.is_terminal(state):
+            return 0
+        return ~(state.x | state.o) & FULL_BOARD
 
     def apply(self, state: TicTacToeState, move: int) -> TicTacToeState:
         bit = 1 << move

@@ -8,9 +8,11 @@ their runners.
 """
 
 from repro.harness.ablations import (
+    BackendConfig,
     BlockSizeConfig,
     UcbConfig,
     VotePolicyConfig,
+    run_backend_ablation,
     run_block_size_ablation,
     run_divergence_ablation,
     run_seq_part_ablation,
@@ -58,6 +60,7 @@ EXPERIMENTS = {
         lambda cfg=None: run_divergence_ablation(),
     ),
     "abl_ucb_c": (UcbConfig.for_tier, run_ucb_ablation),
+    "abl_tree_backend": (BackendConfig.for_tier, run_backend_ablation),
     "exp_generalization": (
         GeneralizationConfig.for_tier,
         run_generalization,
@@ -108,6 +111,8 @@ __all__ = [
     "run_vote_policy_ablation",
     "UcbConfig",
     "run_ucb_ablation",
+    "BackendConfig",
+    "run_backend_ablation",
     "GeneralizationConfig",
     "GeneralizationResult",
     "run_generalization",

@@ -340,6 +340,106 @@ def run_vote_policy_ablation(
 
 
 # ---------------------------------------------------------------------------
+# Tree backend: pointer nodes vs struct-of-arrays arena
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Node-vs-arena wall-clock comparison on block-parallel search.
+
+    The default shape (many narrow trees on a small-branching game) is
+    where the lockstep descent pays off; expansion-dominated shapes
+    (reversi, few trees) sit at parity -- see
+    ``benchmarks/REPORT_arena.md`` for the sweep.
+    """
+
+    blocks: int = 256
+    tpb: int = 1
+    iterations: int = 400
+    game: str = "tictactoe"
+    seed: int = 85_2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "BackendConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return BackendConfig(blocks=128, iterations=120)
+        if tier == "full":
+            return BackendConfig(blocks=512, iterations=600)
+        return BackendConfig()
+
+
+@dataclass
+class BackendResult:
+    config: BackendConfig
+    #: backend -> wall-clock iterations per second.
+    iters_per_s: dict[str, float] = field(default_factory=dict)
+    #: Same seed produced the same move and root stats on both?
+    identical: bool = False
+
+    @property
+    def speedup(self) -> float:
+        node = self.iters_per_s.get("node", 0.0)
+        arena = self.iters_per_s.get("arena", 0.0)
+        return arena / node if node > 0 else float("nan")
+
+    def render(self) -> str:
+        rows = [
+            [backend, f"{self.iters_per_s[backend]:.1f}"]
+            for backend in sorted(self.iters_per_s)
+        ]
+        rows.append(["arena/node speedup", f"{self.speedup:.2f}x"])
+        rows.append(["identical results", str(self.identical)])
+        return format_table(
+            ["tree backend", "iterations/s (wall)"],
+            rows,
+            title=(
+                "Ablation: tree backend on block-parallel "
+                f"({self.config.blocks}x{self.config.tpb}, "
+                f"{self.config.iterations} iterations, "
+                f"{self.config.game})"
+            ),
+        )
+
+
+def run_backend_ablation(
+    config: BackendConfig | None = None,
+) -> BackendResult:
+    import time
+
+    from repro.games import make_game
+
+    cfg = config or BackendConfig.for_tier()
+    game = make_game(cfg.game)
+    state = game.initial_state()
+    out = BackendResult(config=cfg)
+    results = {}
+    for backend in ("node", "arena"):
+        engine = make_engine(
+            {
+                "kind": "block",
+                "blocks": cfg.blocks,
+                "threads_per_block": cfg.tpb,
+                "max_iterations": cfg.iterations,
+                "backend": backend,
+            },
+            game,
+            cfg.seed,
+        )
+        t0 = time.perf_counter()
+        results[backend] = engine.search(state, budget_s=1e9)
+        wall = time.perf_counter() - t0
+        out.iters_per_s[backend] = results[backend].iterations / wall
+    node, arena = results["node"], results["arena"]
+    out.identical = (
+        node.move == arena.move
+        and node.stats == arena.stats
+        and node.iterations == arena.iterations
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # UCB exploration constant
 # ---------------------------------------------------------------------------
 

@@ -56,10 +56,21 @@ class XorShift64Star:
         return seq[self.randrange(len(seq))]
 
     def shuffle(self, seq: list) -> None:
-        """In-place Fisher-Yates shuffle."""
+        """In-place Fisher-Yates shuffle.
+
+        Draws exactly the same variates as ``randrange(i + 1)`` per
+        swap; the xorshift step is inlined because engines shuffle an
+        untried-move list for every node they create, making this the
+        hottest RNG entry point.
+        """
+        x = self._state
         for i in range(len(seq) - 1, 0, -1):
-            j = self.randrange(i + 1)
+            x ^= (x >> 12)
+            x ^= (x << 25) & _MASK
+            x ^= (x >> 27)
+            j = (((x * _MULT) & _MASK) * (i + 1)) >> 64
             seq[i], seq[j] = seq[j], seq[i]
+        self._state = x
 
     def fork(self, *path) -> "XorShift64Star":
         """An independent child generator keyed by ``path``."""

@@ -42,6 +42,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.core.backend import validate_backend
 from repro.core.base import Engine
 from repro.core.results import SearchResult
 from repro.core.spec import EngineSpec, make_engine
@@ -112,11 +113,13 @@ class SearchService:
         enforce_deadlines: bool = True,
         faults: FaultPlan | str | None = None,
         retry: RetryPolicy | None = None,
+        backend: str = "node",
     ) -> None:
         if max_active <= 0:
             raise ValueError(f"max_active must be positive: {max_active}")
         if max_queue < 0:
             raise ValueError(f"max_queue cannot be negative: {max_queue}")
+        validate_backend(backend)
         if devices is None:
             devices = (TESLA_C2050,) * n_devices
         self.clock = Clock()
@@ -134,6 +137,9 @@ class SearchService:
         self.batcher = LaneBatcher(
             self.pool, derive_seed(seed, "serve"), launcher=self.launcher
         )
+        #: Default tree backend for requests whose spec does not pick
+        #: one explicitly (an ``@backend`` suffix always wins).
+        self.backend = backend
         self.max_active = max_active
         self.max_queue = max_queue
         self.seed = seed
@@ -188,6 +194,8 @@ class SearchService:
         game = self._game(req.game)
         spec = EngineSpec.coerce(req.engine)
         overrides = {}
+        if self.backend != "node" and "backend" not in spec.params:
+            overrides["backend"] = self.backend
         if self.injector is not None and spec.kind == "multigpu":
             # Multi-GPU vote aggregation shares the service's fault
             # stream: rank contributions may be dropped.

@@ -53,8 +53,13 @@ class WorkloadConfig:
     #: Request-id prefix; ids are ``f"{id_prefix}{i:03d}"`` so several
     #: workloads can share one service without id collisions.
     id_prefix: str = "r"
+    #: Tree backend suffixed onto every engine spec (``@arena``);
+    #: ``"node"`` leaves the spec strings untouched.
+    backend: str = "node"
 
     def __post_init__(self) -> None:
+        from repro.core.backend import validate_backend
+
         if self.n_requests <= 0:
             raise ValueError(
                 f"n_requests must be positive: {self.n_requests}"
@@ -65,6 +70,7 @@ class WorkloadConfig:
             )
         if not self.id_prefix:
             raise ValueError("id_prefix cannot be empty")
+        validate_backend(self.backend)
 
 
 def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
@@ -74,6 +80,8 @@ def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
     for i in range(config.n_requests):
         game = config.games[i % len(config.games)]
         engine = config.engines[i % len(config.engines)]
+        if config.backend != "node" and "@" not in engine:
+            engine = f"{engine}@{config.backend}"
         budget = DEFAULT_BUDGETS[game] * config.budget_scale
         requests.append(
             SearchRequest(

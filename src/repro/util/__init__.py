@@ -21,6 +21,7 @@ from repro.util.bitops import (
     shift_west,
 )
 from repro.util.clock import Clock, ClockError
+from repro.util.profile import NULL_PROFILER, PhaseStats, Profiler
 from repro.util.seeding import SeedLadder, derive_seed
 from repro.util.tables import format_series, format_table
 
@@ -41,6 +42,9 @@ __all__ = [
     "shift_west",
     "Clock",
     "ClockError",
+    "NULL_PROFILER",
+    "PhaseStats",
+    "Profiler",
     "SeedLadder",
     "derive_seed",
     "format_series",

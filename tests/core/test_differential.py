@@ -56,6 +56,34 @@ def test_fixed_seed_reproduces_identical_search(spec):
     assert first.elapsed_s == second.elapsed_s
 
 
+@pytest.mark.parametrize("spec", sorted(SMALL_SPECS.values()))
+def test_arena_backend_matches_node_backend(spec):
+    """The array arena is a drop-in replacement: same spec + seed on
+    ``@arena`` must reproduce the node backend's search bit for bit --
+    chosen move, per-move root stats, counters, virtual time, and the
+    per-tree shape of the forest."""
+    node = _run(spec)
+    arena = _run(f"{spec}@arena")
+    assert arena.move == node.move
+    assert arena.stats == node.stats
+    assert arena.iterations == node.iterations
+    assert arena.simulations == node.simulations
+    assert arena.elapsed_s == node.elapsed_s
+    assert arena.max_depth == node.max_depth
+    assert arena.tree_nodes == node.tree_nodes
+    for key in ("per_tree_depth", "per_tree_nodes"):
+        assert arena.extras.get(key) == node.extras.get(key)
+
+
+@pytest.mark.parametrize("game_name", ["connect4", "reversi"])
+def test_arena_backend_matches_node_backend_other_games(game_name):
+    node = _run("block:2x8", game_name)
+    arena = _run("block:2x8@arena", game_name)
+    assert arena.move == node.move
+    assert arena.stats == node.stats
+    assert arena.simulations == node.simulations
+
+
 @pytest.mark.parametrize("n_trees", [2, 4])
 def test_block_with_one_thread_matches_root_aggregates(n_trees):
     game = make_game("tictactoe")

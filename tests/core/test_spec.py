@@ -139,6 +139,39 @@ def test_to_string_rejects_keyword_only_params():
         spec.to_string()
 
 
+class TestBackendSuffix:
+    """The ``@backend`` suffix of the string grammar."""
+
+    def test_parse_backend_suffix(self):
+        spec = EngineSpec.parse("block:2x8@arena")
+        assert spec.kind == "block"
+        assert spec.params["backend"] == "arena"
+        assert spec.params["blocks"] == 2
+
+    def test_parse_backend_on_parameterless_kind(self):
+        spec = EngineSpec.parse("sequential@arena")
+        assert spec.params == {"backend": "arena"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            EngineSpec.parse("block:2x8@cuda")
+
+    def test_round_trip_keeps_backend(self):
+        for text in ("block:2x8@arena", "sequential@arena"):
+            assert EngineSpec.parse(text).to_string() == text
+
+    def test_node_backend_is_default_and_not_emitted(self):
+        spec = EngineSpec.parse("block:2x8@node")
+        assert spec.params["backend"] == "node"
+        assert spec.to_string() == "block:2x8"
+
+    def test_built_engine_carries_backend(self):
+        game = TicTacToe()
+        engine = make_engine("block:2x8@arena", game, 1)
+        assert engine.backend == "arena"
+        assert make_engine("block:2x8", game, 1).backend == "node"
+
+
 class TestMalformedSpecs:
     """Every malformed spec raises ValueError naming the bad token."""
 

@@ -1,0 +1,39 @@
+"""Cross-game contract: ``legal_mask`` is ``legal_moves`` as a bitmask.
+
+The arena backend stores untried moves as bitmask rows and relies on
+``bits_of(legal_mask(s))`` enumerating exactly ``legal_moves(s)`` in
+ascending order, for every reachable state.  Walk random games in each
+domain and check the contract at every position.
+"""
+
+import pytest
+
+from repro.games import make_game
+from repro.rng import XorShift64Star
+
+GAME_NAMES = ("breakthrough", "connect4", "reversi", "tictactoe")
+
+
+@pytest.mark.parametrize("name", GAME_NAMES)
+def test_legal_mask_matches_legal_moves(name):
+    from repro.util.bitops import bits_of
+
+    game = make_game(name)
+    rng = XorShift64Star(2011)
+    for episode in range(6):
+        state = game.initial_state()
+        while True:
+            moves = game.legal_moves(state)
+            assert tuple(bits_of(game.legal_mask(state))) == moves
+            if not moves:
+                break
+            state = game.apply(state, moves[rng.randrange(len(moves))])
+    # Terminal and full positions report an empty mask.
+    assert game.legal_mask(state) == 0
+
+
+@pytest.mark.parametrize("name", GAME_NAMES)
+def test_legal_mask_fits_num_moves(name):
+    game = make_game(name)
+    state = game.initial_state()
+    assert game.legal_mask(state) < (1 << game.num_moves)

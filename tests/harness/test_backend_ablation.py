@@ -1,0 +1,26 @@
+"""Smoke tests for the tree-backend ablation."""
+
+from repro.harness import EXPERIMENTS
+from repro.harness.ablations import BackendConfig, run_backend_ablation
+
+
+def test_registered():
+    assert "abl_tree_backend" in EXPERIMENTS
+
+
+def test_tiny_run_reports_both_backends_identical():
+    result = run_backend_ablation(
+        BackendConfig(blocks=4, tpb=2, iterations=6, game="tictactoe")
+    )
+    assert set(result.iters_per_s) == {"node", "arena"}
+    assert all(v > 0 for v in result.iters_per_s.values())
+    assert result.identical
+    assert result.speedup > 0
+    rendered = result.render()
+    assert "arena/node speedup" in rendered
+    assert "identical results" in rendered
+
+
+def test_tier_presets():
+    assert BackendConfig.for_tier("quick").iterations == 120
+    assert BackendConfig.for_tier("full").blocks == 512
