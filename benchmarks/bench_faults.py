@@ -13,16 +13,30 @@ pressure, is under test):
   counts, placements and metrics across runs.
 
 The sweep reports completion rate, p50/p95 latency, retry overhead and
-injected-fault counts at each fault rate.  Run standalone with
-``python benchmarks/bench_faults.py``; under pytest the quick tier
-scales budgets down (REPRO_TIER=default restores the full budgets).
+injected-fault counts at each fault rate.  A second sweep measures
+crash recovery: a journalled service is killed at a planned tick and
+recovered, and MTTR (the recovered run's virtual time to finish the
+interrupted work) is reported against the checkpoint interval --
+denser checkpoints salvage more iterations and shrink MTTR.
+
+Run standalone with ``python benchmarks/bench_faults.py`` (or
+``--smoke`` for the seconds-scale CI gate); under pytest the quick
+tier scales budgets down (REPRO_TIER=default restores full budgets).
 """
 
+import sys
+import tempfile
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.faults import FaultPlan
 from repro.harness.common import resolve_tier
-from repro.serve import SearchService, WorkloadConfig, make_workload
+from repro.serve import (
+    SearchService,
+    ServiceCrash,
+    WorkloadConfig,
+    make_workload,
+)
 
 try:
     from benchmarks.bench_serve import fingerprint
@@ -128,6 +142,132 @@ def render_sweep(reports) -> str:
     )
 
 
+@dataclass(frozen=True)
+class CrashBenchConfig:
+    n_requests: int = 32
+    crash_tick: int = 30
+    #: Checkpoint intervals (iterations) swept for the MTTR curve.
+    checkpoint_intervals: tuple[int, ...] = (5, 20, 80, 0)
+    budget_scale: float = 1.0
+    n_devices: int = 4
+    max_active: int = 64
+    seed: int = 2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "CrashBenchConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return CrashBenchConfig(
+                n_requests=12, crash_tick=12, budget_scale=0.25
+            )
+        if tier == "full":
+            return CrashBenchConfig(
+                n_requests=64,
+                crash_tick=60,
+                checkpoint_intervals=(2, 5, 10, 20, 40, 80, 0),
+                budget_scale=2.0,
+            )
+        return CrashBenchConfig()
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """One crash/recover cycle, folded for the MTTR table."""
+
+    crashed_at_s: float
+    mttr_s: float
+    adopted: int
+    resumed: int
+    restarted: int
+    iterations_salvaged: int
+    completed: int
+
+
+def run_crash_recovery(
+    cfg: CrashBenchConfig, checkpoint_every: int, journal_dir=None
+) -> RecoveryOutcome:
+    """Kill a journalled run at ``cfg.crash_tick``, recover, report."""
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=cfg.n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=None,
+        )
+    )
+    if journal_dir is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_crash_recovery(cfg, checkpoint_every, tmp)
+    path = Path(journal_dir) / f"crash_{checkpoint_every}.jsonl"
+    service = SearchService(
+        n_devices=cfg.n_devices,
+        max_active=cfg.max_active,
+        seed=cfg.seed,
+        journal=path,
+        checkpoint_every=checkpoint_every,
+        faults=FaultPlan.parse(f"crash=tick:{cfg.crash_tick}"),
+    )
+    service.submit_all(workload)
+    try:
+        service.run()
+        raise AssertionError("planned crash never fired")
+    except ServiceCrash:
+        crashed_at_s = service.clock.now
+
+    recovered = SearchService.recover(
+        path,
+        n_devices=cfg.n_devices,
+        max_active=cfg.max_active,
+        seed=cfg.seed,
+        checkpoint_every=checkpoint_every,
+    )
+    recovered.run()
+    report = recovered.report()
+    return RecoveryOutcome(
+        crashed_at_s=crashed_at_s,
+        # MTTR: virtual time the recovered service needs to finish the
+        # work the crash interrupted.
+        mttr_s=report.elapsed_s,
+        adopted=report.recovered,
+        resumed=report.resumed,
+        restarted=report.restarted,
+        iterations_salvaged=report.recovered_iterations,
+        completed=report.completed,
+    )
+
+
+def run_mttr_sweep(cfg: CrashBenchConfig):
+    """Checkpoint interval -> RecoveryOutcome for a fixed crash."""
+    return {
+        every: run_crash_recovery(cfg, every)
+        for every in cfg.checkpoint_intervals
+    }
+
+
+def render_mttr_sweep(outcomes) -> str:
+    from repro.util.tables import format_series
+
+    intervals = sorted(outcomes, key=lambda k: (k == 0, k))
+    return format_series(
+        "checkpoint every",
+        [str(i) if i else "off" for i in intervals],
+        {
+            "MTTR (ms)": [
+                f"{outcomes[i].mttr_s * 1e3:.2f}" for i in intervals
+            ],
+            "adopted": [str(outcomes[i].adopted) for i in intervals],
+            "resumed": [str(outcomes[i].resumed) for i in intervals],
+            "restarted": [
+                str(outcomes[i].restarted) for i in intervals
+            ],
+            "iters salvaged": [
+                str(outcomes[i].iterations_salvaged) for i in intervals
+            ],
+        },
+        title="crash-recovery sweep (journalled service, planned kill)",
+    )
+
+
 def test_ten_percent_faults_complete_without_errors(run_once):
     cfg = FaultBenchConfig.for_tier()
     _, report = run_once(run_with_faults, cfg)
@@ -187,10 +327,66 @@ def test_fault_sweep_degrades_gracefully(run_once):
     assert injected == sorted(injected)
 
 
-if __name__ == "__main__":  # pragma: no cover
-    cfg = replace(FaultBenchConfig.for_tier(), budget_scale=1.0)
-    _, report = run_with_faults(cfg)
+def test_crash_recovery_completes_every_request(run_once, tmp_path):
+    cfg = CrashBenchConfig.for_tier()
+    outcome = run_once(
+        run_crash_recovery, cfg, 5, journal_dir=tmp_path
+    )
+    assert outcome.completed == cfg.n_requests
+    assert outcome.adopted + outcome.resumed + outcome.restarted == (
+        cfg.n_requests
+    )
+    assert outcome.resumed > 0
+    assert outcome.iterations_salvaged > 0
+
+
+def test_denser_checkpoints_salvage_no_less_work(run_once):
+    cfg = CrashBenchConfig.for_tier()
+    outcomes = run_once(run_mttr_sweep, cfg)
+    print()
+    print(render_mttr_sweep(outcomes))
+    for outcome in outcomes.values():
+        assert outcome.completed == cfg.n_requests
+    # With checkpointing off nothing is salvaged; the densest interval
+    # salvages at least as much as any sparser one.
+    assert outcomes[0].iterations_salvaged == 0
+    assert outcomes[0].resumed == 0
+    densest = min(i for i in outcomes if i)
+    assert outcomes[densest].iterations_salvaged == max(
+        o.iterations_salvaged for o in outcomes.values()
+    )
+
+
+def _main(argv) -> int:  # pragma: no cover
+    smoke = "--smoke" in argv
+    if smoke:
+        fault_cfg = FaultBenchConfig.for_tier("quick")
+        crash_cfg = CrashBenchConfig.for_tier("quick")
+    else:
+        fault_cfg = replace(
+            FaultBenchConfig.for_tier(), budget_scale=1.0
+        )
+        crash_cfg = CrashBenchConfig.for_tier()
+    _, report = run_with_faults(fault_cfg)
     print("10% per-launch fault mix:")
     print(report.render())
     print()
-    print(render_sweep(run_fault_sweep(cfg)))
+    print(render_sweep(run_fault_sweep(fault_cfg)))
+    print()
+    outcomes = run_mttr_sweep(crash_cfg)
+    print(render_mttr_sweep(outcomes))
+    incomplete = [
+        every
+        for every, outcome in outcomes.items()
+        if outcome.completed != crash_cfg.n_requests
+    ]
+    if incomplete:
+        print(f"FAIL: requests lost at intervals {incomplete}")
+        return 1
+    if smoke:
+        print("smoke OK: crash recovery completed every request")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main(sys.argv[1:]))

@@ -92,25 +92,30 @@ def _cmd_devices(_args) -> int:
 
 def _cmd_serve_bench(args) -> int:
     from repro.gpu.trace import Tracer
-    from repro.serve import SearchService, WorkloadConfig, make_workload
+    from repro.serve import (
+        SearchService,
+        ServiceCrash,
+        WorkloadConfig,
+        make_workload,
+    )
 
     from repro.util.profile import NULL_PROFILER, Profiler
 
+    if args.resume and not args.journal:
+        print("serve-bench: --resume requires --journal", file=sys.stderr)
+        return 2
+    if args.journal and len(args.loads) > 1:
+        print(
+            "serve-bench: --journal tracks one run; give a single --loads",
+            file=sys.stderr,
+        )
+        return 2
     tracer = Tracer() if args.trace_out else None
     t0 = time.perf_counter()
     for load in args.loads:
         profiler = Profiler() if args.profile else NULL_PROFILER
         with profiler.phase("build_workload"):
-            workload = make_workload(
-                WorkloadConfig(
-                    n_requests=load,
-                    seed=args.seed,
-                    budget_scale=args.budget_scale,
-                    deadline_s=args.deadline,
-                    backend=args.backend,
-                )
-            )
-            service = SearchService(
+            service_kwargs = dict(
                 n_devices=args.devices,
                 max_active=args.max_active,
                 seed=args.seed,
@@ -118,9 +123,42 @@ def _cmd_serve_bench(args) -> int:
                 faults=args.faults,
                 backend=args.backend,
             )
-            service.submit_all(workload)
+            if args.resume:
+                # Requests (and any checkpoints) come from the journal;
+                # planned crashes are stripped so recovery completes.
+                service = SearchService.recover(
+                    args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    **service_kwargs,
+                )
+            else:
+                service = SearchService(
+                    journal=args.journal,
+                    checkpoint_every=args.checkpoint_every,
+                    **service_kwargs,
+                )
+                service.submit_all(
+                    make_workload(
+                        WorkloadConfig(
+                            n_requests=load,
+                            seed=args.seed,
+                            budget_scale=args.budget_scale,
+                            deadline_s=args.deadline,
+                            backend=args.backend,
+                        )
+                    )
+                )
         with profiler.phase("service_run"):
-            service.run()
+            try:
+                service.run()
+            except ServiceCrash as crash:
+                print(f"--- offered load: {load} requests ---")
+                print(f"service crashed: {crash}")
+                print(
+                    f"journal preserved at {args.journal}; rerun with "
+                    "--resume to finish the interrupted work"
+                )
+                return 3
         profiler.count("requests", load)
         profiler.count("ticks", service.ticks)
         print(f"--- offered load: {load} requests ---")
@@ -248,6 +286,30 @@ def build_parser() -> argparse.ArgumentParser:
             "inject deterministic faults, e.g. "
             "'launch=0.1,lost=0.05,stall=0.02x8,outage=1@0.5+0.2,seed=7'"
         ),
+    )
+    bench.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write-ahead request journal (JSONL); with a crash fault "
+            "the journal survives the outage for --resume"
+        ),
+    )
+    bench.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "recover from --journal instead of generating a workload: "
+            "adopt completed requests, resume checkpointed ones"
+        ),
+    )
+    bench.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="journal an engine snapshot every N iterations (0 = off)",
     )
     bench.add_argument(
         "--trace-out",

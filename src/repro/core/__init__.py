@@ -17,7 +17,7 @@ Engines (one per parallelisation scheme in the paper):
   MPI (paper Figure 9).
 """
 
-from repro.core.arena import TreeArena
+from repro.core.arena import ArenaInvariantError, TreeArena
 from repro.core.backend import (
     BACKENDS,
     ArenaForest,
@@ -25,14 +25,27 @@ from repro.core.backend import (
     NodeForest,
     make_forest,
     make_tree,
+    restore_forest,
+    restore_tree,
     validate_backend,
 )
 from repro.core.base import (
+    BatchExecutor,
     Engine,
+    ScalarExecutor,
     batch_executor,
     drive_search,
     scalar_executor,
     tally,
+)
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    EngineSnapshot,
+    load_checkpoint,
+    save_checkpoint,
+    snapshot_bytes,
+    snapshot_from_bytes,
 )
 from repro.core.block_parallel import BlockParallelMcts
 from repro.core.hybrid import HybridMcts
@@ -100,5 +113,17 @@ __all__ = [
     "drive_search",
     "scalar_executor",
     "batch_executor",
+    "ScalarExecutor",
+    "BatchExecutor",
     "tally",
+    "ArenaInvariantError",
+    "restore_tree",
+    "restore_forest",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "EngineSnapshot",
+    "save_checkpoint",
+    "load_checkpoint",
+    "snapshot_bytes",
+    "snapshot_from_bytes",
 ]

@@ -54,6 +54,10 @@ from repro.util.bitops import bits_of
 _U64_MASK = (1 << 64) - 1
 
 
+class ArenaInvariantError(RuntimeError):
+    """Raised by :meth:`TreeArena.validate` on a corrupted arena."""
+
+
 class TreeArena:
     """``n_trees`` MCTS trees in one struct-of-arrays node store."""
 
@@ -577,6 +581,204 @@ class TreeArena:
 
     def max_depth(self, t: int) -> int:
         return int(self.tree_max_depth[t])
+
+    # -- checkpointing ------------------------------------------------------
+
+    #: Array fields captured verbatim (``[:allocated]``) by snapshots.
+    _SNAPSHOT_ARRAYS = (
+        "parent",
+        "move",
+        "mover",
+        "to_move",
+        "visits",
+        "wins",
+        "vloss",
+        "terminal",
+        "winner",
+        "child_start",
+        "child_count",
+        "n_legal",
+        "untried_count",
+        "untried_mask",
+    )
+
+    def snapshot(self) -> dict:
+        """A picklable copy of all live arena state.
+
+        Cheap by construction: every struct-of-arrays field is one
+        ``ndarray[:allocated].copy()``.  Per-node Python data (states,
+        shuffled untried orders) is copied shallowly -- states are
+        immutable, but untried orders are popped in place, so each
+        list is duplicated.  The per-tree RNG states ride along; the
+        log table is omitted (it regrows to identical values).
+        """
+        n = self._allocated
+        return {
+            "kind": "arena",
+            "ucb_c": self.ucb_c,
+            "selection_rule": self.selection_rule,
+            "n_trees": self.n_trees,
+            "mask_words": self.mask_words,
+            "allocated": n,
+            "rng_states": [rng.getstate() for rng in self.rngs],
+            "vloss_active": self._vloss_active,
+            "roots": self.roots.copy(),
+            "tree_node_count": self.tree_node_count.copy(),
+            "tree_max_depth": self.tree_max_depth.copy(),
+            "arrays": {
+                name: getattr(self, name)[:n].copy()
+                for name in self._SNAPSHOT_ARRAYS
+            },
+            "states": self.states[:n],
+            "untried_order": [
+                list(order) if order is not None else None
+                for order in self.untried_order[:n]
+            ],
+        }
+
+    @classmethod
+    def from_snapshot(cls, game: Game, snap: dict) -> "TreeArena":
+        """Rebuild an arena from :meth:`snapshot`; consumes no RNG
+        draws and calls no game logic."""
+        arena = object.__new__(cls)
+        arena.game = game
+        arena.ucb_c = snap["ucb_c"]
+        arena.selection_rule = snap["selection_rule"]
+        arena.n_trees = snap["n_trees"]
+        arena.mask_words = snap["mask_words"]
+        arena.rngs = [
+            XorShift64Star.from_state(s) for s in snap["rng_states"]
+        ]
+        arena._log_table = np.zeros(2, dtype=np.float64)
+        arena._vloss_active = snap["vloss_active"]
+        n = snap["allocated"]
+        arena._make_arrays(max(n, 2))
+        arena._allocated = n
+        for name in cls._SNAPSHOT_ARRAYS:
+            getattr(arena, name)[:n] = snap["arrays"][name]
+        arena.states[:n] = snap["states"]
+        arena.untried_order[:n] = [
+            list(order) if order is not None else None
+            for order in snap["untried_order"]
+        ]
+        arena.roots = np.asarray(snap["roots"], dtype=np.int64).copy()
+        arena.tree_node_count = np.asarray(
+            snap["tree_node_count"], dtype=np.int64
+        ).copy()
+        arena.tree_max_depth = np.asarray(
+            snap["tree_max_depth"], dtype=np.int64
+        ).copy()
+        return arena
+
+    def validate(self) -> None:
+        """Audit the arena's structural invariants; raises
+        ``ArenaInvariantError`` on the first violation.
+
+        Checks, per live node: the child span is inside the
+        allocation, parent links point back into the span, every
+        child's mover is its parent's player-to-move, the untried
+        bookkeeping agrees three ways (count, shuffled order list,
+        bitmask popcount and bit positions), filled children plus
+        untried moves equal the branching factor, statistics are
+        monotone (``wins - 0.5*draws <= visits``; parent visits at
+        least the sum of child visits), and per-tree node counts match
+        a BFS of each root.  Called after every restore and by the
+        differential tests.
+        """
+        n = self._allocated
+        for t in range(self.n_trees):
+            root = int(self.roots[t])
+            if not 0 <= root < n:
+                raise ArenaInvariantError(
+                    f"tree {t}: root {root} outside allocation {n}"
+                )
+            if self.parent[root] != -1:
+                raise ArenaInvariantError(
+                    f"tree {t}: root {root} has a parent"
+                )
+            reached = 0
+            queue = [root]
+            while queue:
+                node = queue.pop()
+                reached += 1
+                self._validate_node(node, n)
+                start = int(self.child_start[node])
+                if start >= 0:
+                    queue.extend(
+                        start + k
+                        for k in range(int(self.child_count[node]))
+                    )
+            if reached != int(self.tree_node_count[t]):
+                raise ArenaInvariantError(
+                    f"tree {t}: BFS reaches {reached} nodes, "
+                    f"tree_node_count says {int(self.tree_node_count[t])}"
+                )
+
+    def _validate_node(self, node: int, allocated: int) -> None:
+        n_legal = int(self.n_legal[node])
+        untried = int(self.untried_count[node])
+        filled = int(self.child_count[node])
+        start = int(self.child_start[node])
+        if filled + untried != n_legal:
+            raise ArenaInvariantError(
+                f"node {node}: children({filled}) + untried({untried}) "
+                f"!= n_legal({n_legal})"
+            )
+        order = self.untried_order[node]
+        order_set = set(order) if order is not None else set()
+        if len(order_set) != untried or (
+            order is not None and len(order) != untried
+        ):
+            raise ArenaInvariantError(
+                f"node {node}: untried_order {order!r} disagrees with "
+                f"untried_count {untried}"
+            )
+        mask_bits = set()
+        for w in range(self.mask_words):
+            word = int(self.untried_mask[node, w])
+            while word:
+                low = word & -word
+                mask_bits.add(64 * w + low.bit_length() - 1)
+                word ^= low
+        if mask_bits != order_set:
+            raise ArenaInvariantError(
+                f"node {node}: untried bitmask {sorted(mask_bits)} != "
+                f"untried order {sorted(order_set)}"
+            )
+        if start < 0:
+            if filled:
+                raise ArenaInvariantError(
+                    f"node {node}: {filled} children but no child span"
+                )
+        else:
+            if start + n_legal > allocated:
+                raise ArenaInvariantError(
+                    f"node {node}: span [{start}, {start + n_legal}) "
+                    f"overruns allocation {allocated}"
+                )
+            child_visits = 0.0
+            for k in range(filled):
+                child = start + k
+                if int(self.parent[child]) != node:
+                    raise ArenaInvariantError(
+                        f"node {child}: parent link "
+                        f"{int(self.parent[child])} != {node}"
+                    )
+                if int(self.mover[child]) != int(self.to_move[node]):
+                    raise ArenaInvariantError(
+                        f"node {child}: mover != parent's to_move"
+                    )
+                child_visits += float(self.visits[child])
+            if float(self.visits[node]) + 1e-9 < child_visits:
+                raise ArenaInvariantError(
+                    f"node {node}: visits {float(self.visits[node])} < "
+                    f"sum of child visits {child_visits}"
+                )
+        if float(self.wins[node]) > float(self.visits[node]) + 1e-9:
+            raise ArenaInvariantError(
+                f"node {node}: wins {float(self.wins[node])} exceed "
+                f"visits {float(self.visits[node])}"
+            )
 
     # -- maintenance --------------------------------------------------------
 

@@ -112,6 +112,15 @@ class ArenaTree:
     def depth(self) -> int:
         return self.max_depth
 
+    def snapshot(self) -> dict:
+        return {"kind": "arena_tree", "arena": self.arena.snapshot()}
+
+    @classmethod
+    def from_snapshot(cls, game: Game, snap: dict) -> "ArenaTree":
+        tree = object.__new__(cls)
+        tree.arena = TreeArena.from_snapshot(game, snap["arena"])
+        return tree
+
 
 def make_tree(
     backend: str,
@@ -213,6 +222,20 @@ class NodeForest:
     def per_tree_nodes(self) -> list[int]:
         return [t.node_count for t in self.trees]
 
+    def snapshot(self) -> dict:
+        return {
+            "kind": "node_forest",
+            "trees": [t.snapshot() for t in self.trees],
+        }
+
+    @classmethod
+    def from_snapshot(cls, game: Game, snap: dict) -> "NodeForest":
+        forest = object.__new__(cls)
+        forest.trees = [
+            SearchTree.from_snapshot(game, s) for s in snap["trees"]
+        ]
+        return forest
+
 
 class ArenaForest:
     """Many trees in one arena with lockstep vectorised selection."""
@@ -291,6 +314,45 @@ class ArenaForest:
 
     def per_tree_nodes(self) -> list[int]:
         return [int(n) for n in self.arena.tree_node_count]
+
+    def snapshot(self) -> dict:
+        return {"kind": "arena_forest", "arena": self.arena.snapshot()}
+
+    @classmethod
+    def from_snapshot(cls, game: Game, snap: dict) -> "ArenaForest":
+        forest = object.__new__(cls)
+        forest.arena = TreeArena.from_snapshot(game, snap["arena"])
+        return forest
+
+
+def restore_tree(game: Game, snap: dict):
+    """Rebuild a single tree (either backend) from its snapshot.
+
+    Restored arenas are audited with :meth:`TreeArena.validate`
+    before use -- a corrupted checkpoint fails loudly here, not as a
+    wrong move later.
+    """
+    kind = snap.get("kind")
+    if kind == "node_tree":
+        return SearchTree.from_snapshot(game, snap)
+    if kind == "arena_tree":
+        tree = ArenaTree.from_snapshot(game, snap)
+        tree.arena.validate()
+        return tree
+    raise ValueError(f"not a tree snapshot: kind={kind!r}")
+
+
+def restore_forest(game: Game, snap: dict):
+    """Rebuild a forest (either backend) from its snapshot; arena
+    forests are validated on the way in."""
+    kind = snap.get("kind")
+    if kind == "node_forest":
+        return NodeForest.from_snapshot(game, snap)
+    if kind == "arena_forest":
+        forest = ArenaForest.from_snapshot(game, snap)
+        forest.arena.validate()
+        return forest
+    raise ValueError(f"not a forest snapshot: kind={kind!r}")
 
 
 def make_forest(

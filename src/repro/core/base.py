@@ -24,6 +24,11 @@ from repro.cpu import XEON_X5670, CpuCostModel
 from repro.games.base import Game, GameState
 from repro.games.batch import run_playouts_tracked
 from repro.core.backend import make_forest, make_tree, validate_backend
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    EngineSnapshot,
+)
 from repro.core.policy import MAX_VISITS, validate_selection_rule
 from repro.core.results import SearchResult
 from repro.games import make_batch_game
@@ -76,6 +81,17 @@ class Engine(abc.ABC):
         self.backend = backend
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.rng = XorShift64Star(derive_seed(seed, "engine", self.name))
+        #: Called as ``hook(engine, iterations)`` at every clean
+        #: iteration boundary (trees consistent, no virtual loss or
+        #: in-flight kernel outstanding) -- the seam the serving layer
+        #: uses to journal periodic checkpoints and the fault layer
+        #: uses to crash a search at a planned point.  Raising from the
+        #: hook aborts the search; a later ``restore`` + ``resume``
+        #: continues it bit-identically.
+        self.iteration_hook: "Callable[[Engine, int], None] | None" = None
+        #: Live search session (engine-specific dict) between the
+        #: first iteration and the final result; ``None`` when idle.
+        self._live: dict | None = None
 
     @abc.abstractmethod
     def search(self, state: GameState, budget_s: float) -> SearchResult:
@@ -87,6 +103,143 @@ class Engine(abc.ABC):
         """Generator protocol (CPU engines only); see module docstring."""
         raise NotImplementedError(
             f"{self.name} engine does not support cohort driving"
+        )
+
+    # -- checkpoint / resume -------------------------------------------------
+
+    def snapshot(self) -> EngineSnapshot:
+        """Freeze the live search into a picklable, restorable
+        snapshot.  Only valid at iteration boundaries (where
+        :attr:`iteration_hook` fires) or whenever no kernel / virtual
+        loss is in flight; capturing never perturbs the search."""
+        if self._live is None:
+            raise CheckpointError(
+                f"{self.name}: no live search session to snapshot"
+            )
+        payload = self._snapshot_payload()
+        payload["engine_rng"] = self.rng.getstate()
+        return EngineSnapshot(
+            format_version=CHECKPOINT_FORMAT_VERSION,
+            kind=self.name,
+            backend=self.backend,
+            game=self.game.name,
+            seed=self.seed,
+            clock_s=self.clock.now,
+            iterations=int(self._live["iterations"]),
+            payload=payload,
+        )
+
+    def restore(self, snap: EngineSnapshot) -> None:
+        """Adopt a snapshot as this engine's live session.
+
+        The engine must have been constructed identically to the one
+        that snapshotted (same kind, backend, game and seed -- the
+        caller keeps the construction recipe; the serving journal
+        stores the originating request).  Resets the engine clock to
+        the capture time, so only call on engines owning a private
+        clock."""
+        if not isinstance(snap, EngineSnapshot):
+            raise CheckpointError(
+                f"restore needs an EngineSnapshot, got "
+                f"{type(snap).__name__}"
+            )
+        if snap.format_version != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"snapshot format {snap.format_version} unsupported "
+                f"(this build reads {CHECKPOINT_FORMAT_VERSION})"
+            )
+        for label, theirs, mine in (
+            ("engine kind", snap.kind, self.name),
+            ("backend", snap.backend, self.backend),
+            ("game", snap.game, self.game.name),
+            ("seed", snap.seed, self.seed),
+        ):
+            if theirs != mine:
+                raise CheckpointError(
+                    f"snapshot {label} mismatch: snapshot has "
+                    f"{theirs!r}, engine has {mine!r}"
+                )
+        self.clock.reset(snap.clock_s)
+        self.rng.setstate(snap.payload["engine_rng"])
+        self._live = self._restore_payload(snap.payload)
+
+    def resume(self) -> SearchResult:
+        """Run a restored (or interrupted) session to completion."""
+        session = self._require_session()
+        if type(self).search_steps is not Engine.search_steps:
+            executor = session.get("executor")
+            if executor is None:
+                raise CheckpointError(
+                    f"{self.name}: session was driven externally; "
+                    "drive resume_steps() with your executor instead"
+                )
+            return drive_search(self.resume_steps(), executor)
+        return self._session_run()
+
+    def resume_steps(self) -> SearchGenerator:
+        """Generator-protocol counterpart of :meth:`resume` (CPU
+        engines only): continue the restored session, yielding playout
+        batches exactly like ``search_steps``."""
+        self._require_session()
+        return self._session_steps()
+
+    def _require_session(self) -> dict:
+        if self._live is None:
+            raise CheckpointError(
+                f"{self.name}: no session to resume (call restore() "
+                "or interrupt a search first)"
+            )
+        return self._live
+
+    def _session_steps(self) -> SearchGenerator:
+        """Engine-specific continuation generator over ``self._live``."""
+        raise NotImplementedError(
+            f"{self.name} engine has no generator session"
+        )
+
+    def _session_run(self) -> SearchResult:
+        """Engine-specific direct continuation over ``self._live``."""
+        raise NotImplementedError(
+            f"{self.name} engine has no direct session"
+        )
+
+    def _snapshot_payload(self) -> dict:
+        raise NotImplementedError(
+            f"{self.name} engine does not support checkpointing"
+        )
+
+    def _restore_payload(self, payload: dict) -> dict:
+        raise NotImplementedError(
+            f"{self.name} engine does not support checkpointing"
+        )
+
+    def _after_iteration(self, iterations: int) -> None:
+        """Fire the iteration hook at a clean boundary."""
+        hook = self.iteration_hook
+        if hook is not None:
+            hook(self, iterations)
+
+    def _take_pending_executor(self):
+        """The executor ``search()`` parked for the session (None when
+        the generator is driven externally, e.g. by the service)."""
+        return self.__dict__.pop("_pending_executor", None)
+
+    def _executor_state(self, executor) -> "dict | None":
+        return executor.getstate() if executor is not None else None
+
+    def _restore_executor(self, state: "dict | None"):
+        if state is None:
+            return None
+        if state["kind"] == "scalar":
+            return ScalarExecutor(
+                self.game, XorShift64Star.from_state(state["rng"])
+            )
+        if state["kind"] == "batch":
+            executor = BatchExecutor(self.game.name, state["seed"])
+            executor.setstate(state)
+            return executor
+        raise CheckpointError(
+            f"unknown executor state kind: {state.get('kind')!r}"
         )
 
     def _make_tree(self, state: GameState, rng: XorShift64Star):
@@ -121,50 +274,63 @@ class Engine(abc.ABC):
         return self.max_iterations if self.max_iterations else float("inf")
 
 
-def scalar_executor(
-    game: Game, rng: XorShift64Star
-) -> Callable[[PlayoutBatch], PlayoutResults]:
+class ScalarExecutor:
     """Playouts via the game's (fast) scalar path -- the real sequential
-    CPU behaviour, one playout at a time."""
+    CPU behaviour, one playout at a time.  Checkpointable: the only
+    state is the playout RNG."""
 
-    def run(states: PlayoutBatch) -> PlayoutResults:
-        return [game.playout(s, rng) for s in states]
+    def __init__(self, game: Game, rng: XorShift64Star) -> None:
+        self.game = game
+        self.rng = rng
 
-    return run
+    def __call__(self, states: PlayoutBatch) -> PlayoutResults:
+        return [self.game.playout(s, self.rng) for s in states]
+
+    def getstate(self) -> dict:
+        return {"kind": "scalar", "rng": self.rng.getstate()}
+
+    def setstate(self, state: dict) -> None:
+        self.rng.setstate(state["rng"])
 
 
-def batch_executor(
-    game_name: str, seed: int
-) -> Callable[[PlayoutBatch], PlayoutResults]:
+class BatchExecutor:
     """Playouts via the vectorised engine, one lane per requested state.
 
     Used by multi-tree engines and the arena's cohort driver; results
     are statistically identical to the scalar path (both play uniform
-    random moves), just computed in lockstep.
+    random moves), just computed in lockstep.  Checkpointable: the
+    per-call lane RNGs derive from ``(seed, call_count)``, so the call
+    counter plus the scalar-fallback RNG state resume the stream.
     """
-    from repro.games import make_game
 
-    bg = make_batch_game(game_name)
-    game = make_game(game_name)
-    ladder_seed = derive_seed(seed, "batch_executor")
-    scalar_rng = XorShift64Star(derive_seed(seed, "scalar_fallback"))
-    call_count = 0
-    # Below this many lanes the NumPy lockstep overhead loses to the
-    # inlined scalar playout (measured crossover ~10 lanes on Reversi).
-    scalar_cutoff = 10
+    #: Below this many lanes the NumPy lockstep overhead loses to the
+    #: inlined scalar playout (measured crossover ~10 lanes on Reversi).
+    SCALAR_CUTOFF = 10
 
-    def run(states: PlayoutBatch) -> PlayoutResults:
-        nonlocal call_count
+    def __init__(self, game_name: str, seed: int) -> None:
+        from repro.games import make_game
+
+        self.game_name = game_name
+        self.seed = seed
+        self.bg = make_batch_game(game_name)
+        self.game = make_game(game_name)
+        self.ladder_seed = derive_seed(seed, "batch_executor")
+        self.scalar_rng = XorShift64Star(
+            derive_seed(seed, "scalar_fallback")
+        )
+        self.call_count = 0
+
+    def __call__(self, states: PlayoutBatch) -> PlayoutResults:
         if not states:
             return []
-        if len(states) < scalar_cutoff:
-            return [game.playout(s, scalar_rng) for s in states]
-        call_count += 1
+        if len(states) < self.SCALAR_CUTOFF:
+            return [self.game.playout(s, self.scalar_rng) for s in states]
+        self.call_count += 1
         rng = BatchXorShift128Plus(
-            len(states), derive_seed(ladder_seed, call_count)
+            len(states), derive_seed(self.ladder_seed, self.call_count)
         )
-        batch = bg.make_batch(list(states), 1)
-        tracked = run_playouts_tracked(bg, batch, rng)
+        batch = self.bg.make_batch(list(states), 1)
+        tracked = run_playouts_tracked(self.bg, batch, rng)
         return list(
             zip(
                 (int(w) for w in tracked.winners),
@@ -172,7 +338,32 @@ def batch_executor(
             )
         )
 
-    return run
+    def getstate(self) -> dict:
+        return {
+            "kind": "batch",
+            "seed": self.seed,
+            "call_count": self.call_count,
+            "scalar_rng": self.scalar_rng.getstate(),
+        }
+
+    def setstate(self, state: dict) -> None:
+        self.call_count = state["call_count"]
+        self.scalar_rng.setstate(state["scalar_rng"])
+
+
+def scalar_executor(
+    game: Game, rng: XorShift64Star
+) -> Callable[[PlayoutBatch], PlayoutResults]:
+    """Factory form of :class:`ScalarExecutor` (kept for callers that
+    predate the checkpointable executor classes)."""
+    return ScalarExecutor(game, rng)
+
+
+def batch_executor(
+    game_name: str, seed: int
+) -> Callable[[PlayoutBatch], PlayoutResults]:
+    """Factory form of :class:`BatchExecutor`."""
+    return BatchExecutor(game_name, seed)
 
 
 def drive_search(

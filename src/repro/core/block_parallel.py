@@ -15,13 +15,13 @@ communication -- which is exactly why it maps onto SIMT hardware.
 
 from __future__ import annotations
 
+from repro.core.backend import restore_forest
 from repro.core.base import Engine
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
-from repro.util.clock import Stopwatch
 from repro.util.seeding import derive_seed
 
 
@@ -54,22 +54,37 @@ class BlockParallelMcts(Engine):
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         self._check_budget(budget_s, state)
         blocks = self.config.blocks
+        self._live = {
+            "forest": self._make_forest(
+                state, [self.rng.fork("tree", b) for b in range(blocks)]
+            ),
+            "start_s": self.clock.now,
+            "budget_s": budget_s,
+            "iterations": 0,
+            "simulations": 0,
+        }
+        return self._session_run()
+
+    def _session_run(self) -> SearchResult:
+        live = self._live
+        forest = live["forest"]
+        budget_s = live["budget_s"]
+        blocks = self.config.blocks
         tpb = self.config.threads_per_block
-        forest = self._make_forest(
-            state, [self.rng.fork("tree", b) for b in range(blocks)]
-        )
         prof = self.profiler
         # tree_control_time is a pure function of depth; memoising it
         # repeats the exact same floats, so clock accumulation (and
-        # therefore every budget decision) is unchanged.
+        # therefore every budget decision) is unchanged -- including
+        # across a checkpoint/restore boundary, where the cache simply
+        # refills with identical values.
         control_time = self.cost.tree_control_time
         control_cache: dict[int, float] = {}
         advance = self.clock.advance
-        sw = Stopwatch(self.clock)
         cap = self._iteration_cap()
-        iterations = 0
-        simulations = 0
-        while (sw.elapsed < budget_s and iterations < cap) or iterations == 0:
+        while (
+            self.clock.now - live["start_s"] < budget_s
+            and live["iterations"] < cap
+        ) or live["iterations"] == 0:
             # Sequential part: the one controlling CPU walks each tree
             # (lockstep-vectorised on the arena backend).
             with prof.phase("select"):
@@ -89,22 +104,23 @@ class BlockParallelMcts(Engine):
             with prof.phase("backprop"):
                 per_block = result.winners.reshape(blocks, tpb)
                 forest.backprop_block(leaves, tpb, per_block)
-            iterations += 1
-            simulations += result.playouts
+            live["iterations"] += 1
+            live["simulations"] += result.playouts
+            self._after_iteration(live["iterations"])
         stats = forest.aggregate_stats()
         voted = (
             forest.majority_vote_stats()
             if self.vote == "majority"
             else stats
         )
-        return SearchResult(
+        result = SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
-            iterations=iterations,
-            simulations=simulations,
+            iterations=live["iterations"],
+            simulations=live["simulations"],
             max_depth=forest.max_depth(),
             tree_nodes=forest.node_count(),
-            elapsed_s=sw.elapsed,
+            elapsed_s=self.clock.now - live["start_s"],
             trees=blocks,
             extras={
                 "kernels": self.gpu.stats.kernels_launched,
@@ -112,3 +128,28 @@ class BlockParallelMcts(Engine):
                 "per_tree_nodes": forest.per_tree_nodes(),
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        return {
+            "forest": live["forest"].snapshot(),
+            "start_s": live["start_s"],
+            "budget_s": live["budget_s"],
+            "iterations": live["iterations"],
+            "simulations": live["simulations"],
+            "gpu": self.gpu.getstate(),
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        self.gpu.setstate(payload["gpu"])
+        return {
+            "forest": restore_forest(self.game, payload["forest"]),
+            "start_s": payload["start_s"],
+            "budget_s": payload["budget_s"],
+            "iterations": payload["iterations"],
+            "simulations": payload["simulations"],
+        }

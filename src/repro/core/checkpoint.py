@@ -1,0 +1,149 @@
+"""Engine checkpoints: snapshot, restore, and the on-disk format.
+
+Every engine exposes ``snapshot()`` (a cheap, picklable
+:class:`EngineSnapshot` of the live search: trees, RNG states, virtual
+clock, iteration counters) and ``restore()`` + ``resume()`` /
+``resume_steps()`` to continue the search *bit-identically* -- same
+chosen move, same root statistics, same virtual elapsed time -- as if
+the interruption never happened.  The determinism contract that makes
+this testable is the same one behind the node/arena backend
+equivalence: fixed RNG consumption order and explicit state
+everywhere.
+
+A snapshot deliberately does **not** self-describe how to build its
+engine: constructing the engine is the caller's job (the serving
+journal stores the originating request, which carries the engine
+spec), and ``restore()`` refuses snapshots taken from a different
+engine kind, backend or game.
+
+On disk, :func:`save_checkpoint` / :func:`load_checkpoint` wrap the
+snapshot in a versioned pickle envelope; loading rejects unknown
+format versions and foreign payloads instead of resuming garbage.
+See docs/checkpointing.md.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump on any incompatible change to snapshot payload layout.
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Magic key identifying our checkpoint envelopes on disk.
+_ENVELOPE_KEY = "repro-mcts-checkpoint"
+
+
+class CheckpointError(RuntimeError):
+    """Raised on invalid checkpoint use: restoring a snapshot into a
+    mismatched engine, loading an unknown format version, resuming an
+    engine that holds no session."""
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One engine's live search state, frozen mid-iteration.
+
+    ``payload`` is the engine-kind-specific session dict (trees,
+    counters, executor state, device state); the surrounding fields
+    identify what may restore it.
+    """
+
+    #: :data:`CHECKPOINT_FORMAT_VERSION` at capture time.
+    format_version: int
+    #: Engine class name ("sequential", "block_parallel", ...).
+    kind: str
+    #: Tree backend the search ran on ("node" | "arena").
+    backend: str
+    #: Game name the search is over.
+    game: str
+    #: Engine seed (restore sanity check, not used to re-derive state).
+    seed: int
+    #: Virtual time on the engine clock at capture.
+    clock_s: float
+    #: Iterations completed at capture (engine-defined granularity).
+    iterations: int
+    #: Engine-specific live-session state.
+    payload: dict = field(default_factory=dict)
+
+
+def save_checkpoint(
+    snapshot: EngineSnapshot, path: str | Path
+) -> Path:
+    """Write ``snapshot`` to ``path`` in the versioned envelope."""
+    if not isinstance(snapshot, EngineSnapshot):
+        raise CheckpointError(
+            f"can only save EngineSnapshot, got "
+            f"{type(snapshot).__name__}"
+        )
+    path = Path(path)
+    envelope = {
+        "magic": _ENVELOPE_KEY,
+        "format_version": snapshot.format_version,
+        "snapshot": snapshot,
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> EngineSnapshot:
+    """Read a snapshot back; rejects foreign files and unknown
+    format versions."""
+    with open(path, "rb") as fh:
+        envelope = pickle.load(fh)
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("magic") != _ENVELOPE_KEY
+    ):
+        raise CheckpointError(f"{path} is not an engine checkpoint")
+    version = envelope.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format {version!r} unsupported (this build "
+            f"reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    snapshot = envelope.get("snapshot")
+    if not isinstance(snapshot, EngineSnapshot):
+        raise CheckpointError(
+            f"{path}: envelope payload is not an EngineSnapshot"
+        )
+    return snapshot
+
+
+def snapshot_bytes(snapshot: EngineSnapshot) -> bytes:
+    """The envelope as bytes (what the serving journal embeds)."""
+    return pickle.dumps(
+        {
+            "magic": _ENVELOPE_KEY,
+            "format_version": snapshot.format_version,
+            "snapshot": snapshot,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def snapshot_from_bytes(data: bytes) -> EngineSnapshot:
+    """Inverse of :func:`snapshot_bytes`, with the same checks as
+    :func:`load_checkpoint`."""
+    envelope = pickle.loads(data)
+    if (
+        not isinstance(envelope, dict)
+        or envelope.get("magic") != _ENVELOPE_KEY
+    ):
+        raise CheckpointError("blob is not an engine checkpoint")
+    version = envelope.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format {version!r} unsupported (this build "
+            f"reads version {CHECKPOINT_FORMAT_VERSION})"
+        )
+    snapshot = envelope.get("snapshot")
+    if not isinstance(snapshot, EngineSnapshot):
+        raise CheckpointError(
+            "envelope payload is not an EngineSnapshot"
+        )
+    return snapshot

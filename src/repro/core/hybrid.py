@@ -11,13 +11,14 @@ its telemetry (``max_depth``, ``extras['cpu_iterations']``).
 
 from __future__ import annotations
 
+from repro.core.backend import restore_forest
 from repro.core.base import Engine
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
-from repro.util.clock import Stopwatch
+from repro.rng import XorShift64Star
 from repro.util.seeding import derive_seed
 
 
@@ -46,21 +47,37 @@ class HybridMcts(Engine):
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         self._check_budget(budget_s, state)
         blocks = self.config.blocks
+        self._live = {
+            "forest": self._make_forest(
+                state, [self.rng.fork("tree", b) for b in range(blocks)]
+            ),
+            "playout_rng": self.rng.fork("cpu_playout"),
+            "start_s": self.clock.now,
+            "budget_s": budget_s,
+            "next_tree": 0,
+            "iterations": 0,
+            "cpu_iterations": 0,
+            "simulations": 0,
+        }
+        return self._session_run()
+
+    def _session_run(self) -> SearchResult:
+        live = self._live
+        forest = live["forest"]
+        playout_rng = live["playout_rng"]
+        budget_s = live["budget_s"]
+        blocks = self.config.blocks
         tpb = self.config.threads_per_block
-        forest = self._make_forest(
-            state, [self.rng.fork("tree", b) for b in range(blocks)]
-        )
-        playout_rng = self.rng.fork("cpu_playout")
         prof = self.profiler
-        sw = Stopwatch(self.clock)
         cap = self._iteration_cap()
-        gpu_iterations = 0
-        cpu_iterations = 0
-        simulations = 0
-        next_tree = 0
+        gpu_iterations = live["iterations"]
+        cpu_iterations = live["cpu_iterations"]
+        simulations = live["simulations"]
+        next_tree = live["next_tree"]
 
         while (
-            sw.elapsed < budget_s and gpu_iterations < cap
+            self.clock.now - live["start_s"] < budget_s
+            and gpu_iterations < cap
         ) or gpu_iterations == 0:
             with prof.phase("select"):
                 leaves, depths = forest.select_expand_all()
@@ -98,16 +115,23 @@ class HybridMcts(Engine):
                 forest.backprop_block(leaves, tpb, per_block)
             gpu_iterations += 1
             simulations += result.playouts
+            live["iterations"] = gpu_iterations
+            live["cpu_iterations"] = cpu_iterations
+            live["simulations"] = simulations
+            live["next_tree"] = next_tree
+            # The kernel was just synchronised, so the stream is idle:
+            # a clean checkpoint boundary.
+            self._after_iteration(gpu_iterations)
 
         stats = forest.aggregate_stats()
-        return SearchResult(
+        result = SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
             iterations=gpu_iterations,
             simulations=simulations,
             max_depth=forest.max_depth(),
             tree_nodes=forest.node_count(),
-            elapsed_s=sw.elapsed,
+            elapsed_s=self.clock.now - live["start_s"],
             trees=blocks,
             extras={
                 "cpu_iterations": cpu_iterations,
@@ -116,3 +140,36 @@ class HybridMcts(Engine):
                 "per_tree_nodes": forest.per_tree_nodes(),
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        return {
+            "forest": live["forest"].snapshot(),
+            "playout_rng": live["playout_rng"].getstate(),
+            "start_s": live["start_s"],
+            "budget_s": live["budget_s"],
+            "next_tree": live["next_tree"],
+            "iterations": live["iterations"],
+            "cpu_iterations": live["cpu_iterations"],
+            "simulations": live["simulations"],
+            "gpu": self.gpu.getstate(),
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        self.gpu.setstate(payload["gpu"])
+        return {
+            "forest": restore_forest(self.game, payload["forest"]),
+            "playout_rng": XorShift64Star.from_state(
+                payload["playout_rng"]
+            ),
+            "start_s": payload["start_s"],
+            "budget_s": payload["budget_s"],
+            "next_tree": payload["next_tree"],
+            "iterations": payload["iterations"],
+            "cpu_iterations": payload["cpu_iterations"],
+            "simulations": payload["simulations"],
+        }

@@ -11,13 +11,13 @@ parallelism keeps climbing.
 
 from __future__ import annotations
 
+from repro.core.backend import restore_tree
 from repro.core.base import Engine, tally
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
-from repro.util.clock import Stopwatch
 from repro.util.seeding import derive_seed
 
 
@@ -45,13 +45,25 @@ class LeafParallelMcts(Engine):
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         self._check_budget(budget_s, state)
-        tree = self._make_tree(state, self.rng.fork("tree"))
-        sw = Stopwatch(self.clock)
+        self._live = {
+            "tree": self._make_tree(state, self.rng.fork("tree")),
+            "start_s": self.clock.now,
+            "budget_s": budget_s,
+            "iterations": 0,
+            "simulations": 0,
+        }
+        return self._session_run()
+
+    def _session_run(self) -> SearchResult:
+        live = self._live
+        tree = live["tree"]
+        budget_s = live["budget_s"]
         cap = self._iteration_cap()
         grid = self.config.total_threads
-        iterations = 0
-        simulations = 0
-        while (sw.elapsed < budget_s and iterations < cap) or iterations == 0:
+        while (
+            self.clock.now - live["start_s"] < budget_s
+            and live["iterations"] < cap
+        ) or live["iterations"] == 0:
             node, depth = tree.select_expand()
             # CPU sequential share: tree walk + kernel marshalling.
             self.clock.advance(self.cost.tree_control_time(depth))
@@ -65,20 +77,46 @@ class LeafParallelMcts(Engine):
                 )
                 wins_b, wins_w, draws = tally(result.winners)
                 tree.backprop(node, grid, wins_b, wins_w, draws)
-            iterations += 1
-            simulations += grid
+            live["iterations"] += 1
+            live["simulations"] += grid
+            self._after_iteration(live["iterations"])
         stats = tree.root_stats()
-        return SearchResult(
+        result = SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
-            iterations=iterations,
-            simulations=simulations,
+            iterations=live["iterations"],
+            simulations=live["simulations"],
             max_depth=tree.max_depth,
             tree_nodes=tree.node_count,
-            elapsed_s=sw.elapsed,
+            elapsed_s=self.clock.now - live["start_s"],
             extras={
                 "kernels": self.gpu.stats.kernels_launched,
                 "per_tree_depth": [tree.depth()],
                 "per_tree_nodes": [tree.node_count],
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        return {
+            "tree": live["tree"].snapshot(),
+            "start_s": live["start_s"],
+            "budget_s": live["budget_s"],
+            "iterations": live["iterations"],
+            "simulations": live["simulations"],
+            "gpu": self.gpu.getstate(),
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        self.gpu.setstate(payload["gpu"])
+        return {
+            "tree": restore_tree(self.game, payload["tree"]),
+            "start_s": payload["start_s"],
+            "budget_s": payload["budget_s"],
+            "iterations": payload["iterations"],
+            "simulations": payload["simulations"],
+        }

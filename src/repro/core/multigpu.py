@@ -54,34 +54,60 @@ class MultiGpuMcts(Engine):
         self.injector = injector
         self._engine_kwargs = kwargs
 
-    def search(self, state: GameState, budget_s: float) -> SearchResult:
-        self._check_budget(budget_s, state)
-        cluster = MpiCluster(
+    def _make_cluster(self) -> MpiCluster:
+        return MpiCluster(
             self.n_gpus,
             self.network,
             derive_seed(self.seed, "cluster"),
             injector=self.injector,
         )
+
+    def _rank_engine(self, ctx) -> BlockParallelMcts:
+        return BlockParallelMcts(
+            self.game,
+            ctx.seed,
+            blocks=self.blocks,
+            threads_per_block=self.threads_per_block,
+            device=self.device,
+            cost_model=self.cost,
+            ucb_c=self.ucb_c,
+            clock=ctx.clock,
+            final_policy=self.final_policy,
+            max_iterations=self.max_iterations,
+            selection_rule=self.selection_rule,
+            backend=self.backend,
+        )
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        self._check_budget(budget_s, state)
+        cluster = self._make_cluster()
         states = cluster.bcast(state, root=0)
+        self._live = {
+            "root_state": state,
+            "cluster": cluster,
+            "states": states,
+            "budget_s": budget_s,
+            "rank_results": [],
+            "iterations": 0,
+        }
+        return self._session_run()
 
-        def rank_search(ctx):
-            engine = BlockParallelMcts(
-                self.game,
-                ctx.seed,
-                blocks=self.blocks,
-                threads_per_block=self.threads_per_block,
-                device=self.device,
-                cost_model=self.cost,
-                ucb_c=self.ucb_c,
-                clock=ctx.clock,
-                final_policy=self.final_policy,
-                max_iterations=self.max_iterations,
-                selection_rule=self.selection_rule,
-                backend=self.backend,
+    def _session_run(self) -> SearchResult:
+        live = self._live
+        cluster = live["cluster"]
+        rank_results = live["rank_results"]
+        budget_s = live["budget_s"]
+        # Rank-local searches run sequentially in real time, each
+        # charging only its own clock; a completed rank is this
+        # engine's checkpoint boundary.
+        while len(rank_results) < self.n_gpus:
+            ctx = cluster._contexts[len(rank_results)]
+            engine = self._rank_engine(ctx)
+            rank_results.append(
+                engine.search(live["states"][ctx.rank], budget_s)
             )
-            return engine.search(states[ctx.rank], budget_s)
-
-        rank_results = cluster.run_on_ranks(rank_search)
+            live["iterations"] = len(rank_results)
+            self._after_iteration(len(rank_results))
 
         # Reduce per-move (visits, wins) as fixed-size arrays, the way
         # the MPI code ships them (move id indexes the buffer).
@@ -106,7 +132,7 @@ class MultiGpuMcts(Engine):
         }
         elapsed = cluster.elapsed
         self.clock.advance_to(max(self.clock.now, elapsed))
-        return SearchResult(
+        result = SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
             iterations=sum(r.iterations for r in rank_results),
@@ -133,3 +159,38 @@ class MultiGpuMcts(Engine):
                 "dropped_messages": cluster.dropped,
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        cluster = live["cluster"]
+        return {
+            "root_state": live["root_state"],
+            "budget_s": live["budget_s"],
+            "rank_results": list(live["rank_results"]),
+            "rank_clocks": [c.now for c in cluster.clocks],
+            "iterations": live["iterations"],
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        # The cluster is rebuilt from scratch: its seed ladder is a
+        # pure function of the engine seed, and the broadcast consumes
+        # no injector draws, so replaying it reproduces the exact
+        # post-bcast clock times before the stored per-rank times are
+        # re-applied (completed ranks advance past them; pending ranks
+        # are already there).
+        cluster = self._make_cluster()
+        states = cluster.bcast(payload["root_state"], root=0)
+        for clock, t in zip(cluster.clocks, payload["rank_clocks"]):
+            clock.advance_to(max(clock.now, t))
+        return {
+            "root_state": payload["root_state"],
+            "cluster": cluster,
+            "states": states,
+            "budget_s": payload["budget_s"],
+            "rank_results": list(payload["rank_results"]),
+            "iterations": payload["iterations"],
+        }

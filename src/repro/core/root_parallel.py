@@ -15,7 +15,8 @@ interact.
 
 from __future__ import annotations
 
-from repro.core.base import Engine, SearchGenerator, batch_executor, drive_search
+from repro.core.backend import restore_forest
+from repro.core.base import BatchExecutor, Engine, SearchGenerator, drive_search
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.games.base import GameState
@@ -39,23 +40,39 @@ class RootParallelMcts(Engine):
         self.vote = vote
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
-        return drive_search(
-            self.search_steps(state, budget_s),
-            batch_executor(self.game.name, derive_seed(self.seed, "exec")),
+        executor = BatchExecutor(
+            self.game.name, derive_seed(self.seed, "exec")
         )
+        self._pending_executor = executor
+        return drive_search(self.search_steps(state, budget_s), executor)
 
     def search_steps(
         self, state: GameState, budget_s: float
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
-        forest = self._make_forest(
-            state, [self.rng.fork("tree", i) for i in range(self.n_trees)]
-        )
-        core_time = [0.0] * self.n_trees
+        self._live = {
+            "forest": self._make_forest(
+                state,
+                [self.rng.fork("tree", i) for i in range(self.n_trees)],
+            ),
+            "core_time": [0.0] * self.n_trees,
+            "per_tree_iters": [0] * self.n_trees,
+            "budget_s": budget_s,
+            "iterations": 0,
+            "simulations": 0,
+            "executor": self._take_pending_executor(),
+        }
+        return self._session_steps()
+
+    def _session_steps(self) -> SearchGenerator:
+        live = self._live
+        forest = live["forest"]
+        core_time = live["core_time"]
+        per_tree_iters = live["per_tree_iters"]
+        budget_s = live["budget_s"]
         cap = self._iteration_cap()
-        iterations = 0
-        simulations = 0
-        per_tree_iters = [0] * self.n_trees
+        iterations = live["iterations"]
+        simulations = live["simulations"]
 
         while True:
             active = [
@@ -93,6 +110,9 @@ class RootParallelMcts(Engine):
                     per_tree_iters[i] += 1
                     iterations += 1
                     simulations += 1
+            live["iterations"] = iterations
+            live["simulations"] = simulations
+            self._after_iteration(iterations)
 
         # Wall time of the parallel search = the slowest core.
         self.clock.advance(max(core_time))
@@ -102,7 +122,7 @@ class RootParallelMcts(Engine):
             if self.vote == "majority"
             else stats
         )
-        return SearchResult(
+        result = SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
             iterations=iterations,
@@ -116,3 +136,30 @@ class RootParallelMcts(Engine):
                 "per_tree_nodes": forest.per_tree_nodes(),
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        return {
+            "forest": live["forest"].snapshot(),
+            "core_time": list(live["core_time"]),
+            "per_tree_iters": list(live["per_tree_iters"]),
+            "budget_s": live["budget_s"],
+            "iterations": live["iterations"],
+            "simulations": live["simulations"],
+            "executor": self._executor_state(live["executor"]),
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        return {
+            "forest": restore_forest(self.game, payload["forest"]),
+            "core_time": list(payload["core_time"]),
+            "per_tree_iters": list(payload["per_tree_iters"]),
+            "budget_s": payload["budget_s"],
+            "iterations": payload["iterations"],
+            "simulations": payload["simulations"],
+            "executor": self._restore_executor(payload["executor"]),
+        }

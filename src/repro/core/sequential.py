@@ -8,11 +8,11 @@ in the paper's Figures 6 and 7.
 
 from __future__ import annotations
 
-from repro.core.base import Engine, SearchGenerator, drive_search, scalar_executor
+from repro.core.backend import restore_tree
+from repro.core.base import Engine, ScalarExecutor, SearchGenerator, drive_search
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.games.base import GameState
-from repro.util.clock import Stopwatch
 
 
 class SequentialMcts(Engine):
@@ -21,21 +21,34 @@ class SequentialMcts(Engine):
     name = "sequential"
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
-        return drive_search(
-            self.search_steps(state, budget_s),
-            scalar_executor(self.game, self.rng.fork("playout")),
-        )
+        # Executor before session setup: preserves the historical fork
+        # order (fork("playout") drawn before fork("tree")).
+        executor = ScalarExecutor(self.game, self.rng.fork("playout"))
+        self._pending_executor = executor
+        return drive_search(self.search_steps(state, budget_s), executor)
 
     def search_steps(
         self, state: GameState, budget_s: float
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
-        tree = self._make_tree(state, self.rng.fork("tree"))
-        sw = Stopwatch(self.clock)
+        self._live = {
+            "tree": self._make_tree(state, self.rng.fork("tree")),
+            "start_s": self.clock.now,
+            "budget_s": budget_s,
+            "iterations": 0,
+            "simulations": 0,
+            "executor": self._take_pending_executor(),
+        }
+        return self._session_steps()
+
+    def _session_steps(self) -> SearchGenerator:
+        live = self._live
+        tree = live["tree"]
         cap = self._iteration_cap()
-        iterations = 0
-        simulations = 0
-        while sw.elapsed < budget_s and iterations < cap:
+        while (
+            self.clock.now - live["start_s"] < live["budget_s"]
+            and live["iterations"] < cap
+        ):
             node, depth = tree.select_expand()
             if tree.terminal_of(node):
                 tree.backprop_winner(node, tree.winner_of(node))
@@ -45,19 +58,45 @@ class SequentialMcts(Engine):
                 winner, plies = result
                 tree.backprop_winner(node, winner)
             self.clock.advance(self.cost.iteration_time(depth, plies))
-            iterations += 1
-            simulations += 1
+            live["iterations"] += 1
+            live["simulations"] += 1
+            self._after_iteration(live["iterations"])
         stats = tree.root_stats()
-        return SearchResult(
+        result = SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
-            iterations=iterations,
-            simulations=simulations,
+            iterations=live["iterations"],
+            simulations=live["simulations"],
             max_depth=tree.max_depth,
             tree_nodes=tree.node_count,
-            elapsed_s=sw.elapsed,
+            elapsed_s=self.clock.now - live["start_s"],
             extras={
                 "per_tree_depth": [tree.depth()],
                 "per_tree_nodes": [tree.node_count],
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        return {
+            "tree": live["tree"].snapshot(),
+            "start_s": live["start_s"],
+            "budget_s": live["budget_s"],
+            "iterations": live["iterations"],
+            "simulations": live["simulations"],
+            "executor": self._executor_state(live["executor"]),
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        return {
+            "tree": restore_tree(self.game, payload["tree"]),
+            "start_s": payload["start_s"],
+            "budget_s": payload["budget_s"],
+            "iterations": payload["iterations"],
+            "simulations": payload["simulations"],
+            "executor": self._restore_executor(payload["executor"]),
+        }

@@ -258,6 +258,97 @@ class SearchTree:
             yield n
             stack.extend(n.children)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A flat, picklable encoding of the whole tree.
+
+        Nodes are serialised in breadth-first order as plain tuples
+        (parent index, move, statistics, shuffled untried list, state);
+        child-list order is the BFS emission order, so a rebuilt tree
+        selects and expands exactly like the original.  The tree's RNG
+        state rides along -- restoring never consumes fresh draws.
+        """
+        order: list[Node] = [self.root]
+        index: dict[int, int] = {id(self.root): 0}
+        head = 0
+        while head < len(order):
+            node = order[head]
+            head += 1
+            for child in node.children:
+                index[id(child)] = len(order)
+                order.append(child)
+        nodes = [
+            (
+                index[id(n.parent)] if n.parent is not None else -1,
+                n.move,
+                n.state,
+                int(n.to_move),
+                int(n.mover),
+                list(n.untried),
+                n.visits,
+                n.wins,
+                n.vloss,
+                n.terminal,
+                int(n.winner),
+            )
+            for n in order
+        ]
+        return {
+            "kind": "node_tree",
+            "ucb_c": self.ucb_c,
+            "selection_rule": self.selection_rule,
+            "rng_state": self.rng.getstate(),
+            "node_count": self.node_count,
+            "max_depth": self.max_depth,
+            "nodes": nodes,
+        }
+
+    @classmethod
+    def from_snapshot(cls, game: Game, snap: dict) -> "SearchTree":
+        """Rebuild a tree from :meth:`snapshot` without touching game
+        logic or consuming RNG draws (``Node.__init__`` shuffles, so
+        nodes are reconstructed around it)."""
+        tree = object.__new__(cls)
+        tree.game = game
+        tree.ucb_c = snap["ucb_c"]
+        tree.selection_rule = snap["selection_rule"]
+        tree.rng = XorShift64Star.from_state(snap["rng_state"])
+        tree.node_count = snap["node_count"]
+        tree.max_depth = snap["max_depth"]
+        order: list[Node] = []
+        for (
+            parent_idx,
+            move,
+            state,
+            to_move,
+            mover,
+            untried,
+            visits,
+            wins,
+            vloss,
+            terminal,
+            winner,
+        ) in snap["nodes"]:
+            node = object.__new__(Node)
+            node.parent = order[parent_idx] if parent_idx >= 0 else None
+            node.move = move
+            node.state = state
+            node.to_move = to_move
+            node.mover = mover
+            node.untried = list(untried)
+            node.children = []
+            node.visits = visits
+            node.wins = wins
+            node.vloss = vloss
+            node.terminal = terminal
+            node.winner = winner
+            if node.parent is not None:
+                node.parent.children.append(node)
+            order.append(node)
+        tree.root = order[0]
+        return tree
+
 
 def aggregate_stat_dicts(
     per_tree: "list[dict[int, tuple[float, float]]]",

@@ -10,7 +10,8 @@ results replace the phantom losses at the end of each round.
 
 from __future__ import annotations
 
-from repro.core.base import Engine, SearchGenerator, batch_executor, drive_search
+from repro.core.backend import restore_tree
+from repro.core.base import BatchExecutor, Engine, SearchGenerator, drive_search
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.games.base import GameState
@@ -36,20 +37,34 @@ class TreeParallelMcts(Engine):
         self.virtual_loss = virtual_loss
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
-        return drive_search(
-            self.search_steps(state, budget_s),
-            batch_executor(self.game.name, derive_seed(self.seed, "exec")),
+        executor = BatchExecutor(
+            self.game.name, derive_seed(self.seed, "exec")
         )
+        self._pending_executor = executor
+        return drive_search(self.search_steps(state, budget_s), executor)
 
     def search_steps(
         self, state: GameState, budget_s: float
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
-        tree = self._make_tree(state, self.rng.fork("tree"))
-        worker_time = [0.0] * self.n_workers
+        self._live = {
+            "tree": self._make_tree(state, self.rng.fork("tree")),
+            "worker_time": [0.0] * self.n_workers,
+            "budget_s": budget_s,
+            "iterations": 0,
+            "simulations": 0,
+            "executor": self._take_pending_executor(),
+        }
+        return self._session_steps()
+
+    def _session_steps(self) -> SearchGenerator:
+        live = self._live
+        tree = live["tree"]
+        worker_time = live["worker_time"]
+        budget_s = live["budget_s"]
         cap = self._iteration_cap()
-        iterations = 0
-        simulations = 0
+        iterations = live["iterations"]
+        simulations = live["simulations"]
 
         while min(worker_time) < budget_s and iterations < cap:
             requests = []
@@ -80,10 +95,15 @@ class TreeParallelMcts(Engine):
                 worker_time[w] += self.cost.iteration_time(depth, plies)
                 iterations += 1
                 simulations += 1
+            live["iterations"] = iterations
+            live["simulations"] = simulations
+            # Round end: every virtual loss reverted -- a clean
+            # checkpoint boundary.
+            self._after_iteration(iterations)
 
         self.clock.advance(max(worker_time))
         stats = tree.root_stats()
-        return SearchResult(
+        result = SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
             iterations=iterations,
@@ -96,3 +116,28 @@ class TreeParallelMcts(Engine):
                 "per_tree_nodes": [tree.node_count],
             },
         )
+        self._live = None
+        return result
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        return {
+            "tree": live["tree"].snapshot(),
+            "worker_time": list(live["worker_time"]),
+            "budget_s": live["budget_s"],
+            "iterations": live["iterations"],
+            "simulations": live["simulations"],
+            "executor": self._executor_state(live["executor"]),
+        }
+
+    def _restore_payload(self, payload: dict) -> dict:
+        return {
+            "tree": restore_tree(self.game, payload["tree"]),
+            "worker_time": list(payload["worker_time"]),
+            "budget_s": payload["budget_s"],
+            "iterations": payload["iterations"],
+            "simulations": payload["simulations"],
+            "executor": self._restore_executor(payload["executor"]),
+        }

@@ -23,20 +23,30 @@ the serving layer, and how to write a fault-injection test.
 from repro.faults.injector import (
     Fault,
     FaultInjector,
+    KIND_CRASH,
     KIND_LAUNCH_FAIL,
     KIND_LOST_RESULT,
     KIND_MPI_DROP,
     KIND_OUTAGE,
     KIND_STALL,
 )
-from repro.faults.plan import DeviceOutage, FaultPlan, FaultPlanError
+from repro.faults.plan import (
+    CRASH_SITES,
+    CrashPoint,
+    DeviceOutage,
+    FaultPlan,
+    FaultPlanError,
+)
 
 __all__ = [
+    "CRASH_SITES",
+    "CrashPoint",
     "DeviceOutage",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "KIND_CRASH",
     "KIND_LAUNCH_FAIL",
     "KIND_LOST_RESULT",
     "KIND_MPI_DROP",

@@ -26,6 +26,7 @@ KIND_LOST_RESULT = "lost_result"
 KIND_STALL = "stall"
 KIND_OUTAGE = "outage"
 KIND_MPI_DROP = "mpi_drop"
+KIND_CRASH = "crash"
 
 _SCALE = float(2**64)
 
@@ -52,7 +53,9 @@ class FaultInjector:
             KIND_STALL: 0,
             KIND_OUTAGE: 0,
             KIND_MPI_DROP: 0,
+            KIND_CRASH: 0,
         }
+        self._crashed = False
 
     def _uniform(self, tag: str, counter: int) -> float:
         return derive_seed(self.plan.seed, tag, counter) / _SCALE
@@ -101,6 +104,26 @@ class FaultInjector:
             self.counters[KIND_STALL] += 1
             return Fault(KIND_STALL, factor=plan.stall_factor)
         return None
+
+    # -- scheduled crashes -------------------------------------------------
+
+    def crash_due(self, site: str, count: int) -> bool:
+        """Has the planned crash point been reached?  ``site`` is the
+        caller's event kind ("tick" | "iteration"), ``count`` its
+        running event counter.  Scheduled (not probabilistic):
+        consumes no draw, and fires at most once per injector so a
+        recovered service does not crash-loop."""
+        crash = self.plan.crash
+        if (
+            crash is None
+            or self._crashed
+            or crash.site != site
+            or count < crash.at
+        ):
+            return False
+        self._crashed = True
+        self.counters[KIND_CRASH] += 1
+        return True
 
     # -- MPI messages ------------------------------------------------------
 

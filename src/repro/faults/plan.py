@@ -10,11 +10,15 @@ compact string grammar for the CLI (``serve-bench --faults ...``)::
     outage=1@0.5+0.2      device 1 is down from t=0.5s for 0.2s
                           (repeatable for multiple windows)
     drop=0.01             1% of MPI rank contributions are dropped
+    crash=tick:40         kill the whole service at its 40th scheduler
+                          tick (``crash=40`` is shorthand)
+    crash=iter:500        kill the service when any engine completes
+                          its 500th search iteration
     seed=7                the injection seed
 
 Entries are comma-separated; unknown keys are rejected.  A plan with
-every rate at zero and no outages injects nothing, and the serving
-stack is bit-identical to running without a plan at all.
+every rate at zero, no outages and no crash injects nothing, and the
+serving stack is bit-identical to running without a plan at all.
 """
 
 from __future__ import annotations
@@ -56,6 +60,39 @@ class DeviceOutage:
         return self.start_s <= t < self.end_s
 
 
+#: Where a planned crash can trigger.
+CRASH_SITES = ("tick", "iteration")
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A scheduled whole-service crash: the process dies at its
+    ``at``-th event of the given ``site`` ("tick" = scheduler ticks,
+    "iteration" = engine search iterations, counted service-wide)."""
+
+    site: str
+    at: int
+
+    def __post_init__(self) -> None:
+        if self.site not in CRASH_SITES:
+            raise FaultPlanError(
+                f"unknown crash site {self.site!r}; known: {CRASH_SITES}"
+            )
+        if self.at <= 0:
+            raise FaultPlanError(
+                f"crash point must be positive: {self.at}"
+            )
+
+    @staticmethod
+    def parse(value: str) -> "CrashPoint":
+        """``tick:K`` / ``iter:K`` / bare ``K`` (tick shorthand)."""
+        site, sep, count = value.partition(":")
+        if not sep:
+            site, count = "tick", value
+        site = {"iter": "iteration"}.get(site.strip(), site.strip())
+        return CrashPoint(site, int(count))
+
+
 def _check_rate(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
         raise FaultPlanError(f"{name} must be in [0, 1]: {value}")
@@ -78,6 +115,8 @@ class FaultPlan:
     mpi_drop_rate: float = 0.0
     #: Scheduled whole-device outage windows.
     outages: tuple[DeviceOutage, ...] = field(default_factory=tuple)
+    #: Optional scheduled whole-service crash (see :class:`CrashPoint`).
+    crash: CrashPoint | None = None
     #: Seed of the injection hash stream (independent of workload seeds).
     seed: int = 0
 
@@ -106,7 +145,14 @@ class FaultPlan:
             or self.stall_rate
             or self.mpi_drop_rate
             or self.outages
+            or self.crash
         )
+
+    def without_crash(self) -> "FaultPlan":
+        """The same plan minus the scheduled crash -- what a recovered
+        service runs under (the crash already happened; replaying it
+        would crash-loop)."""
+        return replace(self, crash=None)
 
     def scaled(self, scale: float) -> "FaultPlan":
         """The same plan with every probabilistic rate multiplied by
@@ -152,6 +198,8 @@ class FaultPlan:
                         kwargs["stall_factor"] = float(factor)
                 elif key == "drop":
                     kwargs["mpi_drop_rate"] = float(value)
+                elif key == "crash":
+                    kwargs["crash"] = CrashPoint.parse(value)
                 elif key == "seed":
                     kwargs["seed"] = int(value)
                 elif key == "outage":
@@ -168,7 +216,8 @@ class FaultPlan:
                 else:
                     raise FaultPlanError(
                         f"unknown fault plan key {key!r} in {text!r}; "
-                        "known: launch, lost, stall, outage, drop, seed"
+                        "known: launch, lost, stall, outage, drop, "
+                        "crash, seed"
                     )
             except FaultPlanError:
                 raise

@@ -102,6 +102,42 @@ class VirtualGpu:
             self._rng_cache[lanes] = rng
         return rng
 
+    # -- checkpointing -----------------------------------------------------
+
+    def getstate(self) -> dict:
+        """Everything a resumed search needs to replay this device's
+        randomness and accounting exactly: the persistent per-width
+        lane RNG states (each CUDA thread's global-memory generator),
+        the cumulative stats, and the stream timeline."""
+        return {
+            "rngs": {
+                lanes: rng.getstate()
+                for lanes, rng in self._rng_cache.items()
+            },
+            "stats": (
+                self.stats.kernels_launched,
+                self.stats.playouts_completed,
+                self.stats.busy_seconds,
+            ),
+            "busy_until": self.stream._busy_until,
+        }
+
+    def setstate(self, state: dict) -> None:
+        from repro.rng import BatchXorShift128Plus as _Batch
+
+        self._rng_cache = {
+            int(lanes): _Batch.from_state(s)
+            for lanes, s in state["rngs"].items()
+        }
+        kernels, playouts, busy = state["stats"]
+        self.stats = GpuStats(
+            kernels_launched=int(kernels),
+            playouts_completed=int(playouts),
+            busy_seconds=float(busy),
+        )
+        self.stream = Stream(self.clock)
+        self.stream._busy_until = float(state["busy_until"])
+
     # -- kernel execution --------------------------------------------------
 
     def _execute(

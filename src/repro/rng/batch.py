@@ -109,6 +109,38 @@ class BatchXorShift128Plus:
         child._s1 = self._s1[mask]
         return child
 
+    # -- checkpointing -------------------------------------------------------
+
+    def getstate(self) -> tuple[int, np.ndarray, np.ndarray]:
+        """``(n, s0, s1)`` with copied state arrays; feed to
+        :meth:`setstate`/:meth:`from_state` to resume every lane's
+        stream exactly where it left off."""
+        return (self._n, self._s0.copy(), self._s1.copy())
+
+    def setstate(
+        self, state: tuple[int, np.ndarray, np.ndarray]
+    ) -> None:
+        n, s0, s1 = state
+        s0 = np.asarray(s0, dtype=U64)
+        s1 = np.asarray(s1, dtype=U64)
+        if n <= 0 or s0.shape != (n,) or s1.shape != (n,):
+            raise ValueError(
+                f"invalid xorshift128+ state: n={n}, "
+                f"shapes {s0.shape}/{s1.shape}"
+            )
+        self._n = int(n)
+        self._s0 = s0.copy()
+        self._s1 = s1.copy()
+
+    @classmethod
+    def from_state(
+        cls, state: tuple[int, np.ndarray, np.ndarray]
+    ) -> "BatchXorShift128Plus":
+        """A generator resumed from a :meth:`getstate` triple."""
+        rng = object.__new__(cls)
+        rng.setstate(state)
+        return rng
+
     def state_digest(self) -> int:
         """A cheap checksum of all lane states (for regression tests)."""
         return int(

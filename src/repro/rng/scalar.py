@@ -75,3 +75,23 @@ class XorShift64Star:
     def fork(self, *path) -> "XorShift64Star":
         """An independent child generator keyed by ``path``."""
         return XorShift64Star(derive_seed(self.next_u64(), *path))
+
+    # -- checkpointing -------------------------------------------------------
+
+    def getstate(self) -> int:
+        """The raw 64-bit state word; feed to :meth:`setstate` to resume
+        the stream exactly where it left off."""
+        return self._state
+
+    def setstate(self, state: int) -> None:
+        if not 0 < state <= _MASK:
+            raise ValueError(f"invalid xorshift64* state: {state!r}")
+        self._state = state
+
+    @classmethod
+    def from_state(cls, state: int) -> "XorShift64Star":
+        """A generator resumed from a :meth:`getstate` word (no seed
+        mixing -- the state is adopted verbatim)."""
+        rng = object.__new__(cls)
+        rng.setstate(state)
+        return rng

@@ -24,6 +24,15 @@ See docs/serving.md for the scheduler design, deadline semantics and
 metric definitions.
 """
 
+from repro.serve.journal import (
+    JOURNAL_FORMAT_VERSION,
+    JournalCheckpoint,
+    JournalCompletion,
+    JournalError,
+    JournalState,
+    JournalWriter,
+    read_journal,
+)
 from repro.serve.metrics import ServiceReport, percentile, summarize
 from repro.serve.resilience import (
     Attempt,
@@ -50,6 +59,7 @@ from repro.serve.scheduler import (
 )
 from repro.serve.service import (
     SearchService,
+    ServiceCrash,
     ServiceError,
     serve,
     supports_search_steps,
@@ -65,8 +75,16 @@ __all__ = [
     "SearchRequest",
     "RequestRecord",
     "SearchService",
+    "ServiceCrash",
     "ServiceError",
     "ServiceReport",
+    "JournalWriter",
+    "JournalState",
+    "JournalCheckpoint",
+    "JournalCompletion",
+    "JournalError",
+    "JOURNAL_FORMAT_VERSION",
+    "read_journal",
     "serve",
     "summarize",
     "percentile",

@@ -1,0 +1,226 @@
+"""Write-ahead request journal for crash-recoverable serving.
+
+The journal is a JSONL file the service appends to *before* acting:
+
+* ``header`` -- file magic + format version (first line).
+* ``submit`` -- a request was accepted for execution (the full
+  request rides along, base64-pickled, so recovery can rebuild it).
+* ``checkpoint`` -- a periodic engine snapshot for a running request
+  (the latest one per request wins).
+* ``complete`` -- the request reached a terminal status; its result
+  (if any) is embedded.
+
+Every record is flushed to the OS on write, so a service killed
+mid-run leaves a prefix-consistent journal: every journalled
+submission is either marked complete or recoverable from its last
+checkpoint (or from scratch).  :func:`read_journal` folds a journal
+file into a :class:`JournalState`; :meth:`SearchService.recover
+<repro.serve.service.SearchService.recover>` turns that into a new
+service that finishes the interrupted work exactly once.
+
+Results and snapshots are pickled (they contain game states and numpy
+arrays); the journal is therefore a trusted-local-file format, same as
+the checkpoint files in :mod:`repro.core.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.checkpoint import EngineSnapshot, snapshot_from_bytes
+from repro.core.results import SearchResult
+from repro.serve.request import SearchRequest
+
+#: Bump on any incompatible change to the journal record layout.
+JOURNAL_FORMAT_VERSION = 1
+
+_MAGIC = "repro-mcts-journal"
+
+
+class JournalError(RuntimeError):
+    """Raised on malformed or foreign journal files."""
+
+
+def _encode(obj) -> str:
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _decode(text: str):
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class JournalWriter:
+    """Append-only, per-record-flushed journal emitter."""
+
+    def __init__(self, path: str | Path, append: bool = False) -> None:
+        self.path = Path(path)
+        fresh = not (append and self.path.exists())
+        self._fh = open(self.path, "a" if append else "w")
+        if fresh or self.path.stat().st_size == 0:
+            self._write(
+                {
+                    "type": "header",
+                    "magic": _MAGIC,
+                    "format_version": JOURNAL_FORMAT_VERSION,
+                }
+            )
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        # A crash can land between any two records; flushing per line
+        # keeps the journal prefix-consistent.
+        self._fh.flush()
+
+    def submit(self, request: SearchRequest) -> None:
+        self._write(
+            {
+                "type": "submit",
+                "rid": request.request_id,
+                "request": _encode(request),
+            }
+        )
+
+    def checkpoint(
+        self, rid: str, iterations: int, snapshot_blob: bytes
+    ) -> None:
+        self._write(
+            {
+                "type": "checkpoint",
+                "rid": rid,
+                "iterations": int(iterations),
+                "snapshot": base64.b64encode(snapshot_blob).decode(
+                    "ascii"
+                ),
+            }
+        )
+
+    def complete(
+        self,
+        rid: str,
+        status: str,
+        result: SearchResult | None,
+        finish_s: float | None,
+    ) -> None:
+        self._write(
+            {
+                "type": "complete",
+                "rid": rid,
+                "status": status,
+                "result": _encode(result),
+                "finish_s": finish_s,
+            }
+        )
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+@dataclass(frozen=True)
+class JournalCheckpoint:
+    """The latest journalled snapshot of one running request."""
+
+    iterations: int
+    snapshot_blob: bytes
+
+    def snapshot(self) -> EngineSnapshot:
+        return snapshot_from_bytes(self.snapshot_blob)
+
+
+@dataclass(frozen=True)
+class JournalCompletion:
+    """A journalled terminal outcome."""
+
+    status: str
+    result: SearchResult | None
+    finish_s: float | None
+
+
+@dataclass
+class JournalState:
+    """A journal file folded into per-request recovery state."""
+
+    #: Every journalled submission, in first-submission order.
+    requests: dict[str, SearchRequest] = field(default_factory=dict)
+    #: Latest checkpoint per request (only while incomplete).
+    checkpoints: dict[str, JournalCheckpoint] = field(
+        default_factory=dict
+    )
+    #: Terminal outcomes (exactly-once: these never re-run).
+    completions: dict[str, JournalCompletion] = field(
+        default_factory=dict
+    )
+
+    @property
+    def incomplete(self) -> list[str]:
+        """Journalled request ids with no completion record."""
+        return [r for r in self.requests if r not in self.completions]
+
+
+def read_journal(path: str | Path) -> JournalState:
+    """Fold a journal file into its recovery state.
+
+    A truncated trailing line (the crash landed mid-write) is
+    tolerated and ignored; anything else malformed raises.
+    """
+    path = Path(path)
+    state = JournalState()
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise JournalError(f"{path}: empty journal")
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn final write; the prefix is authoritative
+            raise JournalError(
+                f"{path}:{lineno}: malformed journal record"
+            ) from None
+        kind = record.get("type")
+        if lineno == 1:
+            if kind != "header" or record.get("magic") != _MAGIC:
+                raise JournalError(
+                    f"{path} is not a request journal"
+                )
+            version = record.get("format_version")
+            if version != JOURNAL_FORMAT_VERSION:
+                raise JournalError(
+                    f"journal format {version!r} unsupported (this "
+                    f"build reads version {JOURNAL_FORMAT_VERSION})"
+                )
+            continue
+        if kind == "header":
+            continue  # appended re-open; already validated shape
+        rid = record.get("rid")
+        if kind == "submit":
+            if rid not in state.requests:
+                state.requests[rid] = _decode(record["request"])
+        elif kind == "checkpoint":
+            state.checkpoints[rid] = JournalCheckpoint(
+                iterations=int(record["iterations"]),
+                snapshot_blob=base64.b64decode(
+                    record["snapshot"].encode("ascii")
+                ),
+            )
+        elif kind == "complete":
+            state.completions[rid] = JournalCompletion(
+                status=record["status"],
+                result=_decode(record["result"]),
+                finish_s=record["finish_s"],
+            )
+            state.checkpoints.pop(rid, None)
+        else:
+            raise JournalError(
+                f"{path}:{lineno}: unknown record type {kind!r}"
+            )
+    return state

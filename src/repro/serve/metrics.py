@@ -58,6 +58,14 @@ class ServiceReport:
     lost_lanes: int = 0
     retry_overhead_s: float = 0.0
     faults_injected: dict[str, int] = field(default_factory=dict)
+    #: Crash-recovery accounting: requests adopted as already complete
+    #: from the journal, requests resumed from a checkpoint, requests
+    #: restarted from scratch, and engine iterations salvaged from
+    #: checkpoints (work the recovered run did not have to redo).
+    recovered: int = 0
+    resumed: int = 0
+    restarted: int = 0
+    recovered_iterations: int = 0
 
     @property
     def requests_per_s(self) -> float:
@@ -107,6 +115,13 @@ class ServiceReport:
                 rows[f"faults: {kind}"] = [
                     str(self.faults_injected[kind])
                 ]
+        if self.recovered or self.resumed or self.restarted:
+            rows["recovered (adopted)"] = [str(self.recovered)]
+            rows["resumed from checkpoint"] = [str(self.resumed)]
+            rows["restarted from scratch"] = [str(self.restarted)]
+            rows["iterations salvaged"] = [
+                str(self.recovered_iterations)
+            ]
         for track in sorted(self.device_utilization):
             rows[f"{track} utilisation"] = [
                 f"{self.device_utilization[track] * 100:.0f}%"
@@ -129,6 +144,10 @@ def summarize(
     lost_launches: int = 0,
     retry_overhead_s: float = 0.0,
     faults_injected: dict[str, int] | None = None,
+    recovered: int = 0,
+    resumed: int = 0,
+    restarted: int = 0,
+    recovered_iterations: int = 0,
 ) -> ServiceReport:
     """Fold a run's request records into a :class:`ServiceReport`."""
     latencies = [
@@ -150,6 +169,10 @@ def summarize(
         lost_launches=lost_launches,
         retry_overhead_s=retry_overhead_s,
         faults_injected=dict(faults_injected or {}),
+        recovered=recovered,
+        resumed=resumed,
+        restarted=restarted,
+        recovered_iterations=recovered_iterations,
         offered=len(records),
         completed=len(latencies),
         rejected=sum(1 for r in records if r.status == REJECTED),

@@ -42,8 +42,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from pathlib import Path
+
 from repro.core.backend import validate_backend
 from repro.core.base import Engine
+from repro.core.checkpoint import EngineSnapshot, snapshot_bytes
 from repro.core.results import SearchResult
 from repro.core.spec import EngineSpec, make_engine
 from repro.faults import FaultInjector, FaultPlan
@@ -52,6 +55,7 @@ from repro.games.base import Game
 from repro.gpu.device import TESLA_C2050, DeviceSpec
 from repro.gpu.lease import DevicePool
 from repro.gpu.trace import Tracer
+from repro.serve.journal import JournalWriter, read_journal
 from repro.serve.metrics import ServiceReport, summarize
 from repro.serve.resilience import (
     LaunchOutcome,
@@ -98,6 +102,12 @@ class ServiceError(RuntimeError):
     """Raised on invalid service use (submit after run, ...)."""
 
 
+class ServiceCrash(RuntimeError):
+    """The fault plan's scheduled crash fired: the service process is
+    modelled as killed at this point.  The write-ahead journal (if
+    enabled) holds everything needed to :meth:`SearchService.recover`."""
+
+
 class SearchService:
     """Concurrent multi-tenant search over a shared virtual-GPU pool."""
 
@@ -114,11 +124,17 @@ class SearchService:
         faults: FaultPlan | str | None = None,
         retry: RetryPolicy | None = None,
         backend: str = "node",
+        journal: "str | Path | JournalWriter | None" = None,
+        checkpoint_every: int = 50,
     ) -> None:
         if max_active <= 0:
             raise ValueError(f"max_active must be positive: {max_active}")
         if max_queue < 0:
             raise ValueError(f"max_queue cannot be negative: {max_queue}")
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every cannot be negative: {checkpoint_every}"
+            )
         validate_backend(backend)
         if devices is None:
             devices = (TESLA_C2050,) * n_devices
@@ -149,6 +165,23 @@ class SearchService:
         self._records: list[RequestRecord] = []
         self._ran = False
         self._games: dict[str, Game] = {}
+        #: Write-ahead journal: every submission, periodic engine
+        #: checkpoints and every terminal outcome are persisted before
+        #: the service acts on them (see repro.serve.journal).
+        if isinstance(journal, (str, Path)):
+            journal = JournalWriter(journal)
+        self.journal: JournalWriter | None = journal
+        self.checkpoint_every = checkpoint_every
+        #: Request ids already present in the journal file (recovery
+        #: must not re-journal adopted submissions).
+        self._journal_known: set[str] = set()
+        #: Checkpoints to resume from instead of starting fresh.
+        self._resume_snapshots: dict[str, EngineSnapshot] = {}
+        #: Recovery accounting (populated by :meth:`recover`).
+        self.recovered_requests = 0
+        self.resumed_requests = 0
+        self.restarted_requests = 0
+        self.recovered_iterations = 0
 
     # -- submission --------------------------------------------------------
 
@@ -165,6 +198,12 @@ class SearchService:
             )
         record = RequestRecord(request=request, status=PENDING)
         self._records.append(record)
+        if (
+            self.journal is not None
+            and request.request_id not in self._journal_known
+        ):
+            self.journal.submit(request)
+            self._journal_known.add(request.request_id)
         return record
 
     def submit_all(
@@ -203,14 +242,21 @@ class SearchService:
         engine = make_engine(
             spec, game, req.seed, clock=Clock(), **overrides
         )
+        self._install_iteration_hook(req.request_id, engine)
         state = req.state if req.state is not None else game.initial_state()
         slot = _Active(record=record, engine=engine, game=game)
         active[req.request_id] = slot
+        resume_from = self._resume_snapshots.pop(req.request_id, None)
+        if resume_from is not None:
+            engine.restore(resume_from)
         if supports_search_steps(engine):
             before = engine.clock.now
-            still_running = gen_pool.add(
-                req.request_id, engine.search_steps(state, req.budget_s)
+            gen = (
+                engine.resume_steps()
+                if resume_from is not None
+                else engine.search_steps(state, req.budget_s)
             )
+            still_running = gen_pool.add(req.request_id, gen)
             slot.pending_cpu_s = engine.clock.now - before
             if not still_running:
                 # Degenerate zero-playout search: done at activation.
@@ -223,7 +269,11 @@ class SearchService:
             # Direct path: the whole search runs pinned to one pooled
             # device, occupying its stream for the modelled duration
             # (re-placed onto another healthy device if faults strike).
-            result = engine.search(state, req.budget_s)
+            result = (
+                engine.resume()
+                if resume_from is not None
+                else engine.search(state, req.budget_s)
+            )
             slot.result = result
             slot.outcome = self.launcher.launch(
                 req.request_id,
@@ -239,6 +289,44 @@ class SearchService:
                 # report the request degraded instead of failing it.
                 record.degraded = True
 
+    def _install_iteration_hook(self, rid: str, engine: Engine) -> None:
+        """Journal periodic checkpoints and fire the planned crash,
+        both at clean engine iteration boundaries."""
+        checkpointing = (
+            self.journal is not None and self.checkpoint_every > 0
+        )
+        crashing = (
+            self.injector is not None
+            and self.fault_plan.crash is not None
+            and self.fault_plan.crash.site == "iteration"
+        )
+        if not checkpointing and not crashing:
+            return
+
+        def hook(eng: Engine, iterations: int) -> None:
+            if checkpointing and iterations % self.checkpoint_every == 0:
+                self.journal.checkpoint(
+                    rid, iterations, snapshot_bytes(eng.snapshot())
+                )
+            if crashing and self.injector.crash_due(
+                "iteration", iterations
+            ):
+                raise ServiceCrash(
+                    f"planned crash at iteration {iterations} "
+                    f"of request {rid!r}"
+                )
+
+        engine.iteration_hook = hook
+
+    def _journal_terminal(self, record: RequestRecord) -> None:
+        if self.journal is not None:
+            self.journal.complete(
+                record.request.request_id,
+                record.status,
+                record.result,
+                record.finish_s,
+            )
+
     def _finish(
         self,
         record: RequestRecord,
@@ -250,6 +338,7 @@ class SearchService:
         record.result = result
         record.finish_s = self.clock.now
         active.pop(record.request.request_id, None)
+        self._journal_terminal(record)
 
     def _miss(
         self,
@@ -276,9 +365,28 @@ class SearchService:
         if self._ran:
             raise ServiceError("service already ran; build a new one")
         self._ran = True
+        try:
+            return self._run_loop()
+        except BaseException:
+            # A crash -- planned (ServiceCrash) or otherwise -- must
+            # not leave device leases dangling: the host will never
+            # wait on that work again, so resolve every outstanding
+            # lease before propagating.  assert_drained() then holds
+            # for crashed runs too.
+            for lease in self.pool.unresolved_leases:
+                self.pool.abandon(lease)
+            raise
+
+    def _run_loop(self) -> list[RequestRecord]:
+        # Adopted (already-complete) records from a recovered journal
+        # are terminal before the run starts; only pending ones arrive.
         arrivals = deque(
             sorted(
-                range(len(self._records)),
+                (
+                    i
+                    for i in range(len(self._records))
+                    if self._records[i].status == PENDING
+                ),
                 key=lambda i: (self._records[i].request.arrival_s, i),
             )
         )
@@ -309,6 +417,7 @@ class SearchService:
                 else:
                     record.status = REJECTED
                     record.finish_s = now
+                    self._journal_terminal(record)
             while queue and len(active) < self.max_active:
                 record = queue.popleft()
                 deadline = record.request.absolute_deadline_s
@@ -319,6 +428,7 @@ class SearchService:
                 ):
                     record.status = MISSED
                     record.finish_s = now
+                    self._journal_terminal(record)
                     continue
                 self._activate(record, active, gen_pool)
 
@@ -372,6 +482,12 @@ class SearchService:
 
             # --- one merged tick over all generator-driven requests ---
             self.ticks += 1
+            if self.injector is not None and self.injector.crash_due(
+                "tick", self.ticks
+            ):
+                raise ServiceCrash(
+                    f"planned crash at service tick {self.ticks}"
+                )
             per_game_states: dict[str, list] = {}
             spans: dict[str, tuple[str, int, int]] = {}
             for rid in pending:
@@ -448,6 +564,55 @@ class SearchService:
         self.pool.assert_drained()
         return list(self._records)
 
+    # -- crash recovery ----------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls, journal_path: "str | Path", **service_kwargs
+    ) -> "SearchService":
+        """Rebuild a service from a crashed run's write-ahead journal.
+
+        Pass the same construction kwargs as the original service (the
+        journal stores requests and engine checkpoints, not service
+        configuration).  Journalled completions are adopted verbatim
+        and never re-run (exactly-once); incomplete requests are
+        resubmitted, resuming from their latest checkpoint when one
+        was journalled.  The plan's scheduled crash is stripped so the
+        recovered run cannot crash-loop on the same point.
+        """
+        state = read_journal(journal_path)
+        faults = FaultPlan.coerce(service_kwargs.pop("faults", None))
+        if faults is not None:
+            faults = faults.without_crash()
+        service = cls(
+            faults=faults,
+            journal=JournalWriter(journal_path, append=True),
+            **service_kwargs,
+        )
+        service._journal_known = set(state.requests)
+        for rid, request in state.requests.items():
+            completion = state.completions.get(rid)
+            if completion is not None:
+                service._records.append(
+                    RequestRecord(
+                        request=request,
+                        status=completion.status,
+                        result=completion.result,
+                        finish_s=completion.finish_s,
+                    )
+                )
+                service.recovered_requests += 1
+                continue
+            service.submit(request)
+            checkpoint = state.checkpoints.get(rid)
+            if checkpoint is not None:
+                service._resume_snapshots[rid] = checkpoint.snapshot()
+                service.resumed_requests += 1
+                service.recovered_iterations += checkpoint.iterations
+            else:
+                service.restarted_requests += 1
+        return service
+
     # -- reporting ---------------------------------------------------------
 
     @property
@@ -476,6 +641,10 @@ class SearchService:
                 if self.injector is not None
                 else {}
             ),
+            recovered=self.recovered_requests,
+            resumed=self.resumed_requests,
+            restarted=self.restarted_requests,
+            recovered_iterations=self.recovered_iterations,
         )
 
 

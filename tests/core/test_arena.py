@@ -11,10 +11,11 @@ Three layers:
   compacted.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.arena import TreeArena
+from repro.core.arena import ArenaInvariantError, TreeArena
 from repro.core.backend import make_tree
 from repro.core.tree import SearchTree
 from repro.games import TicTacToe, make_game
@@ -208,3 +209,68 @@ def test_multi_tree_lockstep_matches_per_tree_walks(seed):
             lockstep.backprop_winner(int(leaves[t]), winner)
     for t in range(4):
         assert lockstep.root_stats(t) == scalar.root_stats(t)
+
+
+class TestValidateAudit:
+    """The restore-time structural audit: a healthy arena passes, and
+    each class of corruption is caught with a pointed error."""
+
+    def _searched(self, seed=17, iterations=120):
+        arena = make_arena(seed=seed)
+        drive(arena, iterations, seed=seed)
+        return arena
+
+    def test_searched_arena_validates(self):
+        self._searched().validate()
+
+    def test_snapshot_restore_validates(self):
+        arena = self._searched()
+        rebuilt = TreeArena.from_snapshot(GAME, arena.snapshot())
+        rebuilt.validate()
+        sweep_invariants(rebuilt)
+
+    def test_restored_arena_continues_identically(self):
+        arena = self._searched(iterations=60)
+        rebuilt = TreeArena.from_snapshot(GAME, arena.snapshot())
+        drive(arena, 60, seed=99)
+        drive(rebuilt, 60, seed=99)
+        assert list(arena.visits[: arena._allocated]) == list(
+            rebuilt.visits[: rebuilt._allocated]
+        )
+        assert list(arena.wins[: arena._allocated]) == list(
+            rebuilt.wins[: rebuilt._allocated]
+        )
+
+    def test_detects_broken_node_count(self):
+        arena = self._searched()
+        arena.tree_node_count[0] += 1
+        with pytest.raises(ArenaInvariantError, match="BFS reaches"):
+            arena.validate()
+
+    def test_detects_rooted_root(self):
+        arena = self._searched()
+        arena.parent[int(arena.roots[0])] = 0
+        with pytest.raises(ArenaInvariantError, match="has a parent"):
+            arena.validate()
+
+    def test_detects_untried_bookkeeping_drift(self):
+        arena = self._searched()
+        node = next(
+            n
+            for n in range(arena._allocated)
+            if arena.untried_count[n] > 0
+        )
+        arena.untried_count[node] += 1
+        with pytest.raises(ArenaInvariantError, match="untried"):
+            arena.validate()
+
+    def test_detects_mask_order_disagreement(self):
+        arena = self._searched()
+        node = next(
+            n
+            for n in range(arena._allocated)
+            if arena.untried_count[n] > 0
+        )
+        arena.untried_mask[node, :] = 0
+        with pytest.raises(ArenaInvariantError, match="bitmask"):
+            arena.validate()

@@ -89,3 +89,37 @@ class TestRandbelow:
         for _ in range(10):
             seen.update(rng.randbelow(bounds).tolist())
         assert seen == {0, 1, 2, 3, 4, 5}
+
+
+class TestCheckpointState:
+    def test_getstate_setstate_round_trip(self):
+        rng = BatchXorShift128Plus(16, seed=21)
+        rng.random()
+        state = rng.getstate()
+        ahead = rng.random().tolist()
+        rng.setstate(state)
+        assert rng.random().tolist() == ahead
+
+    def test_from_state_resumes_every_lane(self):
+        rng = BatchXorShift128Plus(8, seed=4)
+        rng.random()
+        clone = BatchXorShift128Plus.from_state(rng.getstate())
+        assert clone.n == rng.n
+        assert clone.random().tolist() == rng.random().tolist()
+        assert clone.state_digest() == rng.state_digest()
+
+    def test_state_arrays_are_copies(self):
+        rng = BatchXorShift128Plus(4, seed=9)
+        n, s0, s1 = rng.getstate()
+        digest = rng.state_digest()
+        s0[:] = 0
+        s1[:] = 0
+        assert rng.state_digest() == digest
+
+    def test_setstate_rejects_malformed(self):
+        rng = BatchXorShift128Plus(4, seed=1)
+        n, s0, s1 = rng.getstate()
+        with pytest.raises(ValueError):
+            rng.setstate((0, s0[:0], s1[:0]))
+        with pytest.raises(ValueError):
+            rng.setstate((n, s0[:-1], s1))

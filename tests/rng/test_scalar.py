@@ -97,3 +97,41 @@ class TestHelpers:
         a = rng.fork("a")
         b = rng.fork("b")
         assert a.next_u64() != b.next_u64()
+
+
+class TestCheckpointState:
+    def test_getstate_setstate_round_trip(self):
+        rng = XorShift64Star(21)
+        for _ in range(37):
+            rng.next_u64()
+        state = rng.getstate()
+        ahead = [rng.next_u64() for _ in range(16)]
+        rng.setstate(state)
+        assert [rng.next_u64() for _ in range(16)] == ahead
+
+    def test_from_state_resumes_the_stream(self):
+        rng = XorShift64Star(8)
+        rng.random()
+        clone = XorShift64Star.from_state(rng.getstate())
+        assert [clone.next_u64() for _ in range(8)] == [
+            rng.next_u64() for _ in range(8)
+        ]
+
+    def test_state_is_plain_data(self):
+        state = XorShift64Star(3).getstate()
+        assert isinstance(state, int)
+
+    def test_setstate_rejects_out_of_range(self):
+        rng = XorShift64Star(1)
+        with pytest.raises(ValueError):
+            rng.setstate(-1)
+        with pytest.raises(ValueError):
+            rng.setstate(2**64)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_state_round_trip_any_seed(seed):
+    rng = XorShift64Star(seed)
+    rng.next_u64()
+    clone = XorShift64Star.from_state(rng.getstate())
+    assert clone.next_u64() == rng.next_u64()

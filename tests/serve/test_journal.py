@@ -1,0 +1,320 @@
+"""Write-ahead journal and service crash-recovery tests."""
+
+import json
+
+import pytest
+
+from repro.serve import (
+    COMPLETED,
+    JournalError,
+    JournalWriter,
+    SearchRequest,
+    SearchService,
+    ServiceCrash,
+    read_journal,
+)
+
+BUDGET = 4e-4
+
+
+def request(i, engine="sequential", **kwargs):
+    defaults = dict(
+        request_id=f"r{i}",
+        game="tictactoe",
+        engine=engine,
+        budget_s=BUDGET,
+        seed=100 + i,
+    )
+    defaults.update(kwargs)
+    return SearchRequest(**defaults)
+
+
+def mixed_requests():
+    return [
+        request(i, engine=eng)
+        for i, eng in enumerate(
+            ["sequential", "root:2", "tree:2@arena", "sequential@arena"]
+        )
+    ]
+
+
+def crash_run(path, faults, checkpoint_every=5, reqs=None):
+    """Run a journalled service into its planned crash."""
+    service = SearchService(
+        seed=5,
+        n_devices=2,
+        journal=path,
+        checkpoint_every=checkpoint_every,
+        faults=faults,
+    )
+    service.submit_all(reqs if reqs is not None else mixed_requests())
+    with pytest.raises(ServiceCrash):
+        service.run()
+    return service
+
+
+class TestJournalFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        writer = JournalWriter(path)
+        reqs = mixed_requests()
+        for req in reqs:
+            writer.submit(req)
+        writer.checkpoint("r1", 10, b"snapshot-bytes")
+        writer.checkpoint("r1", 20, b"later-snapshot")
+        writer.complete("r0", COMPLETED, None, 1.5)
+        writer.close()
+
+        state = read_journal(path)
+        assert list(state.requests) == [r.request_id for r in reqs]
+        assert state.requests["r2"] == reqs[2]
+        # Latest checkpoint wins; completed requests drop theirs.
+        assert state.checkpoints["r1"].iterations == 20
+        assert state.checkpoints["r1"].snapshot_blob == b"later-snapshot"
+        assert state.completions["r0"].status == COMPLETED
+        assert state.completions["r0"].finish_s == 1.5
+        assert state.incomplete == ["r1", "r2", "r3"]
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        writer = JournalWriter(path)
+        writer.submit(request(0))
+        writer.close()
+        with open(path, "a") as fh:
+            fh.write('{"type": "complete", "rid": "r0", "sta')
+
+        state = read_journal(path)
+        assert list(state.requests) == ["r0"]
+        assert state.completions == {}
+
+    def test_torn_middle_line_rejected(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        writer = JournalWriter(path)
+        writer.submit(request(0))
+        writer.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, '{"type": "subm')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="malformed"):
+            read_journal(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "notes.jsonl"
+        path.write_text(json.dumps({"type": "header"}) + "\n")
+        with pytest.raises(JournalError, match="not a request journal"):
+            read_journal(path)
+        path.write_text("")
+        with pytest.raises(JournalError, match="empty"):
+            read_journal(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        JournalWriter(path).close()
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"type": "mystery", "rid": "r0"}) + "\n")
+        with pytest.raises(JournalError, match="mystery"):
+            read_journal(path)
+
+    def test_append_reopen_keeps_single_logical_stream(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        writer = JournalWriter(path)
+        writer.submit(request(0))
+        writer.close()
+        resumed = JournalWriter(path, append=True)
+        resumed.complete("r0", COMPLETED, None, 2.0)
+        resumed.close()
+        state = read_journal(path)
+        assert state.incomplete == []
+        assert state.completions["r0"].finish_s == 2.0
+
+
+@pytest.mark.faults
+class TestCrashRecovery:
+    def test_tick_crash_then_recover_completes_exactly_once(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal.jsonl"
+        crashed = crash_run(path, faults="crash=tick:20")
+        pre_crash = {
+            r.request.request_id: r.result
+            for r in crashed._records
+            if r.status == COMPLETED
+        }
+
+        recovered = SearchService.recover(
+            path,
+            seed=5,
+            n_devices=2,
+            checkpoint_every=5,
+            faults="crash=tick:20",  # stripped on recovery
+        )
+        records = recovered.run()
+        assert [r.status for r in records].count(COMPLETED) == len(
+            records
+        )
+        # Every journalled request finished exactly once: the journal
+        # now holds one completion per submission, and any request
+        # completed before the crash kept its original result.
+        state = read_journal(path)
+        assert set(state.completions) == set(state.requests)
+        for rid, result in pre_crash.items():
+            adopted = next(
+                r
+                for r in records
+                if r.request.request_id == rid
+            )
+            assert adopted.result == result
+
+        report = recovered.report()
+        assert report.recovered == len(pre_crash)
+        assert report.resumed + report.restarted == len(records) - len(
+            pre_crash
+        )
+        assert "resumed from checkpoint" in report.render()
+
+    def test_late_crash_resumes_from_checkpoints(self, tmp_path):
+        """With checkpoints journalled before the crash, recovery must
+        salvage them instead of restarting from scratch."""
+        path = tmp_path / "journal.jsonl"
+        crash_run(path, faults="crash=tick:20")
+        state = read_journal(path)
+        assert state.checkpoints  # the crash landed after checkpoints
+
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        report = recovered.report()
+        assert report.resumed == len(state.checkpoints)
+        assert report.recovered_iterations == sum(
+            c.iterations for c in state.checkpoints.values()
+        )
+        assert report.recovered_iterations > 0
+
+    def test_iteration_site_crash_recovers(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        crashed = crash_run(path, faults="crash=iter:12")
+        assert crashed.injector.counters["crash"] == 1
+
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        state = read_journal(path)
+        assert set(state.completions) == set(state.requests)
+
+    def test_early_crash_restarts_from_scratch(self, tmp_path):
+        """A crash before any checkpoint leaves only submissions: every
+        incomplete request restarts and still completes."""
+        path = tmp_path / "journal.jsonl"
+        crash_run(path, faults="crash=tick:2", checkpoint_every=50)
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=50
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        report = recovered.report()
+        assert report.resumed == 0
+        assert report.restarted > 0
+
+    def test_crash_drains_device_leases(self, tmp_path):
+        """Regression: a crash (or any exception) escaping mid-run must
+        not leak device leases -- ``assert_drained`` holds after."""
+        path = tmp_path / "journal.jsonl"
+        crashed = crash_run(path, faults="crash=iter:12")
+        crashed.pool.assert_drained()
+        crashed = crash_run(
+            tmp_path / "j2.jsonl", faults="crash=tick:20"
+        )
+        crashed.pool.assert_drained()
+
+    def test_generic_midrun_exception_drains_leases(self, monkeypatch):
+        service = SearchService(seed=3, n_devices=2)
+        service.submit_all(mixed_requests())
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("launch blew up mid-run")
+
+        monkeypatch.setattr(service, "_finish", boom)
+        with pytest.raises(RuntimeError, match="mid-run"):
+            service.run()
+        service.pool.assert_drained()
+
+    def test_recovered_service_journals_its_own_completions(
+        self, tmp_path
+    ):
+        """A second crash during recovery is itself recoverable."""
+        path = tmp_path / "journal.jsonl"
+        crash_run(path, faults="crash=tick:6")
+        second = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        # recover() strips planned crashes from the fault plan, so the
+        # second outage is an unplanned exception after one completion.
+        original_finish = second._finish
+        finished = []
+
+        def finish_once_then_die(record, *args, **kwargs):
+            original_finish(record, *args, **kwargs)
+            finished.append(record)
+            raise RuntimeError("second outage")
+
+        second._finish = finish_once_then_die
+        with pytest.raises(RuntimeError, match="second outage"):
+            second.run()
+        assert finished  # the completion was journalled pre-outage
+        third = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = third.run()
+        assert all(r.status == COMPLETED for r in records)
+        state = read_journal(path)
+        assert set(state.completions) == set(state.requests)
+
+
+class TestJournalledRunWithoutCrash:
+    def test_journal_records_every_outcome(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        service = SearchService(
+            seed=5, n_devices=2, journal=path, checkpoint_every=5
+        )
+        service.submit_all(mixed_requests())
+        records = service.run()
+        assert all(r.status == COMPLETED for r in records)
+        state = read_journal(path)
+        assert set(state.completions) == set(state.requests)
+        assert state.checkpoints == {}  # completions supersede them
+        for record in records:
+            completion = state.completions[record.request.request_id]
+            assert completion.result == record.result
+
+    def test_journalling_does_not_change_results(self, tmp_path):
+        plain = SearchService(seed=5, n_devices=2)
+        plain.submit_all(mixed_requests())
+        base = plain.run()
+
+        journalled = SearchService(
+            seed=5,
+            n_devices=2,
+            journal=tmp_path / "journal.jsonl",
+            checkpoint_every=5,
+        )
+        journalled.submit_all(mixed_requests())
+        observed = journalled.run()
+        for a, b in zip(base, observed):
+            assert a.status == b.status
+            assert a.result.move == b.result.move
+            assert a.result.stats == b.result.stats
+            assert a.finish_s == b.finish_s
+
+    def test_checkpoint_every_zero_disables_checkpoints(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        service = SearchService(
+            seed=5, n_devices=2, journal=path, checkpoint_every=0
+        )
+        service.submit_all([request(0), request(1)])
+        service.run()
+        text = path.read_text()
+        assert '"type": "checkpoint"' not in text

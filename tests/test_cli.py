@@ -107,3 +107,48 @@ class TestCommands:
         assert "offered load: 4" in out
         assert "requests/s" in out
         assert trace.exists()
+
+    @pytest.mark.faults
+    def test_serve_bench_crash_then_resume(self, capsys, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        common = [
+            "serve-bench",
+            "--loads",
+            "8",
+            "--devices",
+            "2",
+            "--budget-scale",
+            "0.25",
+            "--journal",
+            str(journal),
+            "--checkpoint-every",
+            "5",
+        ]
+        code = main(common + ["--faults", "crash=tick:20"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "service crashed" in out
+        assert journal.exists()
+
+        code = main(common + ["--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovered (adopted)" in out
+        assert "resumed from checkpoint" in out
+
+    def test_serve_bench_resume_requires_journal(self, capsys):
+        assert main(["serve-bench", "--resume"]) == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_serve_bench_journal_single_load_only(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve-bench",
+                "--loads",
+                "4,8",
+                "--journal",
+                str(tmp_path / "j.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "single" in capsys.readouterr().err
