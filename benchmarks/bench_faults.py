@@ -29,6 +29,8 @@ import tempfile
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+import pytest
+
 from repro.faults import FaultPlan
 from repro.harness.common import resolve_tier
 from repro.serve import (
@@ -268,6 +270,262 @@ def render_mttr_sweep(outcomes) -> str:
     )
 
 
+# ---------------------------------------------------------------------------
+# Silent-data-corruption: detection sweep + defended/undefended differential
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CorruptBenchConfig:
+    """Service-level corruption sweep: detection and quarantine rates."""
+
+    n_requests: int = 48
+    corrupt_rates: tuple[float, ...] = (0.01, 0.05, 0.2)
+    mode: str = "bitflip"
+    budget_scale: float = 1.0
+    n_devices: int = 4
+    max_active: int = 64
+    seed: int = 2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "CorruptBenchConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return CorruptBenchConfig(
+                n_requests=24, budget_scale=0.25
+            )
+        if tier == "full":
+            return CorruptBenchConfig(
+                budget_scale=2.0,
+                corrupt_rates=(0.01, 0.02, 0.05, 0.1, 0.2, 0.4),
+            )
+        return CorruptBenchConfig()
+
+
+def run_with_corruption(
+    cfg: CorruptBenchConfig, rate: float, defenses: bool = True
+):
+    """Serve the mixed workload under a ``corrupt=rate:mode`` plan."""
+    from repro.integrity import IntegrityPolicy
+
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=cfg.n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=None,
+        )
+    )
+    service = SearchService(
+        n_devices=cfg.n_devices,
+        max_active=cfg.max_active,
+        seed=cfg.seed,
+        faults=f"corrupt={rate}:{cfg.mode},seed=7",
+        integrity=None if defenses else IntegrityPolicy.disabled(),
+    )
+    service.submit_all(workload)
+    records = service.run()
+    return records, service.report()
+
+
+def detection_rate(report) -> float:
+    """Detected over all corruptions that actually fired."""
+    fired = report.corrupt_detected + report.corrupt_escaped
+    if fired == 0:
+        return 1.0
+    return report.corrupt_detected / fired
+
+
+def run_corrupt_sweep(cfg: CorruptBenchConfig):
+    """Corruption rate -> ServiceReport, over ``cfg.corrupt_rates``."""
+    return {
+        rate: run_with_corruption(cfg, rate)[1]
+        for rate in cfg.corrupt_rates
+    }
+
+
+def render_corrupt_sweep(reports) -> str:
+    from repro.util.tables import format_series
+
+    rates = sorted(reports)
+    return format_series(
+        "corrupt rate",
+        [f"{r:g}" for r in rates],
+        {
+            "detected": [
+                str(reports[r].corrupt_detected) for r in rates
+            ],
+            "escaped": [
+                str(reports[r].corrupt_escaped) for r in rates
+            ],
+            "detection": [
+                f"{detection_rate(reports[r]) * 100:.1f}%"
+                for r in rates
+            ],
+            "rejected": [
+                str(reports[r].rejected_results) for r in rates
+            ],
+            "dropped": [
+                str(reports[r].dropped_batches) for r in rates
+            ],
+            "quarantined": [
+                str(reports[r].quarantined_trees) for r in rates
+            ],
+            "completion": [
+                f"{reports[r].completion_rate * 100:.0f}%"
+                for r in rates
+            ],
+        },
+        title="corruption sweep (bitflip readbacks, defended service)",
+    )
+
+
+@dataclass(frozen=True)
+class DifferentialConfig:
+    """Move-match differential: corrupted search vs fault-free truth.
+
+    For each seeded reversi position the fault-free engine's chosen
+    move is the reference; the same engine searched under the
+    corruption plan must agree on at least :attr:`match_floor` of
+    positions *with* defenses, and measurably fewer without (phantom
+    wins flow straight into the root vote when nothing audits them).
+    """
+
+    n_positions: int = 12
+    plies: int = 4
+    budget_s: float = 0.015
+    engine: str = "block:64x4"
+    game: str = "reversi"
+    plan: str = "corrupt=0.05:bitflip,poison=tree:0,seed=7"
+    #: Win-ratio vote: the paper's alternative final-move rule, and
+    #: the one silent phantom wins can actually swing.
+    final_policy: str = "max_ratio"
+    match_floor: float = 0.9
+    seed: int = 2011
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "DifferentialConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            return DifferentialConfig(n_positions=6, budget_s=0.01)
+        if tier == "full":
+            return DifferentialConfig(n_positions=24)
+        return DifferentialConfig()
+
+
+def _seeded_position(game, cfg: DifferentialConfig, i: int):
+    """Deterministic early-game position: ``plies`` pseudo-random
+    moves from the initial state (counter-hash indexed, no RNG
+    object)."""
+    from repro.util.seeding import derive_seed
+
+    state = game.initial_state()
+    for ply in range(cfg.plies):
+        moves = game.legal_moves(state)
+        if not moves or game.is_terminal(state):
+            break
+        pick = derive_seed(cfg.seed, "diffpos", i, ply) % len(moves)
+        state = game.apply(state, moves[pick])
+    return state
+
+
+def _search_move(
+    game, cfg: DifferentialConfig, i: int, state, plan, defenses
+):
+    from repro.core import make_engine
+    from repro.faults import FaultInjector
+    from repro.integrity import IntegrityPolicy
+    from repro.util.clock import Clock
+
+    kwargs = {}
+    if plan is not None:
+        kwargs["injector"] = FaultInjector(FaultPlan.parse(plan))
+        if not defenses:
+            kwargs["integrity"] = IntegrityPolicy.disabled()
+    engine = make_engine(
+        cfg.engine,
+        game,
+        seed=derive_seed_for_position(cfg.seed, i),
+        clock=Clock(),
+        final_policy=cfg.final_policy,
+        **kwargs,
+    )
+    return engine.search(state, cfg.budget_s)
+
+
+def derive_seed_for_position(seed: int, i: int) -> int:
+    from repro.util.seeding import derive_seed
+
+    return derive_seed(seed, "diffeng", i)
+
+
+@dataclass(frozen=True)
+class DifferentialOutcome:
+    matches_defended: int
+    matches_undefended: int
+    n_positions: int
+    quarantines: int
+
+    @property
+    def defended_rate(self) -> float:
+        return self.matches_defended / self.n_positions
+
+    @property
+    def undefended_rate(self) -> float:
+        return self.matches_undefended / self.n_positions
+
+
+def run_move_differential(
+    cfg: DifferentialConfig,
+) -> DifferentialOutcome:
+    """Fault-free reference vs corrupted search, with and without the
+    integrity defenses, over the seeded positions."""
+    from repro.games import make_game
+
+    game = make_game(cfg.game)
+    defended = undefended = quarantines = 0
+    for i in range(cfg.n_positions):
+        state = _seeded_position(game, cfg, i)
+        reference = _search_move(game, cfg, i, state, None, True).move
+        shielded = _search_move(game, cfg, i, state, cfg.plan, True)
+        exposed = _search_move(game, cfg, i, state, cfg.plan, False)
+        defended += shielded.move == reference
+        undefended += exposed.move == reference
+        quarantines += len(
+            shielded.integrity.get("quarantined_trees", ())
+        )
+    return DifferentialOutcome(
+        matches_defended=defended,
+        matches_undefended=undefended,
+        n_positions=cfg.n_positions,
+        quarantines=quarantines,
+    )
+
+
+def render_differential(
+    cfg: DifferentialConfig, outcome: DifferentialOutcome
+) -> str:
+    from repro.util.tables import format_series
+
+    return format_series(
+        "search",
+        ["defended", "undefended"],
+        {
+            "move matches": [
+                f"{outcome.matches_defended}/{outcome.n_positions}",
+                f"{outcome.matches_undefended}/{outcome.n_positions}",
+            ],
+            "match rate": [
+                f"{outcome.defended_rate * 100:.0f}%",
+                f"{outcome.undefended_rate * 100:.0f}%",
+            ],
+        },
+        title=(
+            f"move-match differential ({cfg.engine} {cfg.game}, "
+            f"{cfg.plan})"
+        ),
+    )
+
+
 def test_ten_percent_faults_complete_without_errors(run_once):
     cfg = FaultBenchConfig.for_tier()
     _, report = run_once(run_with_faults, cfg)
@@ -327,6 +585,44 @@ def test_fault_sweep_degrades_gracefully(run_once):
     assert injected == sorted(injected)
 
 
+@pytest.mark.integrity
+def test_corrupt_bitflips_always_detected(run_once):
+    cfg = CorruptBenchConfig.for_tier()
+    reports = run_once(run_corrupt_sweep, cfg)
+    print()
+    print(render_corrupt_sweep(reports))
+    for rate, report in reports.items():
+        assert report.completion_rate == 1.0, (
+            f"errors at corrupt rate {rate}"
+        )
+        assert detection_rate(report) >= 0.99, (
+            f"detection below gate at corrupt rate {rate}"
+        )
+    assert reports[0.05].corrupt_detected > 0
+
+
+@pytest.mark.integrity
+def test_defenses_off_lets_corruption_escape(run_once):
+    cfg = CorruptBenchConfig.for_tier()
+    _, report = run_once(
+        run_with_corruption, cfg, 0.2, defenses=False
+    )
+    assert report.corrupt_detected == 0
+    assert report.rejected_results == 0
+    assert report.corrupt_escaped > 0
+
+
+@pytest.mark.integrity
+def test_move_differential_defends_the_vote(run_once):
+    cfg = DifferentialConfig.for_tier()
+    outcome = run_once(run_move_differential, cfg)
+    print()
+    print(render_differential(cfg, outcome))
+    assert outcome.defended_rate >= cfg.match_floor
+    assert outcome.matches_undefended < outcome.matches_defended
+    assert outcome.quarantines > 0
+
+
 def test_crash_recovery_completes_every_request(run_once, tmp_path):
     cfg = CrashBenchConfig.for_tier()
     outcome = run_once(
@@ -362,11 +658,15 @@ def _main(argv) -> int:  # pragma: no cover
     if smoke:
         fault_cfg = FaultBenchConfig.for_tier("quick")
         crash_cfg = CrashBenchConfig.for_tier("quick")
+        corrupt_cfg = CorruptBenchConfig.for_tier("quick")
+        diff_cfg = DifferentialConfig.for_tier("quick")
     else:
         fault_cfg = replace(
             FaultBenchConfig.for_tier(), budget_scale=1.0
         )
         crash_cfg = CrashBenchConfig.for_tier()
+        corrupt_cfg = CorruptBenchConfig.for_tier()
+        diff_cfg = DifferentialConfig.for_tier()
     _, report = run_with_faults(fault_cfg)
     print("10% per-launch fault mix:")
     print(report.render())
@@ -383,8 +683,30 @@ def _main(argv) -> int:  # pragma: no cover
     if incomplete:
         print(f"FAIL: requests lost at intervals {incomplete}")
         return 1
+
+    print()
+    corrupt_reports = run_corrupt_sweep(corrupt_cfg)
+    print(render_corrupt_sweep(corrupt_reports))
+    gate = detection_rate(corrupt_reports[0.05])
+    if gate < 0.99:
+        print(
+            f"FAIL: detection {gate:.3f} < 0.99 at corrupt=0.05:bitflip"
+        )
+        return 1
+    print()
+    differential = run_move_differential(diff_cfg)
+    print(render_differential(diff_cfg, differential))
+    if differential.defended_rate < diff_cfg.match_floor:
+        print(
+            f"FAIL: defended move match {differential.defended_rate:.2f}"
+            f" below the {diff_cfg.match_floor:.0%} floor"
+        )
+        return 1
     if smoke:
-        print("smoke OK: crash recovery completed every request")
+        print(
+            "smoke OK: crash recovery completed every request; "
+            f"corruption detection {gate:.1%} at corrupt=0.05:bitflip"
+        )
     return 0
 
 

@@ -115,6 +115,11 @@ def _cmd_serve_bench(args) -> int:
     for load in args.loads:
         profiler = Profiler() if args.profile else NULL_PROFILER
         with profiler.phase("build_workload"):
+            integrity = None
+            if args.no_defenses:
+                from repro.integrity import IntegrityPolicy
+
+                integrity = IntegrityPolicy.disabled()
             service_kwargs = dict(
                 n_devices=args.devices,
                 max_active=args.max_active,
@@ -122,6 +127,7 @@ def _cmd_serve_bench(args) -> int:
                 tracer=tracer,
                 faults=args.faults,
                 backend=args.backend,
+                integrity=integrity,
             )
             if args.resume:
                 # Requests (and any checkpoints) come from the journal;
@@ -284,7 +290,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         help=(
             "inject deterministic faults, e.g. "
-            "'launch=0.1,lost=0.05,stall=0.02x8,outage=1@0.5+0.2,seed=7'"
+            "'launch=0.1,lost=0.05,stall=0.02x8,outage=1@0.5+0.2,"
+            "corrupt=0.05:bitflip,disk=0.1,seed=7'"
+        ),
+    )
+    bench.add_argument(
+        "--no-defenses",
+        action="store_true",
+        help=(
+            "disable the integrity defenses (result validation, tree "
+            "audits, quarantine) -- corruption flows through unchecked; "
+            "for measuring what the defenses buy"
         ),
     )
     bench.add_argument(

@@ -74,6 +74,10 @@ from repro.core.tree import (
     SearchTree,
     aggregate_stat_dicts,
     aggregate_stats,
+    majority_vote_stat_dicts,
+    majority_vote_stats,
+    trimmed_vote_stat_dicts,
+    trimmed_vote_stats,
 )
 from repro.core.tree_parallel import TreeParallelMcts
 
@@ -97,6 +101,10 @@ __all__ = [
     "Node",
     "aggregate_stats",
     "aggregate_stat_dicts",
+    "majority_vote_stats",
+    "majority_vote_stat_dicts",
+    "trimmed_vote_stats",
+    "trimmed_vote_stat_dicts",
     "select_move",
     "SELECTION_RULES",
     "validate_selection_rule",

@@ -576,6 +576,30 @@ class TreeArena:
             [self.root_stats(t) for t in range(self.n_trees)]
         )
 
+    def poison_root(self, t: int, bonus: float) -> bool:
+        """Write ``bonus`` phantom wins straight into tree ``t``'s
+        most-visited root child, *bypassing backprop* -- the
+        ``poison=tree:K`` corruption fault.  Only a direct write like
+        this can break the win-bound invariant :meth:`validate`
+        checks; anything routed through backprop stays
+        self-consistent.  Returns False before the root has
+        children."""
+        root = int(self.roots[t])
+        start = int(self.child_start[root])
+        if start < 0:
+            return False
+        count = int(self.child_count[root])
+        victim = max(
+            range(start, start + count),
+            key=lambda c: (
+                float(self.visits[c]),
+                float(self.wins[c]),
+                -int(self.move[c]),
+            ),
+        )
+        self.wins[victim] += bonus
+        return True
+
     def node_count(self, t: int) -> int:
         return int(self.tree_node_count[t])
 
@@ -670,7 +694,7 @@ class TreeArena:
         ).copy()
         return arena
 
-    def validate(self) -> None:
+    def validate(self, trees=None) -> None:
         """Audit the arena's structural invariants; raises
         ``ArenaInvariantError`` on the first violation.
 
@@ -684,9 +708,13 @@ class TreeArena:
         least the sum of child visits), and per-tree node counts match
         a BFS of each root.  Called after every restore and by the
         differential tests.
+
+        ``trees`` restricts the audit to the given tree indices --
+        how the integrity layer amortises a full sweep to one tree per
+        audit point; None (the default) validates every tree.
         """
         n = self._allocated
-        for t in range(self.n_trees):
+        for t in range(self.n_trees) if trees is None else trees:
             root = int(self.roots[t])
             if not 0 <= root < n:
                 raise ArenaInvariantError(

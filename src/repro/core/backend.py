@@ -21,16 +21,19 @@ the serving layer.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.arena import TreeArena
+from repro.core.arena import ArenaInvariantError, TreeArena
 from repro.core.tree import (
     SearchTree,
     aggregate_stat_dicts,
     majority_vote_stat_dicts,
+    trimmed_vote_stat_dicts,
 )
+from repro.integrity.audit import audit_root_stats
 from repro.games.base import Game, GameState
 from repro.rng import XorShift64Star
 
@@ -200,15 +203,73 @@ class NodeForest:
     def root_stats(self, i: int) -> dict[int, tuple[float, float]]:
         return self.trees[i].root_stats()
 
-    def aggregate_stats(self) -> dict[int, tuple[float, float]]:
-        return aggregate_stat_dicts(
-            [t.root_stats() for t in self.trees]
+    def aggregate_stats(self, indices=None) -> dict[int, tuple[float, float]]:
+        which = self.trees if indices is None else [
+            self.trees[i] for i in indices
+        ]
+        return aggregate_stat_dicts([t.root_stats() for t in which])
+
+    def majority_vote_stats(
+        self, indices=None
+    ) -> dict[int, tuple[float, float]]:
+        which = self.trees if indices is None else [
+            self.trees[i] for i in indices
+        ]
+        return majority_vote_stat_dicts([t.root_stats() for t in which])
+
+    def trimmed_vote_stats(
+        self, indices=None, trim: float = 0.2
+    ) -> dict[int, tuple[float, float]]:
+        which = self.trees if indices is None else [
+            self.trees[i] for i in indices
+        ]
+        return trimmed_vote_stat_dicts(
+            [t.root_stats() for t in which], trim=trim
         )
 
-    def majority_vote_stats(self) -> dict[int, tuple[float, float]]:
-        return majority_vote_stat_dicts(
-            [t.root_stats() for t in self.trees]
+    def poison_root(self, i: int, bonus: float) -> bool:
+        """Write ``bonus`` phantom wins straight into tree ``i``'s
+        most-visited root child, *bypassing backprop* -- the
+        ``poison=tree:K`` fault.  Backprop-mediated corruption always
+        leaves a tree self-consistent; only a direct write like this
+        can break the win-bound invariant the audit checks.  Returns
+        False before the root has any children."""
+        root = self.trees[i].root
+        if not root.children:
+            return False
+        victim = max(
+            root.children,
+            key=lambda c: (c.visits, c.wins, -c.move),
         )
+        victim.wins += bonus
+        return True
+
+    def audit_tree(self, i: int, legal_moves=None) -> str | None:
+        """Walk tree ``i`` checking the statistics invariants every
+        clean tree satisfies: finite, non-negative visits; wins within
+        ``[0, visits]``; parent visits at least the sum of child visits
+        (visit conservation).  Returns a violation description, or
+        None."""
+        tree = self.trees[i]
+        for node in tree.iter_nodes():
+            v, w = node.visits, node.wins
+            if not (math.isfinite(v) and math.isfinite(w)):
+                return f"node for move {node.move}: non-finite statistics"
+            if v < 0:
+                return f"node for move {node.move}: negative visits {v}"
+            if w < -1e-9 or w > v + 1e-9:
+                return (
+                    f"node for move {node.move}: wins {w} outside "
+                    f"[0, visits={v}]"
+                )
+            if node.children:
+                child_visits = sum(c.visits for c in node.children)
+                if v + 1e-9 < child_visits:
+                    return (
+                        f"node for move {node.move}: visits {v} < sum "
+                        f"of child visits {child_visits}"
+                    )
+        return audit_root_stats(tree.root_stats(), legal_moves)
 
     def max_depth(self) -> int:
         return max(t.max_depth for t in self.trees)
@@ -297,11 +358,43 @@ class ArenaForest:
     def root_stats(self, i: int) -> dict[int, tuple[float, float]]:
         return self.arena.root_stats(i)
 
-    def aggregate_stats(self) -> dict[int, tuple[float, float]]:
-        return self.arena.aggregate_stats()
+    def aggregate_stats(self, indices=None) -> dict[int, tuple[float, float]]:
+        if indices is None:
+            return self.arena.aggregate_stats()
+        return aggregate_stat_dicts(
+            [self.arena.root_stats(i) for i in indices]
+        )
 
-    def majority_vote_stats(self) -> dict[int, tuple[float, float]]:
-        return self.arena.majority_vote_stats()
+    def majority_vote_stats(
+        self, indices=None
+    ) -> dict[int, tuple[float, float]]:
+        if indices is None:
+            return self.arena.majority_vote_stats()
+        return majority_vote_stat_dicts(
+            [self.arena.root_stats(i) for i in indices]
+        )
+
+    def trimmed_vote_stats(
+        self, indices=None, trim: float = 0.2
+    ) -> dict[int, tuple[float, float]]:
+        which = range(self.n_trees) if indices is None else indices
+        return trimmed_vote_stat_dicts(
+            [self.arena.root_stats(i) for i in which], trim=trim
+        )
+
+    def poison_root(self, i: int, bonus: float) -> bool:
+        """See :meth:`NodeForest.poison_root`."""
+        return self.arena.poison_root(i, bonus)
+
+    def audit_tree(self, i: int, legal_moves=None) -> str | None:
+        """Audit tree ``i``: the arena's full structural validation
+        (visit conservation, win bounds, span bookkeeping) restricted
+        to that tree, plus the backend-neutral root-stats checks."""
+        try:
+            self.arena.validate(trees=(i,))
+        except ArenaInvariantError as exc:
+            return str(exc)
+        return audit_root_stats(self.arena.root_stats(i), legal_moves)
 
     def max_depth(self) -> int:
         return int(self.arena.tree_max_depth.max())

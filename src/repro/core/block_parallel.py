@@ -11,9 +11,20 @@ per tree, and the final move is the root-parallel vote over all trees.
 The scheme combines leaf parallelism's sample width with root
 parallelism's independent exploration, with zero inter-block
 communication -- which is exactly why it maps onto SIMT hardware.
+
+With a :class:`~repro.faults.FaultInjector` attached, every kernel
+readback is screened at the host boundary (see
+:mod:`repro.integrity`): rejected results are retried by re-running the
+kernel (the GPU's lane RNGs have advanced, so the retry is fresh work,
+and its playouts are charged), then degraded to a neutral all-draws
+batch; the ``poison=tree:K`` fault and the amortised per-tree audit /
+quarantine run at iteration boundaries.  Without an injector none of
+these paths execute and the engine is bit-identical to before.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.core.backend import restore_forest
 from repro.core.base import Engine
@@ -22,7 +33,11 @@ from repro.core.results import SearchResult
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
+from repro.integrity.engine import IntegrityState
 from repro.util.seeding import derive_seed
+
+#: Root-vote modes shared by the multi-tree engines.
+VOTE_MODES = ("sum", "majority", "trimmed")
 
 
 class BlockParallelMcts(Engine):
@@ -39,12 +54,16 @@ class BlockParallelMcts(Engine):
         device=TESLA_C2050,
         cost_model=XEON_X5670,
         vote: str = "sum",
+        injector=None,
+        integrity=None,
         **kwargs,
     ) -> None:
-        if vote not in ("sum", "majority"):
+        if vote not in VOTE_MODES:
             raise ValueError(f"unknown vote mode {vote!r}")
         super().__init__(game, seed, cost_model=cost_model, **kwargs)
         self.vote = vote
+        self.injector = injector
+        self.integrity = integrity
         self.config = LaunchConfig(blocks, threads_per_block)
         self.config.validate(device)
         self.gpu = VirtualGpu(
@@ -62,8 +81,21 @@ class BlockParallelMcts(Engine):
             "budget_s": budget_s,
             "iterations": 0,
             "simulations": 0,
+            "integrity": self._make_integrity(blocks),
         }
         return self._session_run()
+
+    def _make_integrity(self, n_trees: int) -> "IntegrityState | None":
+        if self.injector is None:
+            return None
+        return IntegrityState(self.integrity, self.injector, n_trees)
+
+    def _vote_stats(self, forest, keep):
+        if self.vote == "majority":
+            return forest.majority_vote_stats(keep)
+        if self.vote == "trimmed":
+            return forest.trimmed_vote_stats(keep)
+        return None  # sum: reuse the aggregate
 
     def _session_run(self) -> SearchResult:
         live = self._live
@@ -72,6 +104,7 @@ class BlockParallelMcts(Engine):
         blocks = self.config.blocks
         tpb = self.config.threads_per_block
         prof = self.profiler
+        guard = live["integrity"]
         # tree_control_time is a pure function of depth; memoising it
         # repeats the exact same floats, so clock accumulation (and
         # therefore every budget decision) is unchanged -- including
@@ -97,22 +130,33 @@ class BlockParallelMcts(Engine):
                         t = control_cache[depth] = control_time(depth)
                     advance(t)
             with prof.phase("playout"):
-                result = self.gpu.run_playouts(
-                    [forest.state_of(leaf) for leaf in leaves],
-                    self.config,
-                )
+                states = [forest.state_of(leaf) for leaf in leaves]
+                if guard is None:
+                    result = self.gpu.run_playouts(states, self.config)
+                    winners = result.winners
+                    live["simulations"] += result.playouts
+                else:
+                    winners = self._screened_winners(states, live, guard)
             with prof.phase("backprop"):
-                per_block = result.winners.reshape(blocks, tpb)
+                per_block = winners.reshape(blocks, tpb)
                 forest.backprop_block(leaves, tpb, per_block)
             live["iterations"] += 1
-            live["simulations"] += result.playouts
+            if guard is not None:
+                guard.poison(forest, float(tpb))
+                guard.audit(forest, live["iterations"])
             self._after_iteration(live["iterations"])
-        stats = forest.aggregate_stats()
-        voted = (
-            forest.majority_vote_stats()
-            if self.vote == "majority"
-            else stats
-        )
+        if guard is not None:
+            guard.final_sweep(forest)
+        keep = guard.keep_indices() if guard is not None else None
+        stats = forest.aggregate_stats(keep)
+        voted = self._vote_stats(forest, keep) or stats
+        extras = {
+            "kernels": self.gpu.stats.kernels_launched,
+            "per_tree_depth": forest.per_tree_depth(),
+            "per_tree_nodes": forest.per_tree_nodes(),
+        }
+        if guard is not None:
+            extras["integrity"] = guard.extras()
         result = SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
@@ -122,20 +166,38 @@ class BlockParallelMcts(Engine):
             tree_nodes=forest.node_count(),
             elapsed_s=self.clock.now - live["start_s"],
             trees=blocks,
-            extras={
-                "kernels": self.gpu.stats.kernels_launched,
-                "per_tree_depth": forest.per_tree_depth(),
-                "per_tree_nodes": forest.per_tree_nodes(),
-            },
+            extras=extras,
         )
         self._live = None
         return result
+
+    def _screened_winners(
+        self, states, live: dict, guard: IntegrityState
+    ) -> np.ndarray:
+        """Run the kernel, screen its readback, and retry rejects.
+
+        Each retry re-runs the kernel -- the device RNGs have
+        advanced, so it is fresh (charged) work.  When the retry
+        budget runs out the batch degrades to all-draws, exactly the
+        dropped-playout-batch model the serving layer uses for lost
+        results.
+        """
+        blocks = self.config.blocks
+        tpb = self.config.threads_per_block
+        for attempt in range(guard.policy.max_result_retries + 1):
+            result = self.gpu.run_playouts(states, self.config)
+            live["simulations"] += result.playouts
+            winners, ok = guard.screen_block(result.winners, blocks, tpb)
+            if ok:
+                return winners
+        guard.give_up()
+        return np.zeros(blocks * tpb, dtype=np.int8)
 
     # -- checkpointing -------------------------------------------------------
 
     def _snapshot_payload(self) -> dict:
         live = self._live
-        return {
+        payload = {
             "forest": live["forest"].snapshot(),
             "start_s": live["start_s"],
             "budget_s": live["budget_s"],
@@ -143,13 +205,20 @@ class BlockParallelMcts(Engine):
             "simulations": live["simulations"],
             "gpu": self.gpu.getstate(),
         }
+        if live.get("integrity") is not None:
+            payload["integrity"] = live["integrity"].getstate()
+        return payload
 
     def _restore_payload(self, payload: dict) -> dict:
         self.gpu.setstate(payload["gpu"])
+        guard = self._make_integrity(self.config.blocks)
+        if guard is not None and "integrity" in payload:
+            guard.setstate(payload["integrity"])
         return {
             "forest": restore_forest(self.game, payload["forest"]),
             "start_s": payload["start_s"],
             "budget_s": payload["budget_s"],
             "iterations": payload["iterations"],
             "simulations": payload["simulations"],
+            "integrity": guard,
         }

@@ -39,6 +39,7 @@ class MultiGpuMcts(Engine):
         network=TSUBAME_IB,
         cost_model=XEON_X5670,
         injector=None,
+        integrity=None,
         **kwargs,
     ) -> None:
         if n_gpus <= 0:
@@ -50,8 +51,11 @@ class MultiGpuMcts(Engine):
         self.device = device
         self.network = network
         #: Optional :class:`~repro.faults.FaultInjector`: per-rank vote
-        #: contributions may be dropped in the final reductions.
+        #: contributions may be dropped in the final reductions, and it
+        #: is forwarded to every rank-local block-parallel engine so
+        #: kernel-readback corruption / poison / audits apply there too.
         self.injector = injector
+        self.integrity = integrity
         self._engine_kwargs = kwargs
 
     def _make_cluster(self) -> MpiCluster:
@@ -76,6 +80,8 @@ class MultiGpuMcts(Engine):
             max_iterations=self.max_iterations,
             selection_rule=self.selection_rule,
             backend=self.backend,
+            injector=self.injector,
+            integrity=self.integrity,
         )
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
@@ -159,6 +165,17 @@ class MultiGpuMcts(Engine):
                 "dropped_messages": cluster.dropped,
             },
         )
+        if self.injector is not None:
+            merged: dict = {}
+            for rank, r in enumerate(rank_results):
+                for key, value in r.extras.get("integrity", {}).items():
+                    if key == "quarantined_trees":
+                        merged.setdefault(key, []).extend(
+                            rank * self.blocks + t for t in value
+                        )
+                    else:
+                        merged[key] = merged.get(key, 0) + value
+            result.extras["integrity"] = merged
         self._live = None
         return result
 

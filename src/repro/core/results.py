@@ -31,6 +31,13 @@ class SearchResult:
     def root_visits(self) -> float:
         return sum(v for v, _ in self.stats.values())
 
+    @property
+    def integrity(self) -> dict:
+        """Integrity-defense counters (corruption detection /
+        quarantine / escapes), present when the engine searched under
+        fault injection; empty otherwise."""
+        return self.extras.get("integrity", {})
+
     def visit_share(self, move: int) -> float:
         """Fraction of root visits that went to ``move``."""
         total = self.root_visits

@@ -20,7 +20,10 @@ from repro.core.base import BatchExecutor, Engine, SearchGenerator, drive_search
 from repro.core.policy import select_move
 from repro.core.results import SearchResult
 from repro.games.base import GameState
+from repro.integrity.engine import IntegrityState
 from repro.util.seeding import derive_seed
+
+VOTE_MODES = ("sum", "majority", "trimmed")
 
 
 class RootParallelMcts(Engine):
@@ -29,15 +32,24 @@ class RootParallelMcts(Engine):
     name = "root_parallel"
 
     def __init__(
-        self, game, seed, n_trees: int, vote: str = "sum", **kwargs
+        self,
+        game,
+        seed,
+        n_trees: int,
+        vote: str = "sum",
+        injector=None,
+        integrity=None,
+        **kwargs,
     ) -> None:
         if n_trees <= 0:
             raise ValueError(f"n_trees must be positive: {n_trees}")
-        if vote not in ("sum", "majority"):
+        if vote not in VOTE_MODES:
             raise ValueError(f"unknown vote mode {vote!r}")
         super().__init__(game, seed, **kwargs)
         self.n_trees = n_trees
         self.vote = vote
+        self.injector = injector
+        self.integrity = integrity
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         executor = BatchExecutor(
@@ -61,6 +73,11 @@ class RootParallelMcts(Engine):
             "iterations": 0,
             "simulations": 0,
             "executor": self._take_pending_executor(),
+            "integrity": (
+                IntegrityState(self.integrity, self.injector, self.n_trees)
+                if self.injector is not None
+                else None
+            ),
         }
         return self._session_steps()
 
@@ -73,6 +90,12 @@ class RootParallelMcts(Engine):
         cap = self._iteration_cap()
         iterations = live["iterations"]
         simulations = live["simulations"]
+        guard = live.get("integrity")
+        # Screen playout answers only when this engine drives its own
+        # executor; externally-driven sessions (the service) are
+        # screened once at the merged-launch readback by the lane
+        # batcher -- screening here too would double-draw corruption.
+        screen = guard if live.get("executor") is not None else None
 
         while True:
             active = [
@@ -102,6 +125,10 @@ class RootParallelMcts(Engine):
                     pending.append((i, node, depth))
             if requests:
                 results = yield requests
+                if screen is not None:
+                    results = yield from self._screen_results(
+                        requests, results, screen
+                    )
                 for (i, node, depth), (winner, plies) in zip(
                     pending, results
                 ):
@@ -112,16 +139,29 @@ class RootParallelMcts(Engine):
                     simulations += 1
             live["iterations"] = iterations
             live["simulations"] = simulations
+            if guard is not None:
+                guard.poison(forest, 1.0)
+                guard.audit(forest, iterations)
             self._after_iteration(iterations)
 
         # Wall time of the parallel search = the slowest core.
         self.clock.advance(max(core_time))
-        stats = forest.aggregate_stats()
-        voted = (
-            forest.majority_vote_stats()
-            if self.vote == "majority"
-            else stats
-        )
+        if guard is not None:
+            guard.final_sweep(forest)
+        keep = guard.keep_indices() if guard is not None else None
+        stats = forest.aggregate_stats(keep)
+        if self.vote == "majority":
+            voted = forest.majority_vote_stats(keep)
+        elif self.vote == "trimmed":
+            voted = forest.trimmed_vote_stats(keep)
+        else:
+            voted = stats
+        extras = {
+            "per_tree_depth": forest.per_tree_depth(),
+            "per_tree_nodes": forest.per_tree_nodes(),
+        }
+        if guard is not None:
+            extras["integrity"] = guard.extras()
         result = SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
@@ -131,19 +171,30 @@ class RootParallelMcts(Engine):
             tree_nodes=forest.node_count(),
             elapsed_s=max(core_time),
             trees=self.n_trees,
-            extras={
-                "per_tree_depth": forest.per_tree_depth(),
-                "per_tree_nodes": forest.per_tree_nodes(),
-            },
+            extras=extras,
         )
         self._live = None
         return result
+
+    def _screen_results(self, requests, results, guard):
+        """Screen one round's playout answers; rejected batches are
+        re-requested from the driver (fresh executor draws) up to the
+        policy's retry budget, then degraded to neutral ``(0, 0)``
+        answers -- the dropped-playout-batch model."""
+        for attempt in range(guard.policy.max_result_retries + 1):
+            results, ok = guard.screen_answers(list(results))
+            if ok:
+                return results
+            if attempt < guard.policy.max_result_retries:
+                results = yield requests
+        guard.give_up()
+        return [(0, 0)] * len(requests)
 
     # -- checkpointing -------------------------------------------------------
 
     def _snapshot_payload(self) -> dict:
         live = self._live
-        return {
+        payload = {
             "forest": live["forest"].snapshot(),
             "core_time": list(live["core_time"]),
             "per_tree_iters": list(live["per_tree_iters"]),
@@ -152,8 +203,18 @@ class RootParallelMcts(Engine):
             "simulations": live["simulations"],
             "executor": self._executor_state(live["executor"]),
         }
+        if live.get("integrity") is not None:
+            payload["integrity"] = live["integrity"].getstate()
+        return payload
 
     def _restore_payload(self, payload: dict) -> dict:
+        guard = None
+        if self.injector is not None:
+            guard = IntegrityState(
+                self.integrity, self.injector, self.n_trees
+            )
+            if "integrity" in payload:
+                guard.setstate(payload["integrity"])
         return {
             "forest": restore_forest(self.game, payload["forest"]),
             "core_time": list(payload["core_time"]),
@@ -162,4 +223,5 @@ class RootParallelMcts(Engine):
             "iterations": payload["iterations"],
             "simulations": payload["simulations"],
             "executor": self._restore_executor(payload["executor"]),
+            "integrity": guard,
         }

@@ -386,6 +386,62 @@ def majority_vote_stat_dicts(
     return {m: (v, w) for m, (v, w) in ballots.items()}
 
 
+def trimmed_vote_stat_dicts(
+    per_tree: "list[dict[int, tuple[float, float]]]",
+    trim: float = 0.2,
+) -> dict[int, tuple[float, float]]:
+    """Byzantine-tolerant vote: a trimmed mean over per-tree shares.
+
+    Each tree's root statistics are normalised to *shares* of its own
+    total root visits (a tree that searched twice as long does not get
+    twice the say, and a poisoned tree cannot buy weight with phantom
+    mass).  Per move, the per-tree visit shares -- counting 0 for trees
+    that never tried the move -- are sorted and the ``trim`` fraction
+    is dropped from *each* end before averaging; win shares get the
+    same treatment.  A single corrupted tree's inflated share lands in
+    the trimmed tail, so with ``trim=0.2`` the vote tolerates up to 20%
+    arbitrarily-Byzantine trees.  The means are scaled back by the
+    ensemble's total visits so magnitudes stay comparable to the
+    ``sum`` vote.  Trees with empty stats or zero root visits abstain.
+    """
+    if not 0.0 <= trim < 0.5:
+        raise ValueError(f"trim fraction must be in [0, 0.5): {trim}")
+    shares: list[tuple[dict[int, float], dict[int, float]]] = []
+    total_visits = 0.0
+    moves: list[int] = []
+    seen: set[int] = set()
+    for stats in per_tree:
+        tree_total = sum(v for v, _ in stats.values())
+        if not stats or tree_total <= 0:
+            continue
+        total_visits += tree_total
+        shares.append(
+            (
+                {m: v / tree_total for m, (v, _) in stats.items()},
+                {m: w / tree_total for m, (_, w) in stats.items()},
+            )
+        )
+        for m in stats:
+            if m not in seen:
+                seen.add(m)
+                moves.append(m)
+    if not shares:
+        return {}
+    n = len(shares)
+    k = int(n * trim)
+    lo, hi = (k, n - k) if 2 * k < n else (0, n)
+    out: dict[int, tuple[float, float]] = {}
+    for m in moves:
+        vs = sorted(s[0].get(m, 0.0) for s in shares)
+        ws = sorted(s[1].get(m, 0.0) for s in shares)
+        span = hi - lo
+        out[m] = (
+            sum(vs[lo:hi]) / span * total_visits,
+            sum(ws[lo:hi]) / span * total_visits,
+        )
+    return out
+
+
 def aggregate_stats(
     trees: "list[SearchTree]",
 ) -> dict[int, tuple[float, float]]:
@@ -404,4 +460,15 @@ def majority_vote_stats(
     plurality voting."""
     return majority_vote_stat_dicts(
         [tree.root_stats() for tree in trees]
+    )
+
+
+def trimmed_vote_stats(
+    trees: "list[SearchTree]",
+    trim: float = 0.2,
+) -> dict[int, tuple[float, float]]:
+    """Byzantine-tolerant root vote over whole trees; see
+    :func:`trimmed_vote_stat_dicts`."""
+    return trimmed_vote_stat_dicts(
+        [tree.root_stats() for tree in trees], trim=trim
     )

@@ -21,16 +21,21 @@ the serving layer, and how to write a fault-injection test.
 """
 
 from repro.faults.injector import (
+    Corruption,
     Fault,
     FaultInjector,
+    KIND_CORRUPT_RESULT,
     KIND_CRASH,
+    KIND_DISK_CORRUPT,
     KIND_LAUNCH_FAIL,
     KIND_LOST_RESULT,
     KIND_MPI_DROP,
     KIND_OUTAGE,
+    KIND_POISON,
     KIND_STALL,
 )
 from repro.faults.plan import (
+    CORRUPT_MODES,
     CRASH_SITES,
     CrashPoint,
     DeviceOutage,
@@ -39,17 +44,22 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CORRUPT_MODES",
     "CRASH_SITES",
+    "Corruption",
     "CrashPoint",
     "DeviceOutage",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "KIND_CORRUPT_RESULT",
     "KIND_CRASH",
+    "KIND_DISK_CORRUPT",
     "KIND_LAUNCH_FAIL",
     "KIND_LOST_RESULT",
     "KIND_MPI_DROP",
     "KIND_OUTAGE",
+    "KIND_POISON",
     "KIND_STALL",
 ]

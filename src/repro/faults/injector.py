@@ -27,6 +27,9 @@ KIND_STALL = "stall"
 KIND_OUTAGE = "outage"
 KIND_MPI_DROP = "mpi_drop"
 KIND_CRASH = "crash"
+KIND_CORRUPT_RESULT = "corrupt_result"
+KIND_POISON = "poison"
+KIND_DISK_CORRUPT = "disk_corrupt"
 
 _SCALE = float(2**64)
 
@@ -40,6 +43,21 @@ class Fault:
     factor: float = 1.0
 
 
+@dataclass(frozen=True)
+class Corruption:
+    """One silent-data-corruption decision for a kernel readback.
+
+    ``lane`` picks the victim value in the flat result batch; ``salt``
+    is a deterministic 64-bit payload the corruption applicators use to
+    choose which bit flips / which lane to swap with.  How the modes
+    mangle results lives in :mod:`repro.integrity.corruption`.
+    """
+
+    mode: str
+    lane: int
+    salt: int
+
+
 class FaultInjector:
     """Turns a :class:`FaultPlan` into per-event fault decisions."""
 
@@ -47,6 +65,8 @@ class FaultInjector:
         self.plan = plan
         self._launch_draws = 0
         self._mpi_draws = 0
+        self._corrupt_draws = 0
+        self._disk_draws = 0
         self.counters: dict[str, int] = {
             KIND_LAUNCH_FAIL: 0,
             KIND_LOST_RESULT: 0,
@@ -54,6 +74,9 @@ class FaultInjector:
             KIND_OUTAGE: 0,
             KIND_MPI_DROP: 0,
             KIND_CRASH: 0,
+            KIND_CORRUPT_RESULT: 0,
+            KIND_POISON: 0,
+            KIND_DISK_CORRUPT: 0,
         }
         self._crashed = False
 
@@ -104,6 +127,55 @@ class FaultInjector:
             self.counters[KIND_STALL] += 1
             return Fault(KIND_STALL, factor=plan.stall_factor)
         return None
+
+    # -- silent data corruption --------------------------------------------
+
+    def result_corruption(self, lanes: int) -> Corruption | None:
+        """The corruption (if any) afflicting one kernel readback of
+        ``lanes`` result values.  One counter draw per readback on its
+        own tag, so adding corruption to a plan cannot shift which
+        launches fail -- and a zero ``corrupt`` rate consumes no draws
+        at all (the bit-identity guarantee)."""
+        if not self.plan.corrupt_rate or lanes <= 0:
+            return None
+        self._corrupt_draws += 1
+        n = self._corrupt_draws
+        if self._uniform("corrupt", n) >= self.plan.corrupt_rate:
+            return None
+        self.counters[KIND_CORRUPT_RESULT] += 1
+        seed = self.plan.seed
+        return Corruption(
+            mode=self.plan.corrupt_mode,
+            lane=derive_seed(seed, "corrupt_lane", n) % lanes,
+            salt=derive_seed(seed, "corrupt_salt", n),
+        )
+
+    @property
+    def poison_tree(self) -> int | None:
+        """Index of the tree scheduled to accumulate biased stats, or
+        None.  Scheduled (not probabilistic): consumes no draws."""
+        return self.plan.poison_tree
+
+    def poison_applied(self) -> None:
+        """Record one application of the scheduled tree poison."""
+        self.counters[KIND_POISON] += 1
+
+    def disk_corruption(self, n_bytes: int) -> tuple[int, int] | None:
+        """The on-disk byte flip (if any) afflicting one persistence
+        write of ``n_bytes``.  Returns ``(offset, xor_mask)`` with a
+        non-zero single-bit mask, or None.  Own tag and counter, same
+        zero-rate/zero-draw guarantee as the other families."""
+        if not self.plan.disk_corrupt_rate or n_bytes <= 0:
+            return None
+        self._disk_draws += 1
+        n = self._disk_draws
+        if self._uniform("disk", n) >= self.plan.disk_corrupt_rate:
+            return None
+        self.counters[KIND_DISK_CORRUPT] += 1
+        seed = self.plan.seed
+        offset = derive_seed(seed, "disk_offset", n) % n_bytes
+        mask = 1 << (derive_seed(seed, "disk_bit", n) % 8)
+        return offset, mask
 
     # -- scheduled crashes -------------------------------------------------
 

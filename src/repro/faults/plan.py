@@ -10,15 +10,27 @@ compact string grammar for the CLI (``serve-bench --faults ...``)::
     outage=1@0.5+0.2      device 1 is down from t=0.5s for 0.2s
                           (repeatable for multiple windows)
     drop=0.01             1% of MPI rank contributions are dropped
+    corrupt=0.05          5% of kernel readbacks are silently
+                          corrupted (default mode: bitflip)
+    corrupt=0.05:nan      ... with an explicit corruption mode
+                          (bitflip | nan | negative | overflow |
+                          moveswap)
+    poison=tree:3         tree 3 accumulates biased statistics
+                          (phantom wins written straight into its
+                          root stats every iteration)
+    disk=0.02             2% of journal record writes land on disk
+                          with one byte flipped
     crash=tick:40         kill the whole service at its 40th scheduler
                           tick (``crash=40`` is shorthand)
     crash=iter:500        kill the service when any engine completes
                           its 500th search iteration
     seed=7                the injection seed
 
-Entries are comma-separated; unknown keys are rejected.  A plan with
-every rate at zero, no outages and no crash injects nothing, and the
-serving stack is bit-identical to running without a plan at all.
+Entries are comma-separated; unknown keys are rejected, and so are
+duplicate keys (``outage`` excepted -- it is repeatable by design).
+A plan with every rate at zero, no outages, no poison and no crash
+injects nothing, and the serving stack is bit-identical to running
+without a plan at all.
 """
 
 from __future__ import annotations
@@ -62,6 +74,15 @@ class DeviceOutage:
 
 #: Where a planned crash can trigger.
 CRASH_SITES = ("tick", "iteration")
+
+#: How a corrupted kernel readback is mangled.  ``bitflip`` XORs a bit
+#: into one winner value, ``nan`` replaces one with NaN, ``negative``
+#: and ``overflow`` write out-of-range counts -- all four violate the
+#: host-boundary result contract and are *detectable*.  ``moveswap``
+#: swaps two lanes' (valid) results, misattributing them -- it passes
+#: per-value validation and is only caught by the ensemble defenses
+#: (audit / quarantine / trimmed vote).
+CORRUPT_MODES = ("bitflip", "nan", "negative", "overflow", "moveswap")
 
 
 @dataclass(frozen=True)
@@ -113,6 +134,16 @@ class FaultPlan:
     stall_factor: float = 8.0
     #: Probability one rank's contribution to an MPI reduction is lost.
     mpi_drop_rate: float = 0.0
+    #: Probability a kernel readback is silently corrupted (see
+    #: :data:`CORRUPT_MODES` for what :attr:`corrupt_mode` does to it).
+    corrupt_rate: float = 0.0
+    corrupt_mode: str = "bitflip"
+    #: Index of one tree that accumulates biased statistics (phantom
+    #: wins written directly into its root stats), or None.
+    poison_tree: int | None = None
+    #: Probability a journal record write lands on disk with one byte
+    #: flipped (checkpoint/journal persistence corruption).
+    disk_corrupt_rate: float = 0.0
     #: Scheduled whole-device outage windows.
     outages: tuple[DeviceOutage, ...] = field(default_factory=tuple)
     #: Optional scheduled whole-service crash (see :class:`CrashPoint`).
@@ -125,6 +156,17 @@ class FaultPlan:
         _check_rate("lost_result_rate", self.lost_result_rate)
         _check_rate("stall_rate", self.stall_rate)
         _check_rate("mpi_drop_rate", self.mpi_drop_rate)
+        _check_rate("corrupt_rate", self.corrupt_rate)
+        _check_rate("disk_corrupt_rate", self.disk_corrupt_rate)
+        if self.corrupt_mode not in CORRUPT_MODES:
+            raise FaultPlanError(
+                f"unknown corrupt mode {self.corrupt_mode!r}; "
+                f"known: {CORRUPT_MODES}"
+            )
+        if self.poison_tree is not None and self.poison_tree < 0:
+            raise FaultPlanError(
+                f"poison tree index cannot be negative: {self.poison_tree}"
+            )
         total = (
             self.launch_fail_rate + self.lost_result_rate + self.stall_rate
         )
@@ -144,6 +186,9 @@ class FaultPlan:
             or self.lost_result_rate
             or self.stall_rate
             or self.mpi_drop_rate
+            or self.corrupt_rate
+            or self.poison_tree is not None
+            or self.disk_corrupt_rate
             or self.outages
             or self.crash
         )
@@ -166,6 +211,8 @@ class FaultPlan:
             lost_result_rate=min(1.0, self.lost_result_rate * scale),
             stall_rate=min(1.0, self.stall_rate * scale),
             mpi_drop_rate=min(1.0, self.mpi_drop_rate * scale),
+            corrupt_rate=min(1.0, self.corrupt_rate * scale),
+            disk_corrupt_rate=min(1.0, self.disk_corrupt_rate * scale),
         )
 
     @staticmethod
@@ -175,6 +222,7 @@ class FaultPlan:
             raise FaultPlanError(f"empty fault plan spec: {text!r}")
         kwargs: dict = {}
         outages: list[DeviceOutage] = []
+        seen: set[str] = set()
         for raw in text.split(","):
             entry = raw.strip()
             if not entry:
@@ -186,6 +234,13 @@ class FaultPlan:
                 )
             key = key.strip()
             value = value.strip()
+            # Last-wins would silently mask a typo'd plan; only outage
+            # is repeatable (multiple windows).
+            if key in seen and key != "outage":
+                raise FaultPlanError(
+                    f"duplicate fault plan key {key!r} in {text!r}"
+                )
+            seen.add(key)
             try:
                 if key == "launch":
                     kwargs["launch_fail_rate"] = float(value)
@@ -198,6 +253,20 @@ class FaultPlan:
                         kwargs["stall_factor"] = float(factor)
                 elif key == "drop":
                     kwargs["mpi_drop_rate"] = float(value)
+                elif key == "corrupt":
+                    rate, _, mode = value.partition(":")
+                    kwargs["corrupt_rate"] = float(rate)
+                    if mode:
+                        kwargs["corrupt_mode"] = mode.strip()
+                elif key == "poison":
+                    target, sep2, index = value.partition(":")
+                    if target.strip() != "tree" or not sep2:
+                        raise FaultPlanError(
+                            f"poison spec {value!r} must be tree:K"
+                        )
+                    kwargs["poison_tree"] = int(index)
+                elif key == "disk":
+                    kwargs["disk_corrupt_rate"] = float(value)
                 elif key == "crash":
                     kwargs["crash"] = CrashPoint.parse(value)
                 elif key == "seed":
@@ -217,7 +286,7 @@ class FaultPlan:
                     raise FaultPlanError(
                         f"unknown fault plan key {key!r} in {text!r}; "
                         "known: launch, lost, stall, outage, drop, "
-                        "crash, seed"
+                        "corrupt, poison, disk, crash, seed"
                     )
             except FaultPlanError:
                 raise

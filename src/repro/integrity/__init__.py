@@ -1,0 +1,52 @@
+"""Silent-data-corruption defense for the parallel MCTS stack.
+
+The fail-stop fault model (launch failures, stalls, lost results,
+outages, crashes) assumes a kernel either delivers correct results or
+delivers nothing.  At the paper's TSUBAME scale that assumption breaks:
+soft errors, bit flips and stale readbacks return *garbage* that, left
+unchecked, is backpropagated into a tree and summed straight into the
+root vote.  This package is the defense-in-depth layer against exactly
+that:
+
+* **Host-boundary validation** (:mod:`repro.integrity.corruption`) --
+  every kernel result is checked against the result contract (finite,
+  winners in ``{-1, 0, 1}``, playout lengths bounded) before it can
+  touch a tree; rejects are retried like lost results.
+* **Live audits + quarantine** (:mod:`repro.integrity.audit`) -- an
+  amortised round-robin audit of per-tree invariants (win bounds,
+  visit conservation via the backend walk) catches corruption that got
+  past the boundary or bypassed it entirely (the ``poison=tree:K``
+  fault); trees that fail are quarantined out of the aggregation.
+* **Byzantine-tolerant voting** -- the ``vote="trimmed"`` mode (in
+  :mod:`repro.core.tree`) rejects per-tree outliers before combining,
+  so even an *undetected* poisoned tree cannot swing the root vote.
+* **Checksummed persistence** -- CRC envelopes on checkpoints
+  (:mod:`repro.core.checkpoint`) and journal records
+  (:mod:`repro.serve.journal`) turn on-disk corruption into detected,
+  counted restarts instead of adopted poisoned state.
+
+See docs/integrity.md for the full design and threat model.
+"""
+
+from repro.integrity.audit import IntegrityPolicy, audit_root_stats
+from repro.integrity.engine import IntegrityState
+from repro.integrity.corruption import (
+    MAX_PLIES,
+    WINNER_DOMAIN,
+    apply_answer_corruption,
+    apply_block_corruption,
+    validate_answers,
+    validate_winners,
+)
+
+__all__ = [
+    "IntegrityPolicy",
+    "IntegrityState",
+    "MAX_PLIES",
+    "WINNER_DOMAIN",
+    "apply_answer_corruption",
+    "apply_block_corruption",
+    "audit_root_stats",
+    "validate_answers",
+    "validate_winners",
+]

@@ -18,6 +18,16 @@ file into a :class:`JournalState`; :meth:`SearchService.recover
 <repro.serve.service.SearchService.recover>` turns that into a new
 service that finishes the interrupted work exactly once.
 
+Since format version 2 every record carries a CRC of its own payload,
+so :func:`read_journal` detects corruption *anywhere* in the file --
+not just a torn final line.  Corrupt or torn records are skipped and
+counted (:attr:`JournalState.corrupt_records`), never raised: a
+request whose checkpoint record rotted simply recovers from an earlier
+checkpoint or restarts from scratch, with the damage visible in the
+recovery accounting.  Only the header line stays strict -- a file
+whose first line is not a valid journal header is foreign, not
+corrupt.
+
 Results and snapshots are pickled (they contain game states and numpy
 arrays); the journal is therefore a trusted-local-file format, same as
 the checkpoint files in :mod:`repro.core.checkpoint`.
@@ -28,6 +38,7 @@ from __future__ import annotations
 import base64
 import json
 import pickle
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,7 +47,11 @@ from repro.core.results import SearchResult
 from repro.serve.request import SearchRequest
 
 #: Bump on any incompatible change to the journal record layout.
-JOURNAL_FORMAT_VERSION = 1
+#: Version 2 adds a per-record CRC; version-1 files still read.
+JOURNAL_FORMAT_VERSION = 2
+
+#: Format versions :func:`read_journal` accepts.
+_READABLE_VERSIONS = (1, 2)
 
 _MAGIC = "repro-mcts-journal"
 
@@ -55,11 +70,31 @@ def _decode(text: str):
     return pickle.loads(base64.b64decode(text.encode("ascii")))
 
 
-class JournalWriter:
-    """Append-only, per-record-flushed journal emitter."""
+def _record_crc(record: dict) -> int:
+    """CRC of a record's canonical JSON, sans its own ``crc`` field."""
+    return zlib.crc32(
+        json.dumps(record, sort_keys=True).encode("utf-8")
+    )
 
-    def __init__(self, path: str | Path, append: bool = False) -> None:
+
+class JournalWriter:
+    """Append-only, per-record-flushed journal emitter.
+
+    With a :class:`~repro.faults.FaultInjector` attached, record
+    writes are subject to the plan's ``disk=`` corruption rate: one
+    byte of the serialised line may land on disk flipped (the header
+    line is exempt -- a rotten header is a foreign file, a different
+    failure class than a rotten record).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        append: bool = False,
+        injector=None,
+    ) -> None:
         self.path = Path(path)
+        self.injector = injector
         fresh = not (append and self.path.exists())
         self._fh = open(self.path, "a" if append else "w")
         if fresh or self.path.stat().st_size == 0:
@@ -72,7 +107,16 @@ class JournalWriter:
             )
 
     def _write(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        record["crc"] = _record_crc(record)
+        line = json.dumps(record, sort_keys=True)
+        if self.injector is not None and record["type"] != "header":
+            flip = self.injector.disk_corruption(len(line))
+            if flip is not None:
+                offset, mask = flip
+                raw = bytearray(line.encode("utf-8"))
+                raw[offset % len(raw)] ^= mask
+                line = raw.decode("utf-8", errors="replace")
+        self._fh.write(line + "\n")
         # A crash can land between any two records; flushing per line
         # keeps the journal prefix-consistent.
         self._fh.flush()
@@ -156,6 +200,9 @@ class JournalState:
     completions: dict[str, JournalCompletion] = field(
         default_factory=dict
     )
+    #: Torn or corrupt records skipped while reading (CRC mismatches,
+    #: unparsable lines, unknown record types).
+    corrupt_records: int = 0
 
     @property
     def incomplete(self) -> list[str]:
@@ -166,26 +213,41 @@ class JournalState:
 def read_journal(path: str | Path) -> JournalState:
     """Fold a journal file into its recovery state.
 
-    A truncated trailing line (the crash landed mid-write) is
-    tolerated and ignored; anything else malformed raises.
+    Torn or corrupt records *anywhere* in the file (unparsable JSON,
+    CRC mismatch, unknown type) are skipped and counted in
+    :attr:`JournalState.corrupt_records` -- the readable records are
+    authoritative.  Only the header line is strict: a file that does
+    not start with a valid header of a readable format version raises
+    :class:`JournalError` (it is foreign, not corrupt).
     """
     path = Path(path)
     state = JournalState()
-    with open(path) as fh:
+    # Corruption on disk can leave bytes that are not valid UTF-8;
+    # replacement characters make the damaged record fail its JSON
+    # parse or CRC check instead of crashing the read.
+    with open(path, encoding="utf-8", errors="replace") as fh:
         lines = fh.read().splitlines()
     if not lines:
         raise JournalError(f"{path}: empty journal")
+    version = JOURNAL_FORMAT_VERSION
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
             record = json.loads(line)
         except json.JSONDecodeError:
-            if lineno == len(lines):
-                break  # torn final write; the prefix is authoritative
-            raise JournalError(
-                f"{path}:{lineno}: malformed journal record"
-            ) from None
+            if lineno == 1:
+                raise JournalError(
+                    f"{path} is not a request journal"
+                ) from None
+            state.corrupt_records += 1
+            continue
+        if not isinstance(record, dict):
+            if lineno == 1:
+                raise JournalError(f"{path} is not a request journal")
+            state.corrupt_records += 1
+            continue
+        stored_crc = record.pop("crc", None)
         kind = record.get("type")
         if lineno == 1:
             if kind != "header" or record.get("magic") != _MAGIC:
@@ -193,11 +255,18 @@ def read_journal(path: str | Path) -> JournalState:
                     f"{path} is not a request journal"
                 )
             version = record.get("format_version")
-            if version != JOURNAL_FORMAT_VERSION:
+            if version not in _READABLE_VERSIONS:
                 raise JournalError(
                     f"journal format {version!r} unsupported (this "
-                    f"build reads version {JOURNAL_FORMAT_VERSION})"
+                    f"build reads versions {_READABLE_VERSIONS})"
                 )
+            if version >= 2 and stored_crc != _record_crc(record):
+                raise JournalError(
+                    f"{path}: corrupt journal header"
+                )
+            continue
+        if version >= 2 and stored_crc != _record_crc(record):
+            state.corrupt_records += 1
             continue
         if kind == "header":
             continue  # appended re-open; already validated shape
@@ -220,7 +289,5 @@ def read_journal(path: str | Path) -> JournalState:
             )
             state.checkpoints.pop(rid, None)
         else:
-            raise JournalError(
-                f"{path}:{lineno}: unknown record type {kind!r}"
-            )
+            state.corrupt_records += 1
     return state

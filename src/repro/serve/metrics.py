@@ -66,6 +66,19 @@ class ServiceReport:
     resumed: int = 0
     restarted: int = 0
     recovered_iterations: int = 0
+    #: Integrity accounting: corrupt results detected (and rejected)
+    #: at the host boundary, corruptions that escaped validation,
+    #: launcher deliveries rejected by screening, batches degraded to
+    #: neutral after the reject-retry budget, trees quarantined by the
+    #: live audit, and persistence corruption caught by checksums
+    #: (journal records skipped, checkpoints refused at recovery).
+    corrupt_detected: int = 0
+    corrupt_escaped: int = 0
+    rejected_results: int = 0
+    dropped_batches: int = 0
+    quarantined_trees: int = 0
+    journal_corrupt: int = 0
+    checkpoint_corrupt: int = 0
 
     @property
     def requests_per_s(self) -> float:
@@ -115,6 +128,26 @@ class ServiceReport:
                 rows[f"faults: {kind}"] = [
                     str(self.faults_injected[kind])
                 ]
+        if (
+            self.corrupt_detected
+            or self.corrupt_escaped
+            or self.rejected_results
+            or self.dropped_batches
+            or self.quarantined_trees
+            or self.journal_corrupt
+            or self.checkpoint_corrupt
+        ):
+            rows["corrupt detected"] = [str(self.corrupt_detected)]
+            rows["corrupt escaped"] = [str(self.corrupt_escaped)]
+            rows["results rejected"] = [str(self.rejected_results)]
+            rows["batches dropped"] = [str(self.dropped_batches)]
+            rows["trees quarantined"] = [str(self.quarantined_trees)]
+            rows["journal records corrupt"] = [
+                str(self.journal_corrupt)
+            ]
+            rows["checkpoints corrupt"] = [
+                str(self.checkpoint_corrupt)
+            ]
         if self.recovered or self.resumed or self.restarted:
             rows["recovered (adopted)"] = [str(self.recovered)]
             rows["resumed from checkpoint"] = [str(self.resumed)]
@@ -148,6 +181,13 @@ def summarize(
     resumed: int = 0,
     restarted: int = 0,
     recovered_iterations: int = 0,
+    corrupt_detected: int = 0,
+    corrupt_escaped: int = 0,
+    rejected_results: int = 0,
+    dropped_batches: int = 0,
+    quarantined_trees: int = 0,
+    journal_corrupt: int = 0,
+    checkpoint_corrupt: int = 0,
 ) -> ServiceReport:
     """Fold a run's request records into a :class:`ServiceReport`."""
     latencies = [
@@ -173,6 +213,13 @@ def summarize(
         resumed=resumed,
         restarted=restarted,
         recovered_iterations=recovered_iterations,
+        corrupt_detected=corrupt_detected,
+        corrupt_escaped=corrupt_escaped,
+        rejected_results=rejected_results,
+        dropped_batches=dropped_batches,
+        quarantined_trees=quarantined_trees,
+        journal_corrupt=journal_corrupt,
+        checkpoint_corrupt=checkpoint_corrupt,
         offered=len(records),
         completed=len(latencies),
         rejected=sum(1 for r in records if r.status == REJECTED),

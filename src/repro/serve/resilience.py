@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.faults import (
+    KIND_CORRUPT_RESULT,
     KIND_LAUNCH_FAIL,
     KIND_LOST_RESULT,
     KIND_OUTAGE,
@@ -154,6 +155,9 @@ class ResilientLauncher:
         self.failed_attempts = 0
         self.lost_launches = 0
         self.wasted_wait_s = 0.0
+        #: Deliveries rejected by host-boundary result validation (the
+        #: ``screen`` callback) and routed through the retry path.
+        self.rejected_results = 0
 
     def _pick_device(self, avoid: set[int]) -> int:
         """Least-busy healthy device, avoiding ``avoid`` (the devices
@@ -169,9 +173,19 @@ class ResilientLauncher:
         holder: str,
         duration_for: DurationFor,
         label: str = "kernel",
+        screen: Callable[[], bool] | None = None,
         **trace_args,
     ) -> LaunchOutcome:
-        """Run one launch chain to delivery or retry exhaustion."""
+        """Run one launch chain to delivery or retry exhaustion.
+
+        ``screen``, when given, is the host-boundary result validator:
+        it is called once per *delivered* readback (clean attempts and
+        absorbed stalls) and returns True to accept the results.  A
+        False return means validation rejected the readback as corrupt
+        -- the attempt is treated exactly like a lost result detected
+        at delivery time: the lease is abandoned, the device is marked
+        failed, and the chain retries with backoff on another device.
+        """
         policy = self.policy
         attempts: list[Attempt] = []
         avoid: set[int] = set()
@@ -223,26 +237,42 @@ class ResilientLauncher:
                     **trace_args,
                 )
                 if stalled <= timeout:
-                    # Latency spike absorbed within the timeout.
-                    self.pool.mark_success(device_id)
+                    if screen is None or screen():
+                        # Latency spike absorbed within the timeout.
+                        self.pool.mark_success(device_id)
+                        attempts.append(
+                            Attempt(
+                                device_id,
+                                lease.start_s,
+                                lease.end_s,
+                                KIND_STALL,
+                            )
+                        )
+                        return self._done(
+                            holder, label, lease, attempts, lease.end_s
+                        )
+                    # Delivered late *and* corrupt: reject at the
+                    # delivery instant and retry.
+                    self.pool.abandon(lease)
+                    self.rejected_results += 1
                     attempts.append(
                         Attempt(
                             device_id,
                             lease.start_s,
                             lease.end_s,
-                            KIND_STALL,
+                            KIND_CORRUPT_RESULT,
                         )
                     )
-                    return self._done(
-                        holder, label, lease, attempts, lease.end_s
+                else:
+                    # Stalled past the timeout: abandon, re-place.  The
+                    # device stays busy to the stall's end regardless.
+                    detect = lease.start_s + timeout
+                    self.pool.abandon(lease)
+                    attempts.append(
+                        Attempt(
+                            device_id, lease.start_s, detect, KIND_TIMEOUT
+                        )
                     )
-                # Stalled past the timeout: abandon, re-place.  The
-                # device stays busy to the stall's end regardless.
-                detect = lease.start_s + timeout
-                self.pool.abandon(lease)
-                attempts.append(
-                    Attempt(device_id, lease.start_s, detect, KIND_TIMEOUT)
-                )
             elif fault is not None and fault.kind == KIND_LOST_RESULT:
                 # Kernel runs to completion; results never arrive.
                 lease = self.pool.launch(
@@ -272,12 +302,26 @@ class ResilientLauncher:
                     **retry_args,
                     **trace_args,
                 )
-                self.pool.mark_success(device_id)
+                if screen is None or screen():
+                    self.pool.mark_success(device_id)
+                    attempts.append(
+                        Attempt(device_id, lease.start_s, lease.end_s)
+                    )
+                    return self._done(
+                        holder, label, lease, attempts, lease.end_s
+                    )
+                # The kernel ran and the host read its results back --
+                # but validation rejected them.  Same shape as a lost
+                # result detected at delivery: abandon and retry.
+                self.pool.abandon(lease)
+                self.rejected_results += 1
                 attempts.append(
-                    Attempt(device_id, lease.start_s, lease.end_s)
-                )
-                return self._done(
-                    holder, label, lease, attempts, lease.end_s
+                    Attempt(
+                        device_id,
+                        lease.start_s,
+                        lease.end_s,
+                        KIND_CORRUPT_RESULT,
+                    )
                 )
 
             # Failed attempt: health, stats, backoff, re-place.

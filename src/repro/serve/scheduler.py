@@ -30,6 +30,8 @@ from repro.games.batch import run_playouts_tracked
 from repro.gpu.kernel import LaunchConfig, playout_kernel_spec
 from repro.gpu.lease import DeviceLease, DevicePool
 from repro.gpu.timing import kernel_time
+from repro.faults import KIND_CORRUPT_RESULT
+from repro.integrity import IntegrityState
 from repro.rng import BatchXorShift128Plus
 from repro.serve.resilience import LaunchOutcome, ResilientLauncher
 from repro.util.seeding import derive_seed
@@ -179,10 +181,17 @@ class LaneBatcher:
         pool: DevicePool,
         seed: int,
         launcher: ResilientLauncher | None = None,
+        integrity: IntegrityState | None = None,
     ) -> None:
         self.pool = pool
         self.seed = derive_seed(seed, "lane_batcher")
         self.launcher = launcher
+        #: Host-boundary result screening for merged launches.  When
+        #: set (the service attaches one per run under fault
+        #: injection), every delivered readback is corrupted per the
+        #: injector's decision and validated; rejects retry through the
+        #: resilient launcher.  Requires ``launcher``.
+        self.integrity = integrity
         self.launch_count = 0
         self.lanes_total = 0
         #: Lanes whose launch chain exhausted its retries (results
@@ -230,6 +239,31 @@ class LaneBatcher:
 
         return duration
 
+    def _make_screen(self, chunk_answers):
+        """Build the host-boundary validation closure for one chunk.
+
+        Each call to the closure models one readback of the chunk's
+        results: the injector decides whether *this* delivery is
+        corrupted (fresh draw per attempt), the integrity state applies
+        and validates it, and an accepted batch -- clean or carrying an
+        escaped corruption -- lands in the returned cell for the caller
+        to adopt.  Returns ``(None, None)`` when no integrity state is
+        attached, so fault-free service runs stay draw-for-draw
+        identical.
+        """
+        guard = self.integrity
+        if guard is None:
+            return None, None
+        cell: dict = {}
+
+        def screen() -> bool:
+            screened, ok = guard.screen_answers(chunk_answers)
+            if ok:
+                cell["answers"] = screened
+            return ok
+
+        return screen, cell
+
     def execute(
         self, game: str, states: Sequence, holder: str = "merged"
     ) -> tuple[PlayoutResults, list[LaunchRecord]]:
@@ -264,16 +298,33 @@ class LaneBatcher:
             )
             duration_for = self._duration_for(game, tracked, lanes)
             if self.launcher is not None:
+                screen, cell = self._make_screen(chunk_answers)
                 outcome = self.launcher.launch(
                     holder,
                     duration_for,
                     label=f"{game}_playouts",
+                    screen=screen,
                     lanes=lanes,
                     game=game,
                 )
                 if not outcome.delivered:
                     chunk_answers = [(0, 0)] * lanes
                     self.lost_lanes += lanes
+                    if (
+                        self.integrity is not None
+                        and outcome.attempts
+                        and outcome.attempts[-1].fault
+                        == KIND_CORRUPT_RESULT
+                    ):
+                        # The chain died rejecting corrupt readbacks,
+                        # not launching -- that is a dropped batch in
+                        # the integrity accounting.
+                        self.integrity.give_up()
+                elif cell is not None:
+                    # The accepted readback (possibly carrying an
+                    # escaped corruption) is whatever the last screen
+                    # call stored.
+                    chunk_answers = cell["answers"]
                 records.append(
                     LaunchRecord(
                         game=game,

@@ -46,7 +46,11 @@ from pathlib import Path
 
 from repro.core.backend import validate_backend
 from repro.core.base import Engine
-from repro.core.checkpoint import EngineSnapshot, snapshot_bytes
+from repro.core.checkpoint import (
+    CheckpointError,
+    EngineSnapshot,
+    snapshot_bytes,
+)
 from repro.core.results import SearchResult
 from repro.core.spec import EngineSpec, make_engine
 from repro.faults import FaultInjector, FaultPlan
@@ -55,6 +59,7 @@ from repro.games.base import Game
 from repro.gpu.device import TESLA_C2050, DeviceSpec
 from repro.gpu.lease import DevicePool
 from repro.gpu.trace import Tracer
+from repro.integrity import IntegrityPolicy, IntegrityState
 from repro.serve.journal import JournalWriter, read_journal
 from repro.serve.metrics import ServiceReport, summarize
 from repro.serve.resilience import (
@@ -126,6 +131,7 @@ class SearchService:
         backend: str = "node",
         journal: "str | Path | JournalWriter | None" = None,
         checkpoint_every: int = 50,
+        integrity: "IntegrityPolicy | dict | None" = None,
     ) -> None:
         if max_active <= 0:
             raise ValueError(f"max_active must be positive: {max_active}")
@@ -150,8 +156,20 @@ class SearchService:
         self.launcher = ResilientLauncher(
             self.pool, policy=retry, injector=self.injector
         )
+        #: Integrity-defense policy (validation / audit / quarantine
+        #: knobs); the state is created only under fault injection so
+        #: fault-free runs take zero integrity code paths.
+        self.integrity = IntegrityPolicy.coerce(integrity)
+        self.integrity_state = (
+            IntegrityState(self.integrity, self.injector, 0)
+            if self.injector is not None
+            else None
+        )
         self.batcher = LaneBatcher(
-            self.pool, derive_seed(seed, "serve"), launcher=self.launcher
+            self.pool,
+            derive_seed(seed, "serve"),
+            launcher=self.launcher,
+            integrity=self.integrity_state,
         )
         #: Default tree backend for requests whose spec does not pick
         #: one explicitly (an ``@backend`` suffix always wins).
@@ -169,7 +187,7 @@ class SearchService:
         #: checkpoints and every terminal outcome are persisted before
         #: the service acts on them (see repro.serve.journal).
         if isinstance(journal, (str, Path)):
-            journal = JournalWriter(journal)
+            journal = JournalWriter(journal, injector=self.injector)
         self.journal: JournalWriter | None = journal
         self.checkpoint_every = checkpoint_every
         #: Request ids already present in the journal file (recovery
@@ -182,6 +200,11 @@ class SearchService:
         self.resumed_requests = 0
         self.restarted_requests = 0
         self.recovered_iterations = 0
+        #: Persistence-corruption accounting (populated by
+        #: :meth:`recover`): journal records skipped by the reader and
+        #: journalled checkpoints the CRC envelope refused to adopt.
+        self.journal_corrupt_records = 0
+        self.corrupt_checkpoints = 0
 
     # -- submission --------------------------------------------------------
 
@@ -235,10 +258,17 @@ class SearchService:
         overrides = {}
         if self.backend != "node" and "backend" not in spec.params:
             overrides["backend"] = self.backend
-        if self.injector is not None and spec.kind == "multigpu":
-            # Multi-GPU vote aggregation shares the service's fault
-            # stream: rank contributions may be dropped.
+        if self.injector is not None and spec.kind in (
+            "block",
+            "root",
+            "multigpu",
+        ):
+            # Ensemble engines share the service's fault stream: rank
+            # contributions may be dropped, kernel results corrupted,
+            # trees poisoned -- and the engines' integrity defenses
+            # (screening, audit, quarantine) run under this policy.
             overrides["injector"] = self.injector
+            overrides["integrity"] = self.integrity
         engine = make_engine(
             spec, game, req.seed, clock=Clock(), **overrides
         )
@@ -579,6 +609,13 @@ class SearchService:
         resubmitted, resuming from their latest checkpoint when one
         was journalled.  The plan's scheduled crash is stripped so the
         recovered run cannot crash-loop on the same point.
+
+        Corruption never crashes recovery and corrupted state is never
+        adopted: journal records the reader skipped are counted in
+        :attr:`journal_corrupt_records`, and a journalled checkpoint
+        whose CRC envelope fails to verify is refused -- its request
+        restarts from scratch and :attr:`corrupt_checkpoints` records
+        the refusal.
         """
         state = read_journal(journal_path)
         faults = FaultPlan.coerce(service_kwargs.pop("faults", None))
@@ -590,6 +627,7 @@ class SearchService:
             **service_kwargs,
         )
         service._journal_known = set(state.requests)
+        service.journal_corrupt_records = state.corrupt_records
         for rid, request in state.requests.items():
             completion = state.completions.get(rid)
             if completion is not None:
@@ -606,9 +644,20 @@ class SearchService:
             service.submit(request)
             checkpoint = state.checkpoints.get(rid)
             if checkpoint is not None:
-                service._resume_snapshots[rid] = checkpoint.snapshot()
-                service.resumed_requests += 1
-                service.recovered_iterations += checkpoint.iterations
+                try:
+                    snapshot = checkpoint.snapshot()
+                except CheckpointError:
+                    # The journalled snapshot rotted on disk: refuse
+                    # it (never adopt poisoned state) and restart the
+                    # request from scratch, with the damage counted.
+                    service.corrupt_checkpoints += 1
+                    service.restarted_requests += 1
+                else:
+                    service._resume_snapshots[rid] = snapshot
+                    service.resumed_requests += 1
+                    service.recovered_iterations += (
+                        checkpoint.iterations
+                    )
             else:
                 service.restarted_requests += 1
         return service
@@ -627,6 +676,22 @@ class SearchService:
             (r.request.arrival_s for r in self._records), default=0.0
         )
         elapsed = self.clock.now - first_arrival
+        # Integrity counters: merged-launch screening lives on the
+        # service's own state; engine-side defenses surface in each
+        # result's integrity extras.
+        detected = escaped = dropped = quarantined = 0
+        if self.integrity_state is not None:
+            detected += self.integrity_state.detected
+            escaped += self.integrity_state.escaped
+            dropped += self.integrity_state.dropped_batches
+        for record in self._records:
+            if record.result is None:
+                continue
+            info = record.result.integrity
+            detected += info.get("corrupt_detected", 0)
+            escaped += info.get("corrupt_escaped", 0)
+            dropped += info.get("dropped_batches", 0)
+            quarantined += len(info.get("quarantined_trees", ()))
         return summarize(
             self._records,
             elapsed_s=elapsed,
@@ -645,6 +710,13 @@ class SearchService:
             resumed=self.resumed_requests,
             restarted=self.restarted_requests,
             recovered_iterations=self.recovered_iterations,
+            corrupt_detected=detected,
+            corrupt_escaped=escaped,
+            rejected_results=self.launcher.rejected_results,
+            dropped_batches=dropped,
+            quarantined_trees=quarantined,
+            journal_corrupt=self.journal_corrupt_records,
+            checkpoint_corrupt=self.corrupt_checkpoints,
         )
 
 

@@ -1,0 +1,179 @@
+"""Checksummed checkpoint envelope: corruption, skew and foreign
+files are always refused with :class:`CheckpointError`."""
+
+import dataclasses
+import pickle
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    snapshot_bytes,
+    snapshot_from_bytes,
+)
+from repro.core.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    ENVELOPE_VERSION,
+    EngineSnapshot,
+)
+from repro.core.spec import make_engine
+from repro.games import make_game
+
+pytestmark = pytest.mark.integrity
+
+
+def small_snapshot():
+    """A real mid-search snapshot (trees, RNG, clock -- the works)."""
+    game = make_game("tictactoe")
+    engine = make_engine("block:4x32", game, seed=9)
+    captured = {}
+
+    def hook(eng, n):
+        if n == 2:
+            captured["snap"] = eng.snapshot()
+
+    engine.iteration_hook = hook
+    engine.search(game.initial_state(), 0.002)
+    return captured["snap"]
+
+
+SNAPSHOT = small_snapshot()
+BLOB = snapshot_bytes(SNAPSHOT)
+
+
+def same_snapshot(a, b):
+    """Field-wise equality; payloads hold numpy arrays, so compare
+    their serialised form rather than relying on dict ``==``."""
+    return (
+        (a.kind, a.backend, a.game, a.seed, a.clock_s, a.iterations)
+        == (b.kind, b.backend, b.game, b.seed, b.clock_s, b.iterations)
+        and pickle.dumps(a.payload) == pickle.dumps(b.payload)
+    )
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self):
+        assert same_snapshot(snapshot_from_bytes(BLOB), SNAPSHOT)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        save_checkpoint(SNAPSHOT, path)
+        assert same_snapshot(load_checkpoint(path), SNAPSHOT)
+
+
+class TestSingleByteFlips:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        offset=st.integers(min_value=0, max_value=len(BLOB) - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_any_single_byte_flip_is_detected(self, offset, bit):
+        # The acceptance property: no single flipped bit anywhere in
+        # a checkpoint can be silently adopted.
+        corrupted = bytearray(BLOB)
+        corrupted[offset] ^= 1 << bit
+        with pytest.raises(CheckpointError):
+            snapshot_from_bytes(bytes(corrupted))
+
+    def test_flip_on_disk_detected(self, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        save_checkpoint(SNAPSHOT, path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0x10
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "engine.ckpt"
+        save_checkpoint(SNAPSHOT, path)
+        path.write_bytes(path.read_bytes()[:-20])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+def seal(envelope: dict) -> bytes:
+    """Serialise a hand-crafted envelope with a valid whole-blob
+    trailer, so the version/shape checks (not the outer CRC) decide."""
+    blob = pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    return blob + struct.pack("<I", zlib.crc32(blob))
+
+
+class TestVersionSkew:
+    def _envelope(self):
+        return pickle.loads(BLOB[:-4])
+
+    def test_unknown_envelope_version_refused(self, tmp_path):
+        envelope = self._envelope()
+        envelope["envelope_version"] = ENVELOPE_VERSION + 1
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(seal(envelope))
+        with pytest.raises(CheckpointError, match="envelope version"):
+            load_checkpoint(path)
+
+    def test_legacy_unchecksummed_envelope_refused(self, tmp_path):
+        # The version-1 disk shape (snapshot object inline, no CRC).
+        envelope = {
+            "magic": "repro-mcts-checkpoint",
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "snapshot": SNAPSHOT,
+        }
+        path = tmp_path / "legacy.ckpt"
+        path.write_bytes(seal(envelope))
+        with pytest.raises(CheckpointError, match="envelope version"):
+            load_checkpoint(path)
+
+    def test_unknown_snapshot_format_refused(self):
+        skewed = dataclasses.replace(
+            SNAPSHOT, format_version=CHECKPOINT_FORMAT_VERSION + 1
+        )
+        with pytest.raises(CheckpointError, match="checkpoint format"):
+            snapshot_from_bytes(snapshot_bytes(skewed))
+
+    def test_crc_intact_but_payload_not_a_snapshot(self, tmp_path):
+        envelope = self._envelope()
+        body = pickle.dumps({"not": "a snapshot"})
+        envelope["snapshot_pickle"] = body
+        envelope["crc"] = zlib.crc32(body)
+        path = tmp_path / "odd.ckpt"
+        path.write_bytes(seal(envelope))
+        with pytest.raises(CheckpointError, match="EngineSnapshot"):
+            load_checkpoint(path)
+
+
+class TestForeignFiles:
+    def test_random_pickle_refused(self, tmp_path):
+        path = tmp_path / "foreign.pkl"
+        path.write_bytes(pickle.dumps({"weights": [1, 2, 3]}))
+        with pytest.raises(
+            CheckpointError, match="not an engine checkpoint"
+        ):
+            load_checkpoint(path)
+
+    def test_text_file_refused(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("these are not the checkpoints you seek\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_saving_non_snapshot_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="EngineSnapshot"):
+            save_checkpoint({"not": "a snapshot"}, tmp_path / "x.ckpt")
+
+    def test_error_names_the_file(self, tmp_path):
+        path = tmp_path / "who.ckpt"
+        path.write_bytes(pickle.dumps(["nope"]))
+        with pytest.raises(CheckpointError, match="who.ckpt"):
+            load_checkpoint(path)

@@ -1,0 +1,63 @@
+"""`serve-bench --faults corrupt=...` round-trips through the CLI
+and prints the detection/quarantine/escape accounting."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.integrity
+
+COMMON = [
+    "serve-bench",
+    "--loads",
+    "6",
+    "--devices",
+    "2",
+    "--budget-scale",
+    "0.25",
+]
+
+
+class TestServeBenchCorruption:
+    def test_corrupt_plan_prints_integrity_rows(self, capsys):
+        code = main(
+            COMMON
+            + ["--faults", "corrupt=0.3:bitflip,seed=7"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corrupt detected" in out
+        assert "corrupt escaped" in out
+        assert "trees quarantined" in out
+        assert "results rejected" in out
+
+    def test_no_defenses_flag_disables_detection(self, capsys):
+        code = main(
+            COMMON
+            + [
+                "--faults",
+                "corrupt=0.3:bitflip,seed=7",
+                "--no-defenses",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # Escapes (not detections) dominate with the defenses off.
+        assert "corrupt escaped" in out
+
+    def test_poison_plan_round_trips(self, capsys):
+        code = main(COMMON + ["--faults", "poison=tree:0,seed=7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "requests/s" in out
+
+    def test_bad_corrupt_mode_rejected_at_parse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(COMMON + ["--faults", "corrupt=0.1:cosmic"])
+        assert "unknown corrupt mode" in capsys.readouterr().err
+
+    def test_clean_run_prints_no_integrity_rows(self, capsys):
+        code = main(COMMON)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "corrupt detected" not in out

@@ -1,0 +1,147 @@
+"""Corruption applicators and host-boundary validators."""
+
+import numpy as np
+import pytest
+
+from repro.faults import CORRUPT_MODES, Corruption
+from repro.integrity import (
+    MAX_PLIES,
+    apply_answer_corruption,
+    apply_block_corruption,
+    validate_answers,
+    validate_winners,
+)
+
+pytestmark = pytest.mark.integrity
+
+BLOCKS, TPB = 4, 8
+
+
+def clean_winners():
+    rng = np.random.default_rng(7)
+    return rng.choice([-1, 0, 1], size=BLOCKS * TPB).astype(np.int8)
+
+
+def clean_answers(n=16):
+    rng = np.random.default_rng(7)
+    return [
+        (int(w), int(p))
+        for w, p in zip(
+            rng.choice([-1, 0, 1], size=n), rng.integers(1, 60, size=n)
+        )
+    ]
+
+
+def corruption(mode, lane=5, salt=12345):
+    return Corruption(mode=mode, lane=lane, salt=salt)
+
+
+class TestBlockCorruption:
+    def test_original_array_never_mutated(self):
+        winners = clean_winners()
+        before = winners.copy()
+        for mode in CORRUPT_MODES:
+            apply_block_corruption(
+                winners, BLOCKS, TPB, corruption(mode)
+            )
+            assert (winners == before).all()
+
+    @pytest.mark.parametrize(
+        "mode", [m for m in CORRUPT_MODES if m != "moveswap"]
+    )
+    def test_value_modes_always_detected(self, mode):
+        for salt in range(25):
+            out = apply_block_corruption(
+                clean_winners(), BLOCKS, TPB, corruption(mode, salt=salt)
+            )
+            assert validate_winners(out) is not None
+
+    def test_bitflip_knocks_winner_out_of_domain(self):
+        out = apply_block_corruption(
+            clean_winners(), BLOCKS, TPB, corruption("bitflip")
+        )
+        bad = out[~np.isin(out, (-1, 0, 1))]
+        assert bad.size == 1
+
+    def test_moveswap_escapes_per_value_validation(self):
+        out = apply_block_corruption(
+            clean_winners(), BLOCKS, TPB, corruption("moveswap")
+        )
+        assert validate_winners(out) is None
+
+    def test_moveswap_swaps_whole_block_rows(self):
+        winners = clean_winners()
+        out = apply_block_corruption(
+            winners, BLOCKS, TPB, corruption("moveswap", lane=0, salt=0)
+        )
+        rows, before = out.reshape(BLOCKS, TPB), winners.reshape(
+            BLOCKS, TPB
+        )
+        assert (rows[0] == before[1]).all()
+        assert (rows[1] == before[0]).all()
+        assert (rows[2:] == before[2:]).all()
+
+    def test_moveswap_single_block_is_noop(self):
+        winners = clean_winners()
+        out = apply_block_corruption(
+            winners, 1, BLOCKS * TPB, corruption("moveswap")
+        )
+        assert (out == winners).all()
+
+    def test_lane_wraps_modulo_batch(self):
+        out = apply_block_corruption(
+            clean_winners(),
+            BLOCKS,
+            TPB,
+            corruption("nan", lane=BLOCKS * TPB + 3),
+        )
+        assert np.isnan(out[3])
+
+    def test_clean_result_validates(self):
+        assert validate_winners(clean_winners()) is None
+
+    def test_validator_names_the_bad_value(self):
+        arr = clean_winners().astype(np.int16)
+        arr[2] = 77
+        assert "77" in validate_winners(arr)
+
+
+class TestAnswerCorruption:
+    def test_original_answers_never_mutated(self):
+        answers = clean_answers()
+        before = list(answers)
+        for mode in CORRUPT_MODES:
+            apply_answer_corruption(answers, corruption(mode))
+            assert answers == before
+
+    @pytest.mark.parametrize(
+        "mode", [m for m in CORRUPT_MODES if m != "moveswap"]
+    )
+    def test_value_modes_always_detected(self, mode):
+        for salt in range(25):
+            out = apply_answer_corruption(
+                clean_answers(), corruption(mode, salt=salt)
+            )
+            assert validate_answers(out) is not None
+
+    def test_moveswap_escapes_per_value_validation(self):
+        out = apply_answer_corruption(
+            clean_answers(), corruption("moveswap")
+        )
+        assert validate_answers(out) is None
+        assert sorted(out) == sorted(clean_answers())
+
+    def test_clean_answers_validate(self):
+        assert validate_answers(clean_answers()) is None
+
+    def test_overflowed_plies_rejected(self):
+        assert (
+            validate_answers([(1, MAX_PLIES + 1)]) is not None
+        )
+        assert validate_answers([(1, MAX_PLIES)]) is None
+
+    def test_negative_plies_rejected(self):
+        assert validate_answers([(0, -1)]) is not None
+
+    def test_nan_winner_rejected(self):
+        assert validate_answers([(float("nan"), 4)]) is not None

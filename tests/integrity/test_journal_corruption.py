@@ -1,0 +1,188 @@
+"""Journal corruption: CRC-protected records, mid-file tolerance,
+and the ``disk=`` fault family's write-path byte flips."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.serve import (
+    JournalError,
+    JournalWriter,
+    SearchRequest,
+    read_journal,
+)
+from repro.serve.journal import JOURNAL_FORMAT_VERSION, _record_crc
+
+pytestmark = pytest.mark.integrity
+
+BUDGET = 4e-4
+
+
+def request(i, **kwargs):
+    defaults = dict(
+        request_id=f"r{i}",
+        game="tictactoe",
+        engine="sequential",
+        budget_s=BUDGET,
+        seed=100 + i,
+    )
+    defaults.update(kwargs)
+    return SearchRequest(**defaults)
+
+
+def write_journal(path, n=3):
+    writer = JournalWriter(path)
+    for i in range(n):
+        writer.submit(request(i))
+    writer.close()
+
+
+class TestRecordChecksums:
+    def test_every_record_carries_its_crc(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            stored = record.pop("crc")
+            assert stored == _record_crc(record)
+
+    def test_header_declares_v2(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format_version"] == JOURNAL_FORMAT_VERSION == 2
+
+    def test_tampered_payload_fails_crc_and_is_counted(self, tmp_path):
+        # Valid JSON, valid shape -- but the payload no longer matches
+        # its CRC.  Pre-CRC readers would have adopted this silently.
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        record["rid"] = "r999"
+        lines[2] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        state = read_journal(path)
+        assert state.corrupt_records == 1
+        assert "r999" not in state.requests
+        assert set(state.requests) == {"r0", "r2"}
+
+    def test_single_byte_flip_anywhere_is_tolerated(self, tmp_path):
+        # Flip one byte in every non-header record position in turn:
+        # the read never raises and always counts exactly one corrupt
+        # record.
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        original = path.read_text()
+        header_len = len(original.splitlines()[0]) + 1
+        for offset in range(header_len, len(original), 7):
+            if original[offset] == "\n":
+                continue
+            raw = bytearray(original.encode())
+            raw[offset] ^= 0x08
+            path.write_bytes(bytes(raw))
+            state = read_journal(path)
+            assert state.corrupt_records == 1
+            assert len(state.requests) == 2
+
+
+class TestMidFileTolerance:
+    def test_garbage_line_in_the_middle_skipped(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "\x00\xff not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        state = read_journal(path)
+        assert state.corrupt_records == 1
+        assert len(state.requests) == 3
+
+    def test_multiple_corrupt_records_all_counted(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        write_journal(path, n=4)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-10]  # torn
+        lines[3] = '{"type": "mystery", "crc": 0}'  # unknown kind
+        lines.append('{"type": "subm')  # torn final line
+        path.write_text("\n".join(lines) + "\n")
+        state = read_journal(path)
+        assert state.corrupt_records == 3
+        assert set(state.requests) == {"r1", "r3"}
+
+    def test_header_corruption_still_raises(self, tmp_path):
+        # A rotten header is a foreign file, not a corrupt record.
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["magic"] = "someone-elses-journal"
+        lines[0] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="not a request journal"):
+            read_journal(path)
+
+    def test_header_crc_mismatch_raises(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        write_journal(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["crc"] = (record["crc"] + 1) & 0xFFFFFFFF
+        lines[0] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt journal header"):
+            read_journal(path)
+
+
+class TestDiskFaultInjection:
+    def test_disk_rate_rots_written_records(self, tmp_path):
+        # At disk=1.0 every non-header record lands with one byte
+        # flipped; the reader skips and counts them all.
+        path = tmp_path / "requests.jsonl"
+        injector = FaultInjector(
+            FaultPlan.parse("disk=1.0,seed=7")
+        )
+        writer = JournalWriter(path, injector=injector)
+        for i in range(5):
+            writer.submit(request(i))
+        writer.close()
+        state = read_journal(path)
+        assert state.corrupt_records == 5
+        assert state.requests == {}
+        assert injector.counters["disk_corrupt"] == 5
+
+    def test_partial_disk_rate_loses_only_hit_records(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        injector = FaultInjector(
+            FaultPlan.parse("disk=0.3,seed=11")
+        )
+        writer = JournalWriter(path, injector=injector)
+        for i in range(20):
+            writer.submit(request(i))
+        writer.close()
+        state = read_journal(path)
+        hit = injector.counters["disk_corrupt"]
+        assert 0 < hit < 20
+        assert state.corrupt_records == hit
+        assert len(state.requests) == 20 - hit
+
+    def test_zero_disk_rate_writes_cleanly(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        injector = FaultInjector(FaultPlan.parse("seed=7"))
+        writer = JournalWriter(path, injector=injector)
+        for i in range(5):
+            writer.submit(request(i))
+        writer.close()
+        state = read_journal(path)
+        assert state.corrupt_records == 0
+        assert len(state.requests) == 5
+        assert injector._disk_draws == 0
+
+    def test_header_exempt_from_injection(self, tmp_path):
+        path = tmp_path / "requests.jsonl"
+        JournalWriter(
+            path,
+            injector=FaultInjector(FaultPlan.parse("disk=1.0,seed=7")),
+        ).close()
+        state = read_journal(path)  # header intact -> no raise
+        assert state.corrupt_records == 0

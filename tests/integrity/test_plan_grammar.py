@@ -1,0 +1,136 @@
+"""Fault-plan grammar tests for the corruption families."""
+
+import pytest
+
+from repro.faults import (
+    CORRUPT_MODES,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+)
+
+pytestmark = pytest.mark.integrity
+
+
+class TestCorruptionGrammar:
+    def test_corrupt_rate_and_mode(self):
+        plan = FaultPlan.parse("corrupt=0.05:nan,seed=7")
+        assert plan.corrupt_rate == 0.05
+        assert plan.corrupt_mode == "nan"
+        assert plan.injects_anything
+
+    def test_corrupt_mode_defaults_to_bitflip(self):
+        plan = FaultPlan.parse("corrupt=0.1")
+        assert plan.corrupt_mode == "bitflip"
+
+    def test_corrupt_rejects_unknown_mode(self):
+        with pytest.raises(FaultPlanError, match="corrupt mode"):
+            FaultPlan.parse("corrupt=0.1:gamma_ray")
+
+    def test_all_modes_parse(self):
+        for mode in CORRUPT_MODES:
+            plan = FaultPlan.parse(f"corrupt=0.5:{mode}")
+            assert plan.corrupt_mode == mode
+
+    def test_poison_takes_tree_index(self):
+        plan = FaultPlan.parse("poison=tree:3")
+        assert plan.poison_tree == 3
+        assert plan.injects_anything
+
+    def test_poison_rejects_malformed_values(self):
+        for bad in ("3", "tree", "tree:", "tree:-1", "tree:x"):
+            with pytest.raises(FaultPlanError):
+                FaultPlan.parse(f"poison={bad}")
+
+    def test_disk_rate(self):
+        plan = FaultPlan.parse("disk=0.25")
+        assert plan.disk_corrupt_rate == 0.25
+        assert plan.injects_anything
+
+    def test_rates_validated(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("corrupt=1.5")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("disk=-0.1")
+
+    def test_scaled_clamps_corruption_rates(self):
+        plan = FaultPlan.parse("corrupt=0.8,disk=0.9")
+        up = plan.scaled(4.0)
+        assert up.corrupt_rate == 1.0
+        assert up.disk_corrupt_rate == 1.0
+        down = plan.scaled(0.0)
+        assert down.corrupt_rate == 0.0
+        assert not down.injects_anything
+
+
+class TestDuplicateKeys:
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="duplicate"):
+            FaultPlan.parse("launch=0.1,launch=0.2")
+
+    def test_duplicate_corrupt_rejected(self):
+        with pytest.raises(
+            FaultPlanError, match="duplicate fault plan key 'corrupt'"
+        ):
+            FaultPlan.parse("corrupt=0.1,corrupt=0.2:nan")
+
+    def test_duplicate_seed_rejected(self):
+        with pytest.raises(FaultPlanError, match="duplicate"):
+            FaultPlan.parse("seed=1,seed=2")
+
+    def test_repeated_outage_windows_still_allowed(self):
+        plan = FaultPlan.parse("outage=0@0.1+0.1,outage=1@0.5+0.1")
+        assert len(plan.outages) == 2
+
+
+class TestCorruptionDraws:
+    def test_zero_rates_consume_no_draws(self):
+        inj = FaultInjector(FaultPlan(seed=7))
+        for n in range(50):
+            assert inj.result_corruption(128) is None
+            assert inj.disk_corruption(64) is None
+        assert inj._corrupt_draws == 0
+        assert inj._disk_draws == 0
+
+    def test_corruption_deterministic_under_seed(self):
+        def draws(seed):
+            inj = FaultInjector(
+                FaultPlan(corrupt_rate=0.5, seed=seed)
+            )
+            return [inj.result_corruption(64) for _ in range(40)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_corruption_lane_within_bounds(self):
+        inj = FaultInjector(FaultPlan(corrupt_rate=1.0, seed=7))
+        for _ in range(20):
+            corruption = inj.result_corruption(8)
+            assert corruption is not None
+            assert 0 <= corruption.lane < 8
+
+    def test_disk_flip_shape(self):
+        inj = FaultInjector(
+            FaultPlan(disk_corrupt_rate=1.0, seed=7)
+        )
+        for _ in range(20):
+            offset, mask = inj.disk_corruption(100)
+            assert 0 <= offset < 100
+            assert mask in {1 << b for b in range(8)}
+
+    def test_corrupt_draws_independent_of_launch_draws(self):
+        # Adding a corruption rate must not shift which launches fail.
+        base = FaultInjector(
+            FaultPlan(launch_fail_rate=0.3, seed=7)
+        )
+        mixed = FaultInjector(
+            FaultPlan(launch_fail_rate=0.3, corrupt_rate=0.5, seed=7)
+        )
+        base_faults = [
+            base.launch_fault(0, i * 1e-6) for i in range(40)
+        ]
+        mixed_faults = []
+        for i in range(40):
+            mixed.result_corruption(64)
+            mixed_faults.append(mixed.launch_fault(0, i * 1e-6))
+        assert base_faults == mixed_faults

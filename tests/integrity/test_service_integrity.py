@@ -1,0 +1,227 @@
+"""Service-level integrity: report accounting under corruption, and
+recovery that never crashes on -- and never adopts -- rotten state."""
+
+import base64
+import json
+
+import pytest
+
+from repro.integrity import IntegrityPolicy
+from repro.serve import (
+    COMPLETED,
+    JournalWriter,
+    SearchRequest,
+    SearchService,
+    ServiceCrash,
+    read_journal,
+)
+from repro.serve.journal import _record_crc
+
+pytestmark = pytest.mark.integrity
+
+BUDGET = 4e-4
+
+
+def request(i, engine="sequential", **kwargs):
+    defaults = dict(
+        request_id=f"r{i}",
+        game="tictactoe",
+        engine=engine,
+        budget_s=BUDGET,
+        seed=100 + i,
+    )
+    defaults.update(kwargs)
+    return SearchRequest(**defaults)
+
+
+def mixed_requests():
+    return [
+        request(i, engine=eng)
+        for i, eng in enumerate(
+            ["sequential", "root:2", "block:4x32", "sequential@arena"]
+        )
+    ]
+
+
+class TestServiceCorruptionAccounting:
+    def test_defended_run_counts_detections(self):
+        service = SearchService(
+            seed=5,
+            n_devices=2,
+            faults="corrupt=0.3:bitflip,seed=7",
+        )
+        service.submit_all(
+            [request(i, engine="root:2") for i in range(6)]
+        )
+        records = service.run()
+        assert all(r.status == COMPLETED for r in records)
+        report = service.report()
+        assert report.corrupt_detected > 0
+        assert report.corrupt_escaped == 0
+        assert report.rejected_results > 0
+        assert "corrupt detected" in report.render()
+
+    def test_defenses_off_lets_corruption_escape(self):
+        service = SearchService(
+            seed=5,
+            n_devices=2,
+            faults="corrupt=0.3:bitflip,seed=7",
+            integrity=IntegrityPolicy.disabled(),
+        )
+        service.submit_all(
+            [request(i, engine="root:2") for i in range(6)]
+        )
+        service.run()
+        report = service.report()
+        assert report.corrupt_detected == 0
+        assert report.corrupt_escaped > 0
+        assert report.rejected_results == 0
+
+    def test_engine_quarantines_surface_in_report(self):
+        service = SearchService(
+            seed=5, n_devices=2, faults="poison=tree:1"
+        )
+        service.submit_all(
+            [request(0, engine="block:4x32")]
+        )
+        service.run()
+        report = service.report()
+        assert report.quarantined_trees >= 1
+
+    def test_clean_run_reports_no_corruption_rows(self):
+        service = SearchService(seed=5, n_devices=2)
+        service.submit_all(mixed_requests())
+        service.run()
+        report = service.report()
+        assert report.corrupt_detected == 0
+        assert "corrupt detected" not in report.render()
+
+
+def crash_run(path, faults, reqs=None):
+    service = SearchService(
+        seed=5,
+        n_devices=2,
+        journal=path,
+        checkpoint_every=5,
+        faults=faults,
+    )
+    service.submit_all(reqs if reqs is not None else mixed_requests())
+    with pytest.raises(ServiceCrash):
+        service.run()
+    return service
+
+
+def rot_checkpoint_record(path):
+    """Corrupt the snapshot blob inside the *effective* (latest,
+    still-incomplete) checkpoint record of one request, keeping the
+    record CRC valid -- the journal reader accepts it, so only the
+    checkpoint envelope's own checksum stands between the service and
+    poisoned state."""
+    rid = sorted(read_journal(path).checkpoints)[0]
+    lines = path.read_text().splitlines()
+    for i in range(len(lines) - 1, -1, -1):
+        record = json.loads(lines[i])
+        if (
+            record.get("type") != "checkpoint"
+            or record.get("rid") != rid
+        ):
+            continue
+        blob = bytearray(base64.b64decode(record["snapshot"]))
+        blob[len(blob) // 2] ^= 0x20
+        record["snapshot"] = base64.b64encode(bytes(blob)).decode()
+        record.pop("crc")
+        record["crc"] = _record_crc(record)
+        lines[i] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        return rid
+    raise AssertionError("no checkpoint record found")
+
+
+@pytest.mark.faults
+class TestRecoveryUnderCorruption:
+    def test_rotten_checkpoint_never_adopted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        crash_run(path, faults="crash=tick:20")
+        assert read_journal(path).checkpoints
+        rotten_rid = rot_checkpoint_record(path)
+
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        report = recovered.report()
+        assert report.checkpoint_corrupt == 1
+        assert "checkpoints corrupt" in report.render()
+        # The damaged request restarted instead of resuming.
+        assert recovered.corrupt_checkpoints == 1
+        assert rotten_rid not in recovered._resume_snapshots
+
+    def test_corrupt_journal_records_counted_in_report(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        crash_run(path, faults="crash=tick:20")
+        lines = path.read_text().splitlines()
+        lines.insert(2, '{"type": "subm')  # torn mid-file record
+        path.write_text("\n".join(lines) + "\n")
+
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        report = recovered.report()
+        assert report.journal_corrupt == 1
+        assert "journal records corrupt" in report.render()
+
+    def test_disk_faults_through_crash_and_recovery(self, tmp_path):
+        # End to end: the injector rots journal records as they are
+        # written; recovery still completes every readable request and
+        # the rot shows up in the accounting.
+        path = tmp_path / "journal.jsonl"
+        crash_run(
+            path,
+            faults="disk=0.2,crash=tick:20,seed=9",
+        )
+        state = read_journal(path)
+        assert state.corrupt_records > 0
+
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        assert (
+            recovered.report().journal_corrupt
+            == state.corrupt_records
+        )
+
+    def test_every_checkpoint_rotten_still_recovers(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        crash_run(path, faults="crash=tick:20")
+        n = len(read_journal(path).checkpoints)
+        assert n > 0
+        lines = path.read_text().splitlines()
+        out = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "checkpoint":
+                blob = bytearray(
+                    base64.b64decode(record["snapshot"])
+                )
+                blob[1] ^= 0xFF
+                record["snapshot"] = base64.b64encode(
+                    bytes(blob)
+                ).decode()
+                record.pop("crc")
+                record["crc"] = _record_crc(record)
+            out.append(json.dumps(record, sort_keys=True))
+        path.write_text("\n".join(out) + "\n")
+
+        recovered = SearchService.recover(
+            path, seed=5, n_devices=2, checkpoint_every=5
+        )
+        records = recovered.run()
+        assert all(r.status == COMPLETED for r in records)
+        report = recovered.report()
+        assert report.checkpoint_corrupt == n
+        assert report.resumed == 0

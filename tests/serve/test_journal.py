@@ -87,7 +87,7 @@ class TestJournalFile:
         assert list(state.requests) == ["r0"]
         assert state.completions == {}
 
-    def test_torn_middle_line_rejected(self, tmp_path):
+    def test_torn_middle_line_tolerated_and_counted(self, tmp_path):
         path = tmp_path / "requests.jsonl"
         writer = JournalWriter(path)
         writer.submit(request(0))
@@ -95,8 +95,9 @@ class TestJournalFile:
         lines = path.read_text().splitlines()
         lines.insert(1, '{"type": "subm')
         path.write_text("\n".join(lines) + "\n")
-        with pytest.raises(JournalError, match="malformed"):
-            read_journal(path)
+        state = read_journal(path)
+        assert list(state.requests) == ["r0"]
+        assert state.corrupt_records == 1
 
     def test_foreign_file_rejected(self, tmp_path):
         path = tmp_path / "notes.jsonl"
@@ -107,13 +108,14 @@ class TestJournalFile:
         with pytest.raises(JournalError, match="empty"):
             read_journal(path)
 
-    def test_unknown_record_type_rejected(self, tmp_path):
+    def test_unknown_record_type_counted_corrupt(self, tmp_path):
         path = tmp_path / "requests.jsonl"
         JournalWriter(path).close()
         with open(path, "a") as fh:
             fh.write(json.dumps({"type": "mystery", "rid": "r0"}) + "\n")
-        with pytest.raises(JournalError, match="mystery"):
-            read_journal(path)
+        state = read_journal(path)
+        assert state.corrupt_records == 1
+        assert state.requests == {}
 
     def test_append_reopen_keeps_single_logical_stream(self, tmp_path):
         path = tmp_path / "requests.jsonl"
