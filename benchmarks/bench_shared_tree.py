@@ -1,0 +1,72 @@
+"""Shared-tree shootout bench: WU-UCT / pipeline / baselines strength.
+
+Pytest runs the tier-scaled shootout and checks structure (quick tier
+has too few games for statistical claims; richer tiers additionally
+require WU-UCT to hold its own against virtual loss at the largest
+worker count).
+
+Standalone ``python benchmarks/bench_shared_tree.py --smoke`` is the
+seconds-scale CI gate: a wuct-vs-vloss head-to-head at N=16 on
+connect4 where WU-UCT's win ratio must stay within tolerance of -- or
+beat -- virtual loss.
+"""
+
+import sys
+
+from repro.harness.shared_tree import ShootoutConfig, run_shootout
+
+#: The smoke gate's slack: wuct may trail vloss by at most this much.
+SMOKE_TOLERANCE = 0.25
+
+
+def test_shared_tree_shootout(run_once):
+    cfg = ShootoutConfig.for_tier()
+    result = run_once(run_shootout, cfg)
+    print()
+    print(result.render())
+
+    for game_name in cfg.games:
+        for label in cfg.contenders:
+            ratios = result.win_ratio[(game_name, label)]
+            assert len(ratios) == len(cfg.worker_counts)
+            for ratio in ratios:
+                assert 0.0 <= ratio <= 1.0
+
+    if cfg.games_per_point >= 8 and 16 in cfg.worker_counts:
+        # With enough games WU-UCT's headline claim must show: at the
+        # large worker count it matches or beats virtual loss on at
+        # least one game.
+        assert any(
+            result.ratio(g, "tree@wuct", 16)
+            >= result.ratio(g, "tree@vloss", 16)
+            for g in cfg.games
+        )
+
+
+def _main(argv) -> int:
+    smoke = "--smoke" in argv
+    cfg = ShootoutConfig.smoke() if smoke else ShootoutConfig.for_tier()
+    result = run_shootout(cfg)
+    print(result.render())
+
+    if smoke:
+        game = cfg.games[0]
+        n = cfg.worker_counts[0]
+        wuct = result.ratio(game, "tree@wuct", n)
+        vloss = result.ratio(game, "tree@vloss", n)
+        if wuct < vloss - SMOKE_TOLERANCE:
+            print(
+                f"FAIL: wuct win ratio {wuct:.2f} trails vloss "
+                f"{vloss:.2f} by more than {SMOKE_TOLERANCE} at "
+                f"N={n} on {game}"
+            )
+            return 1
+        print(
+            f"smoke OK: wuct {wuct:.2f} vs vloss {vloss:.2f} at "
+            f"N={n} on {game} (tolerance {SMOKE_TOLERANCE})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main(sys.argv[1:]))

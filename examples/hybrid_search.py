@@ -32,7 +32,7 @@ print(f"virtual budget: {BUDGET * 1e3:.0f} ms, grid "
 
 rows = [
     ("kernel iterations", block_result.iterations, hybrid_result.iterations),
-    ("CPU iterations", 0, hybrid_result.extras["cpu_iterations"]),
+    ("CPU iterations", 0, hybrid_result.extras["cpu.iterations"]),
     ("total playouts", block_result.simulations, hybrid_result.simulations),
     ("deepest tree path", block_result.max_depth, hybrid_result.max_depth),
     ("tree nodes", block_result.tree_nodes, hybrid_result.tree_nodes),
@@ -43,7 +43,7 @@ for label, a, b in rows:
 
 print(
     "\nwhile each kernel was in flight the CPU ran "
-    f"{hybrid_result.extras['cpu_iterations']} extra sequential "
+    f"{hybrid_result.extras['cpu.iterations']} extra sequential "
     "iterations on the same trees -- that is where the added depth "
     "comes from (paper Fig. 8)."
 )

@@ -31,7 +31,7 @@ result = engine.search(state, budget_s=0.05)  # 50 ms of *virtual* time
 row, col = divmod(result.move, 8)
 print(f"block-parallel move : {'abcdefgh'[col]}{row + 1}")
 print(f"  playouts          : {result.simulations}")
-print(f"  kernel launches   : {result.extras['kernels']}")
+print(f"  kernel launches   : {result.extras['gpu.kernels']}")
 print(f"  trees             : {result.trees}")
 print(f"  deepest tree path : {result.max_depth}")
 print(f"  virtual elapsed   : {result.elapsed_s * 1e3:.1f} ms")

@@ -42,8 +42,12 @@ def _cmd_play(args) -> int:
 
     game = make_game(args.game)
     spec = args.engine or f"block:{args.blocks}x{args.tpb}"
-    if args.backend != "node" and "@" not in spec:
-        spec = f"{spec}@{args.backend}"
+    if args.backend != "node":
+        from repro.core import EngineSpec, with_backend
+
+        parsed = EngineSpec.coerce(spec)
+        if "backend" not in parsed.params:
+            spec = with_backend(parsed, args.backend).canonical()
     mcts = MctsPlayer(
         game,
         make_engine(spec, game, args.seed),

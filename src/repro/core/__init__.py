@@ -11,10 +11,16 @@ Engines (one per parallelisation scheme in the paper):
   per GPU block, block threads simulate their tree's leaf.
 * :class:`HybridMcts` -- block parallel with asynchronous kernels and
   overlapped CPU iterations (paper Figure 4).
-* :class:`TreeParallelMcts` -- shared tree + virtual loss (literature
-  baseline, ablations only).
+* :class:`TreeParallelMcts` -- shared tree + virtual loss or WU-UCT
+  in-flight accounting (literature baseline, ablations only).
+* :class:`PipelineMcts` -- shared tree with the select/expand/playout/
+  backprop stages software-pipelined over the virtual clock (3PMCTS).
 * :class:`MultiGpuMcts` -- rank-per-GPU root aggregation over simulated
   MPI (paper Figure 9).
+
+Engines are named by *spec strings* -- ``kind:args`` plus composable,
+order-independent ``@modifier`` suffixes (``tree:8@wuct@arena``); see
+:class:`EngineSpec`.
 """
 
 from repro.core.arena import ArenaInvariantError, TreeArena
@@ -51,23 +57,37 @@ from repro.core.block_parallel import BlockParallelMcts
 from repro.core.hybrid import HybridMcts
 from repro.core.leaf_parallel import LeafParallelMcts
 from repro.core.multigpu import MultiGpuMcts
+from repro.core.pipeline import PipelineMcts
 from repro.core.policy import (
     MAX_RATIO,
     MAX_VISITS,
     MAX_WINS,
+    PARALLEL_MODES,
     SELECTION_RULES,
     select_move,
+    validate_parallel_mode,
     validate_selection_rule,
 )
-from repro.core.results import SearchResult
+from repro.core.results import (
+    EXTRA_KEYS,
+    INTEGRITY_EXTRA_KEYS,
+    LEGACY_EXTRA_KEYS,
+    SearchResult,
+    extras_schema,
+    register_extra_keys,
+)
 from repro.core.root_parallel import RootParallelMcts
 from repro.core.sequential import SequentialMcts
 from repro.core.spec import (
     EngineKind,
     EngineSpec,
+    SpecModifier,
     engine_kinds,
     make_engine,
     register_engine,
+    register_modifier,
+    spec_modifiers,
+    with_backend,
 )
 from repro.core.tree import (
     Node,
@@ -85,10 +105,21 @@ __all__ = [
     "Engine",
     "EngineKind",
     "EngineSpec",
+    "SpecModifier",
     "engine_kinds",
     "make_engine",
     "register_engine",
+    "register_modifier",
+    "spec_modifiers",
+    "with_backend",
     "SearchResult",
+    "EXTRA_KEYS",
+    "INTEGRITY_EXTRA_KEYS",
+    "LEGACY_EXTRA_KEYS",
+    "extras_schema",
+    "register_extra_keys",
+    "PARALLEL_MODES",
+    "validate_parallel_mode",
     "SearchTree",
     "TreeArena",
     "ArenaTree",
@@ -117,6 +148,7 @@ __all__ = [
     "BlockParallelMcts",
     "HybridMcts",
     "TreeParallelMcts",
+    "PipelineMcts",
     "MultiGpuMcts",
     "drive_search",
     "scalar_executor",

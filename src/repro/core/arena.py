@@ -45,7 +45,10 @@ import math
 
 import numpy as np
 
-from repro.core.policy import validate_selection_rule
+from repro.core.policy import (
+    validate_parallel_mode,
+    validate_selection_rule,
+)
 from repro.core.tree import aggregate_stat_dicts, majority_vote_stat_dicts
 from repro.games.base import Game, GameState
 from repro.rng import XorShift64Star
@@ -69,10 +72,12 @@ class TreeArena:
         ucb_c: float = 1.0,
         selection_rule: str = "ucb1",
         capacity: int | None = None,
+        parallel_mode: str = "vloss",
     ) -> None:
         if ucb_c < 0:
             raise ValueError(f"ucb_c must be non-negative: {ucb_c}")
         validate_selection_rule(selection_rule)
+        validate_parallel_mode(parallel_mode)
         if not rngs:
             raise ValueError("arena needs at least one tree RNG")
         self.game = game
@@ -80,6 +85,7 @@ class TreeArena:
         self.n_trees = len(self.rngs)
         self.ucb_c = ucb_c
         self.selection_rule = selection_rule
+        self.parallel_mode = parallel_mode
         #: uint64 words per untried-move bitmask row.
         self.mask_words = (game.num_moves + 63) // 64
 
@@ -430,7 +436,16 @@ class TreeArena:
             return start + int(np.argmax(unvisited))
         total = self.visits[node] + self.vloss[node]
         log_total = math.log(total) if total > 1.0 else 0.0
-        p = self.wins[span] / n_i
+        if self.parallel_mode == "wuct":
+            # WU-UCT: mean over completed visits only; the in-flight
+            # counts widen just the exploration denominator (n_i).
+            completed = self.visits[span]
+            safe_c = np.where(completed > 0.0, completed, 1.0)
+            p = np.where(
+                completed > 0.0, self.wins[span] / safe_c, 0.5
+            )
+        else:
+            p = self.wins[span] / n_i
         c = self.ucb_c
         if self.selection_rule == "ucb1_tuned":
             variance = p * (1.0 - p) + np.sqrt(2.0 * log_total / n_i)
@@ -462,7 +477,14 @@ class TreeArena:
             totals = self.visits[nodes]
         log_tot = self._log_totals(totals)[:, None]
         safe = np.where(n_i > 0.0, n_i, 1.0)
-        p = self.wins[cids] / safe
+        if self.parallel_mode == "wuct":
+            completed = self.visits[cids]
+            safe_c = np.where(completed > 0.0, completed, 1.0)
+            p = np.where(
+                completed > 0.0, self.wins[cids] / safe_c, 0.5
+            )
+        else:
+            p = self.wins[cids] / safe
         c = self.ucb_c
         if self.selection_rule == "ucb1_tuned":
             variance = p * (1.0 - p) + np.sqrt(2.0 * log_tot / safe)
@@ -641,6 +663,7 @@ class TreeArena:
             "kind": "arena",
             "ucb_c": self.ucb_c,
             "selection_rule": self.selection_rule,
+            "parallel_mode": self.parallel_mode,
             "n_trees": self.n_trees,
             "mask_words": self.mask_words,
             "allocated": n,
@@ -668,6 +691,7 @@ class TreeArena:
         arena.game = game
         arena.ucb_c = snap["ucb_c"]
         arena.selection_rule = snap["selection_rule"]
+        arena.parallel_mode = snap.get("parallel_mode", "vloss")
         arena.n_trees = snap["n_trees"]
         arena.mask_words = snap["mask_words"]
         arena.rngs = [

@@ -61,9 +61,15 @@ class ArenaTree:
         rng: XorShift64Star,
         ucb_c: float = 1.0,
         selection_rule: str = "ucb1",
+        parallel_mode: str = "vloss",
     ) -> None:
         self.arena = TreeArena(
-            game, root_state, [rng], ucb_c, selection_rule
+            game,
+            root_state,
+            [rng],
+            ucb_c,
+            selection_rule,
+            parallel_mode=parallel_mode,
         )
 
     def select_expand(self) -> tuple[int, int]:
@@ -115,6 +121,13 @@ class ArenaTree:
     def depth(self) -> int:
         return self.max_depth
 
+    def ref_token(self, ref: int) -> int:
+        """Arena refs are stable slot numbers: the token is the ref."""
+        return int(ref)
+
+    def ref_from_token(self, token: int) -> int:
+        return int(token)
+
     def snapshot(self) -> dict:
         return {"kind": "arena_tree", "arena": self.arena.snapshot()}
 
@@ -132,12 +145,87 @@ def make_tree(
     rng: XorShift64Star,
     ucb_c: float = 1.0,
     selection_rule: str = "ucb1",
+    parallel_mode: str = "vloss",
 ):
     """One tree on the chosen backend."""
     validate_backend(backend)
-    if backend == "arena":
-        return ArenaTree(game, root_state, rng, ucb_c, selection_rule)
-    return SearchTree(game, root_state, rng, ucb_c, selection_rule)
+    cls = ArenaTree if backend == "arena" else SearchTree
+    return cls(
+        game,
+        root_state,
+        rng,
+        ucb_c,
+        selection_rule,
+        parallel_mode=parallel_mode,
+    )
+
+
+def audit_search_tree(tree: SearchTree, legal_moves=None) -> str | None:
+    """Walk one pointer tree checking the statistics invariants every
+    clean tree satisfies: finite, non-negative visits; wins within
+    ``[0, visits]``; parent visits at least the sum of child visits
+    (visit conservation).  Returns a violation description, or None.
+
+    In-flight selections are accounted in ``vloss`` (both modes), not
+    ``visits``/``wins``, so the audit holds at any point of a
+    shared-tree round, not just at quiescence.
+    """
+    for node in tree.iter_nodes():
+        v, w = node.visits, node.wins
+        if not (math.isfinite(v) and math.isfinite(w)):
+            return f"node for move {node.move}: non-finite statistics"
+        if v < 0:
+            return f"node for move {node.move}: negative visits {v}"
+        if w < -1e-9 or w > v + 1e-9:
+            return (
+                f"node for move {node.move}: wins {w} outside "
+                f"[0, visits={v}]"
+            )
+        if node.children:
+            child_visits = sum(c.visits for c in node.children)
+            if v + 1e-9 < child_visits:
+                return (
+                    f"node for move {node.move}: visits {v} < sum "
+                    f"of child visits {child_visits}"
+                )
+    return audit_root_stats(tree.root_stats(), legal_moves)
+
+
+class SingleTreeForest:
+    """Adapter: one shared tree behind the forest surface
+    :class:`~repro.integrity.engine.IntegrityState` audits and poisons
+    (tree index 0).  Lets the shared-tree engines reuse the ensemble
+    defenses unchanged."""
+
+    def __init__(self, tree) -> None:
+        self.tree = tree
+
+    def poison_root(self, i: int, bonus: float) -> bool:
+        """See :meth:`NodeForest.poison_root` (single tree, index 0)."""
+        if i != 0:
+            return False
+        if isinstance(self.tree, ArenaTree):
+            return self.tree.arena.poison_root(0, bonus)
+        root = self.tree.root
+        if not root.children:
+            return False
+        victim = max(
+            root.children,
+            key=lambda c: (c.visits, c.wins, -c.move),
+        )
+        victim.wins += bonus
+        return True
+
+    def audit_tree(self, i: int, legal_moves=None) -> str | None:
+        if isinstance(self.tree, ArenaTree):
+            try:
+                self.tree.arena.validate(trees=(0,))
+            except ArenaInvariantError as exc:
+                return str(exc)
+            return audit_root_stats(
+                self.tree.root_stats(), legal_moves
+            )
+        return audit_search_tree(self.tree, legal_moves)
 
 
 class NodeForest:
@@ -250,26 +338,7 @@ class NodeForest:
         ``[0, visits]``; parent visits at least the sum of child visits
         (visit conservation).  Returns a violation description, or
         None."""
-        tree = self.trees[i]
-        for node in tree.iter_nodes():
-            v, w = node.visits, node.wins
-            if not (math.isfinite(v) and math.isfinite(w)):
-                return f"node for move {node.move}: non-finite statistics"
-            if v < 0:
-                return f"node for move {node.move}: negative visits {v}"
-            if w < -1e-9 or w > v + 1e-9:
-                return (
-                    f"node for move {node.move}: wins {w} outside "
-                    f"[0, visits={v}]"
-                )
-            if node.children:
-                child_visits = sum(c.visits for c in node.children)
-                if v + 1e-9 < child_visits:
-                    return (
-                        f"node for move {node.move}: visits {v} < sum "
-                        f"of child visits {child_visits}"
-                    )
-        return audit_root_stats(tree.root_stats(), legal_moves)
+        return audit_search_tree(self.trees[i], legal_moves)
 
     def max_depth(self) -> int:
         return max(t.max_depth for t in self.trees)

@@ -242,7 +242,12 @@ class Engine(abc.ABC):
             f"unknown executor state kind: {state.get('kind')!r}"
         )
 
-    def _make_tree(self, state: GameState, rng: XorShift64Star):
+    def _make_tree(
+        self,
+        state: GameState,
+        rng: XorShift64Star,
+        parallel_mode: str = "vloss",
+    ):
         """One tree on the engine's configured backend."""
         return make_tree(
             self.backend,
@@ -251,6 +256,7 @@ class Engine(abc.ABC):
             rng,
             self.ucb_c,
             self.selection_rule,
+            parallel_mode=parallel_mode,
         )
 
     def _make_forest(self, state: GameState, rngs):

@@ -29,7 +29,11 @@ import numpy as np
 from repro.core.backend import restore_forest
 from repro.core.base import Engine
 from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.results import (
+    INTEGRITY_EXTRA_KEYS,
+    SearchResult,
+    register_extra_keys,
+)
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
@@ -151,12 +155,12 @@ class BlockParallelMcts(Engine):
         stats = forest.aggregate_stats(keep)
         voted = self._vote_stats(forest, keep) or stats
         extras = {
-            "kernels": self.gpu.stats.kernels_launched,
-            "per_tree_depth": forest.per_tree_depth(),
-            "per_tree_nodes": forest.per_tree_nodes(),
+            "gpu.kernels": self.gpu.stats.kernels_launched,
+            "tree.depth": forest.per_tree_depth(),
+            "tree.nodes": forest.per_tree_nodes(),
         }
         if guard is not None:
-            extras["integrity"] = guard.extras()
+            extras.update(guard.extras())
         result = SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
@@ -167,6 +171,7 @@ class BlockParallelMcts(Engine):
             elapsed_s=self.clock.now - live["start_s"],
             trees=blocks,
             extras=extras,
+            engine=self.name,
         )
         self._live = None
         return result
@@ -222,3 +227,14 @@ class BlockParallelMcts(Engine):
             "simulations": payload["simulations"],
             "integrity": guard,
         }
+
+
+register_extra_keys(
+    BlockParallelMcts.name,
+    {
+        "gpu.kernels": int,
+        "tree.depth": list,
+        "tree.nodes": list,
+        **INTEGRITY_EXTRA_KEYS,
+    },
+)

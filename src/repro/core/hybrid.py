@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.core.backend import restore_forest
 from repro.core.base import Engine
 from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.results import SearchResult, register_extra_keys
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
@@ -134,11 +134,12 @@ class HybridMcts(Engine):
             elapsed_s=self.clock.now - live["start_s"],
             trees=blocks,
             extras={
-                "cpu_iterations": cpu_iterations,
-                "kernels": self.gpu.stats.kernels_launched,
-                "per_tree_depth": forest.per_tree_depth(),
-                "per_tree_nodes": forest.per_tree_nodes(),
+                "cpu.iterations": cpu_iterations,
+                "gpu.kernels": self.gpu.stats.kernels_launched,
+                "tree.depth": forest.per_tree_depth(),
+                "tree.nodes": forest.per_tree_nodes(),
             },
+            engine=self.name,
         )
         self._live = None
         return result
@@ -173,3 +174,14 @@ class HybridMcts(Engine):
             "cpu_iterations": payload["cpu_iterations"],
             "simulations": payload["simulations"],
         }
+
+
+register_extra_keys(
+    HybridMcts.name,
+    {
+        "cpu.iterations": int,
+        "gpu.kernels": int,
+        "tree.depth": list,
+        "tree.nodes": list,
+    },
+)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.core.backend import restore_tree
 from repro.core.base import Engine, tally
 from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.results import SearchResult, register_extra_keys
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050, LaunchConfig, VirtualGpu
@@ -90,10 +90,11 @@ class LeafParallelMcts(Engine):
             tree_nodes=tree.node_count,
             elapsed_s=self.clock.now - live["start_s"],
             extras={
-                "kernels": self.gpu.stats.kernels_launched,
-                "per_tree_depth": [tree.depth()],
-                "per_tree_nodes": [tree.node_count],
+                "gpu.kernels": self.gpu.stats.kernels_launched,
+                "tree.depth": [tree.depth()],
+                "tree.nodes": [tree.node_count],
             },
+            engine=self.name,
         )
         self._live = None
         return result
@@ -120,3 +121,9 @@ class LeafParallelMcts(Engine):
             "iterations": payload["iterations"],
             "simulations": payload["simulations"],
         }
+
+
+register_extra_keys(
+    LeafParallelMcts.name,
+    {"gpu.kernels": int, "tree.depth": list, "tree.nodes": list},
+)

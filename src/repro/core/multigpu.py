@@ -15,7 +15,11 @@ import numpy as np
 from repro.core.base import Engine
 from repro.core.block_parallel import BlockParallelMcts
 from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.results import (
+    INTEGRITY_EXTRA_KEYS,
+    SearchResult,
+    register_extra_keys,
+)
 from repro.cpu import XEON_X5670
 from repro.games.base import GameState
 from repro.gpu import TESLA_C2050
@@ -148,34 +152,41 @@ class MultiGpuMcts(Engine):
             elapsed_s=elapsed,
             trees=self.n_gpus * self.blocks,
             extras={
-                "ranks": self.n_gpus,
-                "per_rank_simulations": [
+                "mpi.ranks": self.n_gpus,
+                "mpi.rank_simulations": [
                     r.simulations for r in rank_results
                 ],
-                "per_tree_depth": [
+                "tree.depth": [
                     d
                     for r in rank_results
-                    for d in r.extras["per_tree_depth"]
+                    for d in r.extras["tree.depth"]
                 ],
-                "per_tree_nodes": [
+                "tree.nodes": [
                     n
                     for r in rank_results
-                    for n in r.extras["per_tree_nodes"]
+                    for n in r.extras["tree.nodes"]
                 ],
-                "dropped_messages": cluster.dropped,
+                "mpi.dropped_messages": cluster.dropped,
             },
+            engine=self.name,
         )
         if self.injector is not None:
-            merged: dict = {}
+            merged: dict = {
+                key: [] if kind is list else 0
+                for key, kind in INTEGRITY_EXTRA_KEYS.items()
+            }
             for rank, r in enumerate(rank_results):
-                for key, value in r.extras.get("integrity", {}).items():
-                    if key == "quarantined_trees":
-                        merged.setdefault(key, []).extend(
+                for key in INTEGRITY_EXTRA_KEYS:
+                    value = r.extras.get(key)
+                    if value is None:
+                        continue
+                    if key == "integrity.quarantined":
+                        merged[key].extend(
                             rank * self.blocks + t for t in value
                         )
                     else:
-                        merged[key] = merged.get(key, 0) + value
-            result.extras["integrity"] = merged
+                        merged[key] += value
+            result.extras.update(merged)
         self._live = None
         return result
 
@@ -211,3 +222,16 @@ class MultiGpuMcts(Engine):
             "rank_results": list(payload["rank_results"]),
             "iterations": payload["iterations"],
         }
+
+
+register_extra_keys(
+    MultiGpuMcts.name,
+    {
+        "mpi.ranks": int,
+        "mpi.rank_simulations": list,
+        "tree.depth": list,
+        "tree.nodes": list,
+        "mpi.dropped_messages": int,
+        **INTEGRITY_EXTRA_KEYS,
+    },
+)

@@ -1,0 +1,345 @@
+"""Pipelined MCTS: select/expand/playout/backprop as software stages.
+
+The 3PMCTS decomposition (Mirsoleimani et al., "Structured Parallel
+Programming for Monte Carlo Tree Search") restructures the MCTS loop
+as an *operation pipeline* instead of ``n`` independent iteration
+loops: while the device simulates round ``k``'s playouts, the CPU is
+already selecting and expanding round ``k+1``'s leaves from the shared
+tree.  One engine round is therefore:
+
+1. **select+expand** -- up to ``n_workers`` leaves chosen from the
+   *stale* tree (round ``k-1``'s results have not landed yet -- that
+   one-round staleness is the price of overlap) and marked in flight
+   (``@vloss`` phantom losses or ``@wuct`` unobserved counts);
+2. **backprop** -- round ``k-1``'s playout results, held since the
+   previous round, retire: markers come off, real statistics go in;
+3. **playout** -- round ``k``'s batch is issued to the executor; its
+   results are held for the next round's backprop stage.
+
+Virtual-clock accounting models the overlap: the CPU select stage of
+round ``k`` runs concurrently with the device playout of round
+``k-1``; backprop must wait for the device (it consumes the results);
+the device starts round ``k``'s batch once both it and the selections
+are ready.  In steady state the round time is ``max(cpu stage time,
+device playout time)`` rather than their sum -- per-stage busy time
+and occupancy land in the result extras (``pipeline.*``).
+
+Checkpointing snapshots mid-pipeline state: in-flight refs are encoded
+as stable tokens (arena slots / BFS indices) and the held result batch
+rides the payload, so crash -> restore -> resume is bit-identical even
+with a full pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.backend import SingleTreeForest, restore_tree
+from repro.core.base import BatchExecutor, Engine, SearchGenerator, drive_search
+from repro.core.policy import select_move
+from repro.core.results import (
+    INTEGRITY_EXTRA_KEYS,
+    SearchResult,
+    register_extra_keys,
+)
+from repro.core.tree_parallel import resolve_shared_tree_mode
+from repro.games.base import GameState
+from repro.integrity.engine import IntegrityState
+from repro.util.seeding import derive_seed
+
+
+class PipelineMcts(Engine):
+    """Shared-tree MCTS with select(k+1) overlapping playout(k)."""
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        game,
+        seed,
+        n_workers: int,
+        mode: str = "vloss",
+        virtual_loss: "float | None" = None,
+        injector=None,
+        integrity=None,
+        **kwargs,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive: {n_workers}")
+        self.mode, marker = resolve_shared_tree_mode(mode, virtual_loss)
+        super().__init__(game, seed, **kwargs)
+        self.n_workers = n_workers
+        self.virtual_loss = marker
+        self.injector = injector
+        self.integrity = integrity
+
+    def search(self, state: GameState, budget_s: float) -> SearchResult:
+        executor = BatchExecutor(
+            self.game.name, derive_seed(self.seed, "exec")
+        )
+        self._pending_executor = executor
+        return drive_search(self.search_steps(state, budget_s), executor)
+
+    def search_steps(
+        self, state: GameState, budget_s: float
+    ) -> SearchGenerator:
+        self._check_budget(budget_s, state)
+        self._live = {
+            "tree": self._make_tree(
+                state, self.rng.fork("tree"), parallel_mode=self.mode
+            ),
+            "pending": [],  # in-flight (ref, depth) from last round
+            "held": [],  # their (winner, plies), held for backprop
+            "cpu_t": 0.0,  # CPU stage cursor (select + backprop)
+            "dev_done": 0.0,  # completion time of the in-flight batch
+            "select_s": 0.0,
+            "backprop_s": 0.0,
+            "playout_s": 0.0,
+            "rounds": 0,
+            "budget_s": budget_s,
+            "iterations": 0,
+            "simulations": 0,
+            "executor": self._take_pending_executor(),
+            "integrity": (
+                IntegrityState(self.integrity, self.injector, 1)
+                if self.injector is not None
+                else None
+            ),
+        }
+        return self._session_steps()
+
+    def _session_steps(self) -> SearchGenerator:
+        live = self._live
+        tree = live["tree"]
+        budget_s = live["budget_s"]
+        cap = self._iteration_cap()
+        guard = live.get("integrity")
+        screen = guard if live.get("executor") is not None else None
+        view = SingleTreeForest(tree) if guard is not None else None
+
+        while (
+            max(live["cpu_t"], live["dev_done"]) < budget_s
+            and live["iterations"] < cap
+        ):
+            # Stage 1 -- select+expand round k's leaves from the stale
+            # tree (round k-1's results are still in flight), charging
+            # CPU time that overlaps the in-flight device batch.
+            requests = []
+            fresh = []  # (ref, depth) awaiting playout
+            instant = []  # terminal selections retire this round
+            sel_t = 0.0
+            for _ in range(self.n_workers):
+                ref, depth = tree.select_expand()
+                tree.apply_virtual_loss(ref, self.virtual_loss)
+                sel_t += self.cost.selection_time(depth)
+                if tree.terminal_of(ref):
+                    instant.append((ref, depth))
+                else:
+                    sel_t += self.cost.expand_s
+                    requests.append(tree.state_of(ref))
+                    fresh.append((ref, depth))
+            sel_done = live["cpu_t"] + sel_t
+            live["select_s"] += sel_t
+
+            # Stage 2 -- backprop: round k-1's held results (gated on
+            # the device finishing their batch) plus round k's
+            # terminal selections.
+            bp_t = 0.0
+            for (ref, depth), (winner, plies) in zip(
+                live["pending"], live["held"]
+            ):
+                tree.revert_virtual_loss(ref, self.virtual_loss)
+                tree.backprop_winner(ref, winner)
+                bp_t += (
+                    self.cost.backprop_time(depth)
+                    + self.cost.fixed_per_iteration_s
+                )
+                live["iterations"] += 1
+                live["simulations"] += 1
+            for ref, depth in instant:
+                tree.revert_virtual_loss(ref, self.virtual_loss)
+                tree.backprop_winner(ref, tree.winner_of(ref))
+                bp_t += (
+                    self.cost.backprop_time(depth)
+                    + self.cost.fixed_per_iteration_s
+                )
+                live["iterations"] += 1
+                live["simulations"] += 1
+            bp_start = (
+                max(sel_done, live["dev_done"])
+                if live["pending"]
+                else sel_done
+            )
+            live["cpu_t"] = bp_start + bp_t
+            live["backprop_s"] += bp_t
+
+            # Stage 3 -- issue round k's playouts; the device starts
+            # once it is free and the selections exist.  Results are
+            # *held*: they backprop at round k+1's stage 2.
+            if requests:
+                launch = max(sel_done, live["dev_done"])
+                results = yield requests
+                if screen is not None:
+                    results = yield from self._screen_results(
+                        requests, results, screen
+                    )
+                play_t = max(
+                    self.cost.playout_time(plies)
+                    for _, plies in results
+                )
+                live["dev_done"] = launch + play_t
+                live["playout_s"] += play_t
+                live["pending"] = fresh
+                live["held"] = list(results)
+            else:
+                live["pending"] = []
+                live["held"] = []
+            live["rounds"] += 1
+            if guard is not None:
+                guard.poison(view, 1.0)
+                guard.audit(view, live["iterations"])
+            # Round boundary: the new batch is in flight (its markers
+            # outstanding), everything else is consistent -- snapshots
+            # here encode the in-flight refs as stable tokens.
+            self._after_iteration(live["iterations"])
+
+        # Drain: retire the final in-flight batch.
+        bp_t = 0.0
+        for (ref, depth), (winner, plies) in zip(
+            live["pending"], live["held"]
+        ):
+            tree.revert_virtual_loss(ref, self.virtual_loss)
+            tree.backprop_winner(ref, winner)
+            bp_t += (
+                self.cost.backprop_time(depth)
+                + self.cost.fixed_per_iteration_s
+            )
+            live["iterations"] += 1
+            live["simulations"] += 1
+        live["pending"] = []
+        live["held"] = []
+        live["cpu_t"] = max(live["cpu_t"], live["dev_done"]) + bp_t
+        live["backprop_s"] += bp_t
+
+        elapsed = max(live["cpu_t"], live["dev_done"])
+        self.clock.advance(elapsed)
+        if guard is not None:
+            guard.final_sweep(view)
+        stats = tree.root_stats()
+        cpu_busy = live["select_s"] + live["backprop_s"]
+        extras = {
+            "tree.depth": [tree.depth()],
+            "tree.nodes": [tree.node_count],
+            "pipeline.rounds": live["rounds"],
+            "pipeline.select_s": live["select_s"],
+            "pipeline.backprop_s": live["backprop_s"],
+            "pipeline.playout_s": live["playout_s"],
+            "pipeline.cpu_occupancy": (
+                cpu_busy / elapsed if elapsed > 0 else 0.0
+            ),
+            "pipeline.device_occupancy": (
+                live["playout_s"] / elapsed if elapsed > 0 else 0.0
+            ),
+        }
+        if guard is not None:
+            extras.update(guard.extras())
+        result = SearchResult(
+            move=select_move(stats, self.final_policy),
+            stats=stats,
+            iterations=live["iterations"],
+            simulations=live["simulations"],
+            max_depth=tree.max_depth,
+            tree_nodes=tree.node_count,
+            elapsed_s=elapsed,
+            extras=extras,
+            engine=self.name,
+        )
+        self._live = None
+        return result
+
+    def _screen_results(self, requests, results, guard):
+        """Screen one round's playout answers (see RootParallelMcts)."""
+        for attempt in range(guard.policy.max_result_retries + 1):
+            results, ok = guard.screen_answers(list(results))
+            if ok:
+                return results
+            if attempt < guard.policy.max_result_retries:
+                results = yield requests
+        guard.give_up()
+        return [(0, 0)] * len(requests)
+
+    # -- checkpointing -------------------------------------------------------
+
+    _SCALARS = (
+        "cpu_t",
+        "dev_done",
+        "select_s",
+        "backprop_s",
+        "playout_s",
+        "rounds",
+        "budget_s",
+        "iterations",
+        "simulations",
+    )
+
+    def _snapshot_payload(self) -> dict:
+        live = self._live
+        tree = live["tree"]
+        payload = {
+            "mode": self.mode,
+            "tree": tree.snapshot(),
+            "pending": [
+                (tree.ref_token(ref), depth)
+                for ref, depth in live["pending"]
+            ],
+            "held": [tuple(r) for r in live["held"]],
+            "executor": self._executor_state(live["executor"]),
+        }
+        for key in self._SCALARS:
+            payload[key] = live[key]
+        if live.get("integrity") is not None:
+            payload["integrity"] = live["integrity"].getstate()
+        return payload
+
+    def _restore_payload(self, payload: dict) -> dict:
+        from repro.core.checkpoint import CheckpointError
+
+        snap_mode = payload.get("mode", "vloss")
+        if snap_mode != self.mode:
+            raise CheckpointError(
+                f"snapshot parallel mode mismatch: snapshot has "
+                f"{snap_mode!r}, engine has {self.mode!r}"
+            )
+        tree = restore_tree(self.game, payload["tree"])
+        guard = None
+        if self.injector is not None:
+            guard = IntegrityState(self.integrity, self.injector, 1)
+            if "integrity" in payload:
+                guard.setstate(payload["integrity"])
+        live = {
+            "tree": tree,
+            "pending": [
+                (tree.ref_from_token(token), depth)
+                for token, depth in payload["pending"]
+            ],
+            "held": [tuple(r) for r in payload["held"]],
+            "executor": self._restore_executor(payload["executor"]),
+            "integrity": guard,
+        }
+        for key in self._SCALARS:
+            live[key] = payload[key]
+        return live
+
+
+register_extra_keys(
+    PipelineMcts.name,
+    {
+        "tree.depth": list,
+        "tree.nodes": list,
+        "pipeline.rounds": int,
+        "pipeline.select_s": float,
+        "pipeline.backprop_s": float,
+        "pipeline.playout_s": float,
+        "pipeline.cpu_occupancy": float,
+        "pipeline.device_occupancy": float,
+        **INTEGRITY_EXTRA_KEYS,
+    },
+)

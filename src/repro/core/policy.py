@@ -31,6 +31,29 @@ def validate_selection_rule(rule: str) -> str:
         )
     return rule
 
+#: Phantom-loss accounting: in-flight selections add losing visits to
+#: both the mean and the exploration term (Chaslot et al.).
+VLOSS = "vloss"
+#: WU-UCT accounting: in-flight selections count as *unobserved*
+#: samples -- they widen the exploration denominator but leave the
+#: mean over completed playouts untouched (Liu et al., "Watch the
+#: Unobserved").
+WUCT = "wuct"
+
+#: Supported in-flight accounting modes for shared-tree engines.
+PARALLEL_MODES = (VLOSS, WUCT)
+
+
+def validate_parallel_mode(mode: str) -> str:
+    """Return ``mode`` if supported, raise ``ValueError`` otherwise."""
+    if mode not in PARALLEL_MODES:
+        raise ValueError(
+            f"unknown parallel mode {mode!r}; "
+            f"available: {PARALLEL_MODES}"
+        )
+    return mode
+
+
 #: visits-based "robust child" -- the default, and what the paper's
 #: root-style aggregation implies (sum visit counts, pick the max).
 MAX_VISITS = "max_visits"

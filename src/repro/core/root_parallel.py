@@ -18,7 +18,11 @@ from __future__ import annotations
 from repro.core.backend import restore_forest
 from repro.core.base import BatchExecutor, Engine, SearchGenerator, drive_search
 from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.results import (
+    INTEGRITY_EXTRA_KEYS,
+    SearchResult,
+    register_extra_keys,
+)
 from repro.games.base import GameState
 from repro.integrity.engine import IntegrityState
 from repro.util.seeding import derive_seed
@@ -157,11 +161,11 @@ class RootParallelMcts(Engine):
         else:
             voted = stats
         extras = {
-            "per_tree_depth": forest.per_tree_depth(),
-            "per_tree_nodes": forest.per_tree_nodes(),
+            "tree.depth": forest.per_tree_depth(),
+            "tree.nodes": forest.per_tree_nodes(),
         }
         if guard is not None:
-            extras["integrity"] = guard.extras()
+            extras.update(guard.extras())
         result = SearchResult(
             move=select_move(voted, self.final_policy),
             stats=stats,
@@ -172,6 +176,7 @@ class RootParallelMcts(Engine):
             elapsed_s=max(core_time),
             trees=self.n_trees,
             extras=extras,
+            engine=self.name,
         )
         self._live = None
         return result
@@ -225,3 +230,13 @@ class RootParallelMcts(Engine):
             "executor": self._restore_executor(payload["executor"]),
             "integrity": guard,
         }
+
+
+register_extra_keys(
+    RootParallelMcts.name,
+    {
+        "tree.depth": list,
+        "tree.nodes": list,
+        **INTEGRITY_EXTRA_KEYS,
+    },
+)

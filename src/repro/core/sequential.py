@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.core.backend import restore_tree
 from repro.core.base import Engine, ScalarExecutor, SearchGenerator, drive_search
 from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.results import SearchResult, register_extra_keys
 from repro.games.base import GameState
 
 
@@ -71,9 +71,10 @@ class SequentialMcts(Engine):
             tree_nodes=tree.node_count,
             elapsed_s=self.clock.now - live["start_s"],
             extras={
-                "per_tree_depth": [tree.depth()],
-                "per_tree_nodes": [tree.node_count],
+                "tree.depth": [tree.depth()],
+                "tree.nodes": [tree.node_count],
             },
+            engine=self.name,
         )
         self._live = None
         return result
@@ -100,3 +101,9 @@ class SequentialMcts(Engine):
             "simulations": payload["simulations"],
             "executor": self._restore_executor(payload["executor"]),
         }
+
+
+register_extra_keys(
+    SequentialMcts.name,
+    {"tree.depth": list, "tree.nodes": list},
+)

@@ -8,13 +8,32 @@ parameters, and can be written three ways::
                  "vote": "majority"}, game, seed=1)
     make_engine(EngineSpec("sequential"), game, seed=1)
 
-The string grammar is ``kind[:AxBxC][@backend]`` -- the colon suffix
-holds the kind's positional integers joined with ``x`` (``block:16x32``
-is 16 blocks of 32 threads) and the optional ``@`` suffix picks the
-tree backend (``block:16x32@arena``; default ``node``).  Dict specs
-take the same positional parameters by name plus any keyword the
-engine constructor accepts (``ucb_c``, ``vote``, ``backend``,
-``device`` as a registered device name, ...).
+The string grammar is ``kind[:AxBxC][@mod[=value]]*`` -- the colon
+suffix holds the kind's positional integers joined with ``x``
+(``block:16x32`` is 16 blocks of 32 threads) and each ``@`` token is a
+registered *modifier*.  Modifiers are order-independent and composable
+(``tree:8@wuct@arena`` == ``tree:8@arena@wuct``); unknown modifiers,
+duplicates, and two modifiers fighting over the same slot (``@node``
+plus ``@arena``) are errors naming the offending token.  The built-in
+modifier table:
+
+========== ============================ ==========================
+modifier   sets                          applies to
+========== ============================ ==========================
+``@node``   ``backend="node"``           every kind (the default)
+``@arena``  ``backend="arena"``          every kind
+``@vloss``  ``mode="vloss"`` (optional   ``tree``, ``pipeline``
+            ``=X`` sets ``virtual_loss``)
+``@wuct``   ``mode="wuct"``              ``tree``, ``pipeline``
+``@vote``   ``=sum|majority|trimmed``    ``root``, ``block``
+========== ============================ ==========================
+
+:meth:`EngineSpec.canonical` renders the unique canonical string --
+positional args, then modifiers in table order with defaults omitted
+-- and round-trips through :meth:`EngineSpec.parse` for every
+registered kind.  Every spec string the old positional-suffix grammar
+accepted (``kind[:AxB][@backend]``) is a strict subset of this grammar
+and still parses to the same engine.
 
 Construction through a spec is *exactly equivalent* to calling the
 engine class directly: same constructor arguments, same RNG streams,
@@ -25,8 +44,9 @@ every engine through this factory.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.core.backend import validate_backend
 from repro.core.base import Engine
@@ -34,7 +54,8 @@ from repro.core.block_parallel import BlockParallelMcts
 from repro.core.hybrid import HybridMcts
 from repro.core.leaf_parallel import LeafParallelMcts
 from repro.core.multigpu import MultiGpuMcts
-from repro.core.root_parallel import RootParallelMcts
+from repro.core.pipeline import PipelineMcts
+from repro.core.root_parallel import VOTE_MODES, RootParallelMcts
 from repro.core.sequential import SequentialMcts
 from repro.core.tree_parallel import TreeParallelMcts
 from repro.games.base import Game
@@ -87,6 +108,81 @@ def engine_kinds() -> tuple[EngineKind, ...]:
 
 
 @dataclass(frozen=True)
+class SpecModifier:
+    """One registered ``@`` token of the spec grammar."""
+
+    name: str
+    #: Modifiers sharing a group fight over the same engine slot; a
+    #: spec may carry at most one modifier per group (``@node@arena``
+    #: is a conflict, not a composition).
+    group: str
+    #: Constructor params a bare ``@name`` sets; None means the
+    #: modifier cannot appear without ``=value`` (e.g. ``@vote``).
+    flag_params: "Mapping[str, object] | None" = None
+    #: Constructor param an ``@name=value`` suffix sets; None means
+    #: the modifier takes no value (``@arena=2`` is an error).
+    value_param: str | None = None
+    #: Parser/validator for the value token; raises ValueError on bad
+    #: input (the message is wrapped with the spec context).
+    value_parse: "Callable[[str], object] | None" = None
+    #: Engine kinds the modifier applies to; None means every kind.
+    kinds: "frozenset[str] | None" = None
+
+    def applies_to(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
+
+
+#: Registration-ordered modifier table; canonical strings emit
+#: modifiers in this order.
+_MODIFIERS: dict[str, SpecModifier] = {}
+
+
+def register_modifier(modifier: SpecModifier) -> SpecModifier:
+    """Register a spec modifier (extension point, like engine kinds)."""
+    if modifier.flag_params is None and modifier.value_param is None:
+        raise ValueError(
+            f"modifier @{modifier.name} sets nothing: give it "
+            "flag_params, a value_param, or both"
+        )
+    _MODIFIERS[modifier.name] = modifier
+    return modifier
+
+
+def spec_modifiers() -> tuple[SpecModifier, ...]:
+    """All registered modifiers, in registration (= canonical) order."""
+    return tuple(_MODIFIERS.values())
+
+
+def _modifiers_for(kind: str) -> list[str]:
+    return [
+        f"@{m.name}" for m in _MODIFIERS.values() if m.applies_to(kind)
+    ]
+
+
+def _parse_vote(token: str) -> str:
+    if token not in VOTE_MODES:
+        raise ValueError(
+            f"unknown vote mode {token!r}; available: {VOTE_MODES}"
+        )
+    return token
+
+
+def _parse_virtual_loss(token: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"invalid virtual-loss value {token!r} (expected a number)"
+        ) from None
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+@dataclass(frozen=True)
 class EngineSpec:
     """A parsed, buildable engine description."""
 
@@ -102,14 +198,10 @@ class EngineSpec:
 
     @staticmethod
     def parse(text: str) -> "EngineSpec":
-        """Parse the string form (``"block:16x32[@backend]"``)."""
+        """Parse the string form (``"kind[:AxB][@mod[=value]]*"``)."""
         if not isinstance(text, str) or not text.strip():
             raise ValueError(f"empty engine spec: {text!r}")
-        body, at, backend_token = text.strip().partition("@")
-        backend_params: dict[str, object] = {}
-        if at:
-            validate_backend(backend_token)
-            backend_params["backend"] = backend_token
+        body, *mod_tokens = text.strip().split("@")
         kind_token, sep, arg_token = body.partition(":")
         kind = _KINDS.get(kind_token)
         if kind is None:
@@ -117,31 +209,33 @@ class EngineSpec:
                 f"unknown engine kind {kind_token!r} in spec {text!r}; "
                 f"available: {sorted(_KINDS)}"
             )
-        if not sep:
-            if kind.positional:
+        params: dict[str, object] = {}
+        if sep:
+            tokens = arg_token.split("x")
+            if len(tokens) != len(kind.positional):
                 raise ValueError(
-                    f"engine spec {text!r} is missing its parameters; "
-                    f"expected e.g. {kind.example!r}"
+                    f"engine spec {text!r} has {len(tokens)} parameter(s) "
+                    f"in {arg_token!r}; {kind.name} takes "
+                    f"{len(kind.positional)} "
+                    f"({' x '.join(kind.positional) or 'none'}), "
+                    f"e.g. {kind.example!r}"
                 )
-            return EngineSpec(kind.name, backend_params)
-        tokens = arg_token.split("x")
-        if len(tokens) != len(kind.positional):
+            for pname, token in zip(kind.positional, tokens):
+                try:
+                    params[pname] = int(token)
+                except ValueError:
+                    raise ValueError(
+                        f"invalid integer {token!r} for {pname} in engine "
+                        f"spec {text!r}"
+                    ) from None
+        elif kind.positional:
             raise ValueError(
-                f"engine spec {text!r} has {len(tokens)} parameter(s) "
-                f"in {arg_token!r}; {kind.name} takes "
-                f"{len(kind.positional)} "
-                f"({' x '.join(kind.positional) or 'none'}), "
-                f"e.g. {kind.example!r}"
+                f"engine spec {text!r} is missing its parameters; "
+                f"expected e.g. {kind.example!r}"
             )
-        params: dict[str, object] = dict(backend_params)
-        for pname, token in zip(kind.positional, tokens):
-            try:
-                params[pname] = int(token)
-            except ValueError:
-                raise ValueError(
-                    f"invalid integer {token!r} for {pname} in engine "
-                    f"spec {text!r}"
-                ) from None
+        params.update(
+            _parse_modifiers(kind.name, mod_tokens, text)
+        )
         return EngineSpec(kind.name, params)
 
     @staticmethod
@@ -163,34 +257,50 @@ class EngineSpec:
             f"got {type(spec).__name__}: {spec!r}"
         )
 
-    def to_string(self) -> str:
-        """Canonical string form (positional parameters + backend).
+    def canonical(self) -> str:
+        """The unique canonical string form: positional parameters,
+        then modifiers in table order with defaults omitted
+        (``canonical(parse(s))`` is a fixed point for every string
+        ``s`` the grammar accepts).
 
         Raises ``ValueError`` if the spec holds keyword parameters the
         string grammar cannot carry.
         """
         kind = _KINDS[self.kind]
-        extra = set(self.params) - set(kind.positional) - {"backend"}
+        expressible = set(kind.positional)
+        for mod in _MODIFIERS.values():
+            if not mod.applies_to(self.kind):
+                continue
+            if mod.flag_params is not None:
+                expressible.update(mod.flag_params)
+            if mod.value_param is not None:
+                expressible.add(mod.value_param)
+        extra = set(self.params) - expressible
         if extra:
             raise ValueError(
                 f"spec has non-positional parameters {sorted(extra)}; "
                 "only dict form can express them"
             )
-        backend = self.params.get("backend")
-        suffix = f"@{backend}" if backend and backend != "node" else ""
-        if not kind.positional:
-            return self.kind + suffix
         missing = [p for p in kind.positional if p not in self.params]
         if missing:
             raise ValueError(
                 f"spec is missing positional parameters {missing}"
             )
-        return (
-            self.kind
-            + ":"
-            + "x".join(str(self.params[p]) for p in kind.positional)
-            + suffix
+        head = self.kind
+        if kind.positional:
+            head += ":" + "x".join(
+                str(self.params[p]) for p in kind.positional
+            )
+        return head + _emit_modifiers(self.kind, self.params)
+
+    def to_string(self) -> str:
+        """Deprecated alias of :meth:`canonical`."""
+        warnings.warn(
+            "EngineSpec.to_string() is deprecated; use canonical()",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.canonical()
 
     def build(self, game: Game, seed: int, **overrides) -> Engine:
         """Construct the engine (``overrides`` win over spec params)."""
@@ -198,6 +308,98 @@ class EngineSpec:
         kwargs = _resolve_params(self.params)
         kwargs.update(overrides)
         return kind.cls(game, seed, **kwargs)
+
+
+def _parse_modifiers(
+    kind: str, tokens: "list[str]", text: str
+) -> dict[str, object]:
+    """Resolve the ``@`` tokens of one spec string into params."""
+    params: dict[str, object] = {}
+    claimed: dict[str, str] = {}  # group -> modifier name
+    for token in tokens:
+        name, eq, value = token.partition("=")
+        mod = _MODIFIERS.get(name)
+        if mod is None or not mod.applies_to(kind):
+            applicable = _modifiers_for(kind)
+            detail = (
+                f"does not apply to engine kind {kind!r}"
+                if mod is not None
+                else "is not registered"
+            )
+            raise ValueError(
+                f"unknown modifier @{name or token} in engine spec "
+                f"{text!r}: @{name or token} {detail}; modifiers for "
+                f"{kind}: {applicable or 'none'}"
+            )
+        holder = claimed.get(mod.group)
+        if holder == mod.name:
+            raise ValueError(
+                f"duplicate modifier @{mod.name} in engine spec {text!r}"
+            )
+        if holder is not None:
+            raise ValueError(
+                f"conflicting modifiers @{holder} and @{mod.name} in "
+                f"engine spec {text!r} (both set the {mod.group})"
+            )
+        claimed[mod.group] = mod.name
+        if eq:
+            if mod.value_param is None:
+                raise ValueError(
+                    f"modifier @{mod.name} takes no value in engine "
+                    f"spec {text!r}"
+                )
+            try:
+                parsed = mod.value_parse(value) if mod.value_parse else value
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad value for modifier @{mod.name} in engine "
+                    f"spec {text!r}: {exc}"
+                ) from None
+            params[mod.value_param] = parsed
+            if mod.flag_params is not None:
+                params.update(mod.flag_params)
+        else:
+            if mod.flag_params is None:
+                raise ValueError(
+                    f"modifier @{mod.name} needs a value "
+                    f"(@{mod.name}=...) in engine spec {text!r}"
+                )
+            params.update(mod.flag_params)
+    return params
+
+
+#: Default parameter values the canonical form omits.
+_CANONICAL_DEFAULTS = {
+    "backend": "node",
+    "mode": "vloss",
+    "vote": "sum",
+}
+
+
+def _emit_modifiers(kind: str, params: Mapping[str, object]) -> str:
+    """Render the canonical modifier suffix for ``params``."""
+    out = []
+    for mod in _MODIFIERS.values():
+        if not mod.applies_to(kind):
+            continue
+        if mod.value_param is not None and mod.value_param in params:
+            out.append(
+                f"@{mod.name}={_fmt_value(params[mod.value_param])}"
+            )
+            continue
+        if mod.flag_params is None:
+            continue
+        match = all(
+            params.get(p) == v for p, v in mod.flag_params.items()
+        )
+        explicit = any(p in params for p in mod.flag_params)
+        is_default = all(
+            _CANONICAL_DEFAULTS.get(p) == v
+            for p, v in mod.flag_params.items()
+        )
+        if match and explicit and not is_default:
+            out.append(f"@{mod.name}")
+    return "".join(out)
 
 
 def _resolve_params(params: Mapping[str, object]) -> dict:
@@ -214,6 +416,20 @@ def _resolve_params(params: Mapping[str, object]) -> dict:
 
         out["cost_model"] = cpu_cost_model(cost_model)
     return out
+
+
+def with_backend(
+    spec: "EngineSpec | str | Mapping", backend: str
+) -> EngineSpec:
+    """Apply a default tree backend to a spec: the spec's own backend
+    modifier/param wins; ``"node"`` (the global default) is a no-op.
+    The spec-aware replacement for suffixing ``@backend`` onto spec
+    strings."""
+    validate_backend(backend)
+    parsed = EngineSpec.coerce(spec)
+    if backend == "node" or "backend" in parsed.params:
+        return parsed
+    return EngineSpec(parsed.kind, {**parsed.params, "backend": backend})
 
 
 def make_engine(
@@ -243,9 +459,56 @@ register_engine(
 )
 register_engine("root", RootParallelMcts, ("n_trees",), "root:64")
 register_engine("tree", TreeParallelMcts, ("n_workers",), "tree:8")
+register_engine("pipeline", PipelineMcts, ("n_workers",), "pipeline:8")
 register_engine(
     "multigpu",
     MultiGpuMcts,
     ("n_gpus", "blocks", "threads_per_block"),
     "multigpu:4x112x64",
+)
+
+#: Kinds sharing one search tree among concurrent selectors; only
+#: these take the in-flight accounting (@vloss/@wuct) modifiers.
+_SHARED_TREE_KINDS = frozenset({"tree", "pipeline"})
+
+register_modifier(
+    SpecModifier(
+        name="vloss",
+        group="in-flight accounting mode",
+        flag_params={"mode": "vloss"},
+        value_param="virtual_loss",
+        value_parse=_parse_virtual_loss,
+        kinds=_SHARED_TREE_KINDS,
+    )
+)
+register_modifier(
+    SpecModifier(
+        name="wuct",
+        group="in-flight accounting mode",
+        flag_params={"mode": "wuct"},
+        kinds=_SHARED_TREE_KINDS,
+    )
+)
+register_modifier(
+    SpecModifier(
+        name="vote",
+        group="root vote",
+        value_param="vote",
+        value_parse=_parse_vote,
+        kinds=frozenset({"root", "block"}),
+    )
+)
+register_modifier(
+    SpecModifier(
+        name="node",
+        group="tree backend",
+        flag_params={"backend": "node"},
+    )
+)
+register_modifier(
+    SpecModifier(
+        name="arena",
+        group="tree backend",
+        flag_params={"backend": "arena"},
+    )
 )

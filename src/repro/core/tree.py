@@ -19,7 +19,11 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
-from repro.core.policy import SELECTION_RULES, validate_selection_rule
+from repro.core.policy import (
+    SELECTION_RULES,
+    validate_parallel_mode,
+    validate_selection_rule,
+)
 from repro.games.base import Game, GameState
 from repro.rng import XorShift64Star
 
@@ -94,14 +98,17 @@ class SearchTree:
         rng: XorShift64Star,
         ucb_c: float = 1.0,
         selection_rule: str = "ucb1",
+        parallel_mode: str = "vloss",
     ) -> None:
         if ucb_c < 0:
             raise ValueError(f"ucb_c must be non-negative: {ucb_c}")
         validate_selection_rule(selection_rule)
+        validate_parallel_mode(parallel_mode)
         self.game = game
         self.rng = rng
         self.ucb_c = ucb_c
         self.selection_rule = selection_rule
+        self.parallel_mode = parallel_mode
         self.root = Node(None, None, root_state, game, rng)
         if self.root.terminal:
             raise ValueError("cannot search a terminal position")
@@ -144,9 +151,17 @@ class SearchTree:
         exploration width with the Bernoulli variance bound
         ``min(1/4, p(1-p) + sqrt(2 ln N / n))`` (Auer et al.), offered
         for the UCB ablation.
+
+        ``vloss`` counters fold in according to the tree's
+        ``parallel_mode``: under ``"vloss"`` they are phantom losing
+        visits (mean and exploration term both see them); under
+        ``"wuct"`` they are WU-UCT's unobserved-sample counts ``O`` --
+        the exploration term uses ``N+O`` and ``n_i+O_i`` while the
+        mean stays ``wins / completed visits``.
         """
         c = self.ucb_c
         tuned = self.selection_rule == "ucb1_tuned"
+        wuct = self.parallel_mode == "wuct"
         total = node.visits + node.vloss
         log_total = math.log(total) if total > 1.0 else 0.0
         best = None
@@ -155,7 +170,14 @@ class SearchTree:
             n_i = child.visits + child.vloss
             if n_i <= 0:
                 return child  # unvisited child: explore immediately
-            p = child.wins / n_i
+            if wuct:
+                p = (
+                    child.wins / child.visits
+                    if child.visits > 0
+                    else 0.5
+                )
+            else:
+                p = child.wins / n_i
             if tuned:
                 variance = p * (1.0 - p) + math.sqrt(
                     2.0 * log_total / n_i
@@ -258,6 +280,32 @@ class SearchTree:
             yield n
             stack.extend(n.children)
 
+    # -- stable ref tokens ---------------------------------------------------
+
+    # Engines holding refs across a snapshot boundary (the pipeline
+    # engine's in-flight selections) encode them as BFS indices -- the
+    # same ordering :meth:`snapshot` serialises, so a token minted on
+    # the live tree resolves to the equivalent node on a restored one.
+
+    def _bfs_order(self) -> "list[Node]":
+        order = [self.root]
+        head = 0
+        while head < len(order):
+            order.extend(order[head].children)
+            head += 1
+        return order
+
+    def ref_token(self, node: Node) -> int:
+        """The BFS index of ``node`` (stable across snapshot/restore)."""
+        for i, n in enumerate(self._bfs_order()):
+            if n is node:
+                return i
+        raise ValueError("node is not part of this tree")
+
+    def ref_from_token(self, token: int) -> Node:
+        """Inverse of :meth:`ref_token` on this (possibly restored) tree."""
+        return self._bfs_order()[token]
+
     # -- checkpointing -------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -298,6 +346,7 @@ class SearchTree:
             "kind": "node_tree",
             "ucb_c": self.ucb_c,
             "selection_rule": self.selection_rule,
+            "parallel_mode": self.parallel_mode,
             "rng_state": self.rng.getstate(),
             "node_count": self.node_count,
             "max_depth": self.max_depth,
@@ -313,6 +362,7 @@ class SearchTree:
         tree.game = game
         tree.ucb_c = snap["ucb_c"]
         tree.selection_rule = snap["selection_rule"]
+        tree.parallel_mode = snap.get("parallel_mode", "vloss")
         tree.rng = XorShift64Star.from_state(snap["rng_state"])
         tree.node_count = snap["node_count"]
         tree.max_depth = snap["max_depth"]

@@ -1,21 +1,69 @@
-"""Tree-parallel MCTS with virtual loss (literature baseline).
+"""Tree-parallel MCTS on one shared tree (virtual loss / WU-UCT).
 
 Chaslot et al.'s third scheme, which the paper cites and rules out for
 GPUs (it needs fine-grained shared-memory synchronisation a SIMT device
 cannot provide cheaply).  We implement it as an ablation baseline:
-``n_workers`` select concurrently from one shared tree, virtual loss
-spreading them across different leaves; playouts are batched; real
-results replace the phantom losses at the end of each round.
+``n_workers`` select concurrently from one shared tree; playouts are
+batched; real results replace the in-flight markers at the end of each
+round.  Two accounting modes govern how in-flight selections bias
+later selections in the same round:
+
+* ``mode="vloss"`` (default, ``tree:N@vloss``) -- classic virtual
+  loss: each in-flight path carries ``virtual_loss`` phantom *losing*
+  visits, dragging down both the mean and the exploration term until
+  the real result arrives.
+* ``mode="wuct"`` (``tree:N@wuct``) -- WU-UCT (Liu et al., "Watch the
+  Unobserved"): in-flight selections are counted as *unobserved
+  samples* ``O(s,a)``.  The exploration term uses ``N+O`` and
+  ``n_i+O_i`` (so concurrent workers still spread out) while the mean
+  stays the average over **completed** playouts -- no phantom losses
+  polluting value estimates, which matters as ``N`` grows.
 """
 
 from __future__ import annotations
 
-from repro.core.backend import restore_tree
+from repro.core.backend import SingleTreeForest, restore_tree
 from repro.core.base import BatchExecutor, Engine, SearchGenerator, drive_search
-from repro.core.policy import select_move
-from repro.core.results import SearchResult
+from repro.core.policy import select_move, validate_parallel_mode
+from repro.core.results import (
+    INTEGRITY_EXTRA_KEYS,
+    SearchResult,
+    register_extra_keys,
+)
 from repro.games.base import GameState
+from repro.integrity.engine import IntegrityState
 from repro.util.seeding import derive_seed
+
+
+def resolve_shared_tree_mode(
+    mode: str, virtual_loss: "float | None"
+) -> tuple[str, float]:
+    """Validate a shared-tree engine's ``(mode, virtual_loss)`` pair
+    and return ``(mode, marker_amount)``.
+
+    Under ``vloss`` the marker is the virtual-loss weight and must be
+    strictly positive -- ``virtual_loss=0`` silently disables the
+    spreading mechanism and collapses every worker onto one leaf.
+    Under ``wuct`` each in-flight playout is exactly one unobserved
+    sample, so a ``virtual_loss`` parameter is meaningless and
+    rejected."""
+    validate_parallel_mode(mode)
+    if mode == "wuct":
+        if virtual_loss is not None:
+            raise ValueError(
+                "virtual_loss is a @vloss parameter; @wuct counts "
+                "each in-flight playout as one unobserved sample -- "
+                "drop virtual_loss or use mode='vloss'"
+            )
+        return mode, 1.0
+    amount = 1.0 if virtual_loss is None else float(virtual_loss)
+    if amount <= 0:
+        raise ValueError(
+            f"virtual_loss must be > 0 under @vloss (got {amount}): "
+            "zero virtual loss lets every worker collapse onto the "
+            "same leaf"
+        )
+    return mode, amount
 
 
 class TreeParallelMcts(Engine):
@@ -24,17 +72,26 @@ class TreeParallelMcts(Engine):
     name = "tree_parallel"
 
     def __init__(
-        self, game, seed, n_workers: int, virtual_loss: float = 1.0, **kwargs
+        self,
+        game,
+        seed,
+        n_workers: int,
+        mode: str = "vloss",
+        virtual_loss: "float | None" = None,
+        injector=None,
+        integrity=None,
+        **kwargs,
     ) -> None:
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive: {n_workers}")
-        if virtual_loss < 0:
-            raise ValueError(
-                f"virtual_loss must be non-negative: {virtual_loss}"
-            )
+        self.mode, marker = resolve_shared_tree_mode(mode, virtual_loss)
         super().__init__(game, seed, **kwargs)
         self.n_workers = n_workers
-        self.virtual_loss = virtual_loss
+        #: Per-in-flight-path marker weight (phantom losses under
+        #: vloss, unobserved-sample count -- always 1 -- under wuct).
+        self.virtual_loss = marker
+        self.injector = injector
+        self.integrity = integrity
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         executor = BatchExecutor(
@@ -48,12 +105,19 @@ class TreeParallelMcts(Engine):
     ) -> SearchGenerator:
         self._check_budget(budget_s, state)
         self._live = {
-            "tree": self._make_tree(state, self.rng.fork("tree")),
+            "tree": self._make_tree(
+                state, self.rng.fork("tree"), parallel_mode=self.mode
+            ),
             "worker_time": [0.0] * self.n_workers,
             "budget_s": budget_s,
             "iterations": 0,
             "simulations": 0,
             "executor": self._take_pending_executor(),
+            "integrity": (
+                IntegrityState(self.integrity, self.injector, 1)
+                if self.injector is not None
+                else None
+            ),
         }
         return self._session_steps()
 
@@ -65,6 +129,9 @@ class TreeParallelMcts(Engine):
         cap = self._iteration_cap()
         iterations = live["iterations"]
         simulations = live["simulations"]
+        guard = live.get("integrity")
+        screen = guard if live.get("executor") is not None else None
+        view = SingleTreeForest(tree) if guard is not None else None
 
         while min(worker_time) < budget_s and iterations < cap:
             requests = []
@@ -81,6 +148,10 @@ class TreeParallelMcts(Engine):
                     requests.append(tree.state_of(node))
                     pending.append((w, node, depth))
             results = (yield requests) if requests else []
+            if screen is not None and requests:
+                results = yield from self._screen_results(
+                    requests, results, screen
+                )
             for w, node, depth in instant:
                 tree.revert_virtual_loss(node, self.virtual_loss)
                 tree.backprop_winner(node, tree.winner_of(node))
@@ -97,12 +168,23 @@ class TreeParallelMcts(Engine):
                 simulations += 1
             live["iterations"] = iterations
             live["simulations"] = simulations
-            # Round end: every virtual loss reverted -- a clean
+            if guard is not None:
+                guard.poison(view, 1.0)
+                guard.audit(view, iterations)
+            # Round end: every in-flight marker reverted -- a clean
             # checkpoint boundary.
             self._after_iteration(iterations)
 
         self.clock.advance(max(worker_time))
+        if guard is not None:
+            guard.final_sweep(view)
         stats = tree.root_stats()
+        extras = {
+            "tree.depth": [tree.depth()],
+            "tree.nodes": [tree.node_count],
+        }
+        if guard is not None:
+            extras.update(guard.extras())
         result = SearchResult(
             move=select_move(stats, self.final_policy),
             stats=stats,
@@ -111,19 +193,31 @@ class TreeParallelMcts(Engine):
             max_depth=tree.max_depth,
             tree_nodes=tree.node_count,
             elapsed_s=max(worker_time),
-            extras={
-                "per_tree_depth": [tree.depth()],
-                "per_tree_nodes": [tree.node_count],
-            },
+            extras=extras,
+            engine=self.name,
         )
         self._live = None
         return result
+
+    def _screen_results(self, requests, results, guard):
+        """Screen one round's playout answers; rejected batches are
+        re-requested (fresh executor draws) up to the policy's retry
+        budget, then degraded to neutral ``(0, 0)`` answers."""
+        for attempt in range(guard.policy.max_result_retries + 1):
+            results, ok = guard.screen_answers(list(results))
+            if ok:
+                return results
+            if attempt < guard.policy.max_result_retries:
+                results = yield requests
+        guard.give_up()
+        return [(0, 0)] * len(requests)
 
     # -- checkpointing -------------------------------------------------------
 
     def _snapshot_payload(self) -> dict:
         live = self._live
-        return {
+        payload = {
+            "mode": self.mode,
             "tree": live["tree"].snapshot(),
             "worker_time": list(live["worker_time"]),
             "budget_s": live["budget_s"],
@@ -131,8 +225,24 @@ class TreeParallelMcts(Engine):
             "simulations": live["simulations"],
             "executor": self._executor_state(live["executor"]),
         }
+        if live.get("integrity") is not None:
+            payload["integrity"] = live["integrity"].getstate()
+        return payload
 
     def _restore_payload(self, payload: dict) -> dict:
+        from repro.core.checkpoint import CheckpointError
+
+        snap_mode = payload.get("mode", "vloss")
+        if snap_mode != self.mode:
+            raise CheckpointError(
+                f"snapshot parallel mode mismatch: snapshot has "
+                f"{snap_mode!r}, engine has {self.mode!r}"
+            )
+        guard = None
+        if self.injector is not None:
+            guard = IntegrityState(self.integrity, self.injector, 1)
+            if "integrity" in payload:
+                guard.setstate(payload["integrity"])
         return {
             "tree": restore_tree(self.game, payload["tree"]),
             "worker_time": list(payload["worker_time"]),
@@ -140,4 +250,15 @@ class TreeParallelMcts(Engine):
             "iterations": payload["iterations"],
             "simulations": payload["simulations"],
             "executor": self._restore_executor(payload["executor"]),
+            "integrity": guard,
         }
+
+
+register_extra_keys(
+    TreeParallelMcts.name,
+    {
+        "tree.depth": list,
+        "tree.nodes": list,
+        **INTEGRITY_EXTRA_KEYS,
+    },
+)

@@ -35,6 +35,11 @@ from repro.harness.fig6_winratio import Fig6Config, Fig6Result, run_fig6
 from repro.harness.fig7_gpu_vs_cpus import Fig7Config, Fig7Result, run_fig7
 from repro.harness.fig8_hybrid import Fig8Config, Fig8Result, run_fig8
 from repro.harness.fig9_multigpu import Fig9Config, Fig9Result, run_fig9
+from repro.harness.shared_tree import (
+    ShootoutConfig,
+    ShootoutResult,
+    run_shootout,
+)
 
 #: Experiment id (DESIGN.md section 4) -> (config factory, runner).
 EXPERIMENTS = {
@@ -65,6 +70,7 @@ EXPERIMENTS = {
         GeneralizationConfig.for_tier,
         run_generalization,
     ),
+    "exp_shared_tree": (ShootoutConfig.for_tier, run_shootout),
 }
 
 
@@ -116,4 +122,7 @@ __all__ = [
     "GeneralizationConfig",
     "GeneralizationResult",
     "run_generalization",
+    "ShootoutConfig",
+    "ShootoutResult",
+    "run_shootout",
 ]

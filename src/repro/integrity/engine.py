@@ -140,15 +140,17 @@ class IntegrityState:
     # -- accounting / checkpointing ----------------------------------------
 
     def extras(self) -> dict:
-        """Counters for the engine's result extras."""
+        """Counters for the engine's result extras (flat canonical
+        ``integrity.*`` keys; ``SearchResult.integrity`` re-exposes
+        them under the historical names)."""
         return {
-            "corrupt_detected": self.detected,
-            "corrupt_escaped": self.escaped,
-            "dropped_batches": self.dropped_batches,
-            "poison_applied": self.poisoned,
-            "audits": self.audits,
-            "audit_violations": self.violations,
-            "quarantined_trees": sorted(self.quarantined),
+            "integrity.detected": self.detected,
+            "integrity.escaped": self.escaped,
+            "integrity.dropped_batches": self.dropped_batches,
+            "integrity.poisoned": self.poisoned,
+            "integrity.audits": self.audits,
+            "integrity.violations": self.violations,
+            "integrity.quarantined": sorted(self.quarantined),
         }
 
     def getstate(self) -> dict:

@@ -262,6 +262,8 @@ class SearchService:
             "block",
             "root",
             "multigpu",
+            "tree",
+            "pipeline",
         ):
             # Ensemble engines share the service's fault stream: rank
             # contributions may be dropped, kernel results corrupted,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.spec import EngineSpec, with_backend
 from repro.serve.request import SearchRequest
 from repro.util.seeding import derive_seed
 
@@ -80,8 +81,12 @@ def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
     for i in range(config.n_requests):
         game = config.games[i % len(config.games)]
         engine = config.engines[i % len(config.engines)]
-        if config.backend != "node" and "@" not in engine:
-            engine = f"{engine}@{config.backend}"
+        if config.backend != "node":
+            spec = EngineSpec.coerce(engine)
+            if "backend" not in spec.params:
+                # An explicit @node/@arena in the spec wins -- and is
+                # kept verbatim so request strings stay stable.
+                engine = with_backend(spec, config.backend).canonical()
         budget = DEFAULT_BUDGETS[game] * config.budget_scale
         requests.append(
             SearchRequest(

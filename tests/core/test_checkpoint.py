@@ -32,8 +32,16 @@ from tests.core.test_differential import BUDGET_S, SEED, SMALL_SPECS
 CRASH_AT = {"multigpu": 1}
 DEFAULT_CRASH_AT = 3
 
-ALL_SPECS = sorted(SMALL_SPECS.values()) + sorted(
-    f"{spec}@arena" for spec in SMALL_SPECS.values()
+ALL_SPECS = (
+    sorted(SMALL_SPECS.values())
+    + sorted(f"{spec}@arena" for spec in SMALL_SPECS.values())
+    # WU-UCT variants of the shared-tree engines on both backends.
+    + [
+        "tree:2@wuct",
+        "tree:2@wuct@arena",
+        "pipeline:2@wuct",
+        "pipeline:2@wuct@arena",
+    ]
 )
 
 
@@ -186,3 +194,10 @@ class TestCheckpointFile:
             ).restore(snap)
         with pytest.raises(CheckpointError, match="backend"):
             _engine("sequential@arena", game).restore(snap)
+
+    def test_restore_rejects_mismatched_parallel_mode(self):
+        game = make_game("tictactoe")
+        for kind in ("tree", "pipeline"):
+            snap = _crashed_snapshot(f"{kind}:2@wuct", game, 2)
+            with pytest.raises(CheckpointError, match="mode"):
+                _engine(f"{kind}:2", game).restore(snap)

@@ -31,6 +31,10 @@ def _cases():
         max_k = 1 if kind == "multigpu" else 3
         for backend in ("", "@arena"):
             cases.append((spec + backend, max_k))
+    # WU-UCT accounting on the shared-tree engines.
+    for spec in ("tree:2@wuct", "pipeline:2@wuct"):
+        for backend in ("", "@arena"):
+            cases.append((spec + backend, 3))
     return cases
 
 

@@ -28,8 +28,13 @@ SMALL_SPECS = {
     "hybrid": "hybrid:2x32",
     "root": "root:2",
     "tree": "tree:2",
+    "pipeline": "pipeline:2",
     "multigpu": "multigpu:2x2x16",
 }
+
+#: Modifier-decorated variants of the shared-tree engines, exercised
+#: through the same reproducibility / backend-equivalence oracles.
+MODIFIER_SPECS = ["tree:2@wuct", "pipeline:2@wuct", "tree:2@vloss=1.5"]
 
 BUDGET_S = 4e-4
 SEED = 2011
@@ -45,7 +50,9 @@ def _run(spec: str, game_name: str = "tictactoe"):
     return engine.search(game.initial_state(), BUDGET_S)
 
 
-@pytest.mark.parametrize("spec", sorted(SMALL_SPECS.values()))
+@pytest.mark.parametrize(
+    "spec", sorted(SMALL_SPECS.values()) + MODIFIER_SPECS
+)
 def test_fixed_seed_reproduces_identical_search(spec):
     first = _run(spec)
     second = _run(spec)
@@ -56,7 +63,9 @@ def test_fixed_seed_reproduces_identical_search(spec):
     assert first.elapsed_s == second.elapsed_s
 
 
-@pytest.mark.parametrize("spec", sorted(SMALL_SPECS.values()))
+@pytest.mark.parametrize(
+    "spec", sorted(SMALL_SPECS.values()) + MODIFIER_SPECS
+)
 def test_arena_backend_matches_node_backend(spec):
     """The array arena is a drop-in replacement: same spec + seed on
     ``@arena`` must reproduce the node backend's search bit for bit --
@@ -71,7 +80,7 @@ def test_arena_backend_matches_node_backend(spec):
     assert arena.elapsed_s == node.elapsed_s
     assert arena.max_depth == node.max_depth
     assert arena.tree_nodes == node.tree_nodes
-    for key in ("per_tree_depth", "per_tree_nodes"):
+    for key in ("tree.depth", "tree.nodes"):
         assert arena.extras.get(key) == node.extras.get(key)
 
 

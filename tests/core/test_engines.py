@@ -156,13 +156,13 @@ class TestEngineSpecifics:
             max_iterations=4,
         ).search(TTT.initial_state(), 0.01)
         assert four.simulations > one.simulations
-        assert four.extras["ranks"] == 4
+        assert four.extras["mpi.ranks"] == 4
 
     def test_hybrid_overlaps_cpu_work(self):
         res = HybridMcts(
             TTT, seed=1, blocks=2, threads_per_block=32
         ).search(TTT.initial_state(), 0.004)
-        assert res.extras["cpu_iterations"] > 0
+        assert res.extras["cpu.iterations"] > 0
         # CPU overlap means strictly more simulations than GPU lanes
         assert res.simulations > res.iterations * 64
 

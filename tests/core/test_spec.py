@@ -10,11 +10,14 @@ from repro.core import (
     HybridMcts,
     LeafParallelMcts,
     MultiGpuMcts,
+    PipelineMcts,
     RootParallelMcts,
     SequentialMcts,
     TreeParallelMcts,
     engine_kinds,
     make_engine,
+    spec_modifiers,
+    with_backend,
 )
 from repro.games import TicTacToe
 
@@ -45,6 +48,10 @@ EQUIVALENTS = {
     "tree": (
         "tree:2",
         lambda g, s: TreeParallelMcts(g, s, n_workers=2),
+    ),
+    "pipeline": (
+        "pipeline:2",
+        lambda g, s: PipelineMcts(g, s, n_workers=2),
     ),
     "multigpu": (
         "multigpu:2x2x32",
@@ -81,8 +88,14 @@ def test_string_round_trip(kind):
     text, _ = EQUIVALENTS[kind]
     spec = EngineSpec.parse(text)
     assert spec.kind == kind
-    assert spec.to_string() == text
-    assert EngineSpec.parse(spec.to_string()) == spec
+    assert spec.canonical() == text
+    assert EngineSpec.parse(spec.canonical()) == spec
+
+
+def test_to_string_is_deprecated_alias_of_canonical():
+    spec = EngineSpec.parse("block:2x8@arena")
+    with pytest.warns(DeprecationWarning, match="canonical"):
+        assert spec.to_string() == spec.canonical()
 
 
 def test_dict_form_equivalent_to_string_form():
@@ -133,10 +146,10 @@ def test_coerce_passthrough_and_rejects_junk():
         EngineSpec.coerce({"blocks": 2})
 
 
-def test_to_string_rejects_keyword_only_params():
+def test_canonical_rejects_keyword_only_params():
     spec = EngineSpec("sequential", {"ucb_c": 0.5})
     with pytest.raises(ValueError, match="ucb_c"):
-        spec.to_string()
+        spec.canonical()
 
 
 class TestBackendSuffix:
@@ -153,17 +166,25 @@ class TestBackendSuffix:
         assert spec.params == {"backend": "arena"}
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError, match="backend"):
+        with pytest.raises(ValueError, match="@cuda"):
             EngineSpec.parse("block:2x8@cuda")
 
     def test_round_trip_keeps_backend(self):
         for text in ("block:2x8@arena", "sequential@arena"):
-            assert EngineSpec.parse(text).to_string() == text
+            assert EngineSpec.parse(text).canonical() == text
 
     def test_node_backend_is_default_and_not_emitted(self):
         spec = EngineSpec.parse("block:2x8@node")
         assert spec.params["backend"] == "node"
-        assert spec.to_string() == "block:2x8"
+        assert spec.canonical() == "block:2x8"
+
+    def test_with_backend_helper(self):
+        assert with_backend("root:4", "arena").canonical() == "root:4@arena"
+        # The spec's own explicit backend wins over the override.
+        assert (
+            with_backend("root:4@node", "arena").params["backend"] == "node"
+        )
+        assert with_backend("root:4", "node").canonical() == "root:4"
 
     def test_built_engine_carries_backend(self):
         game = TicTacToe()
@@ -222,3 +243,110 @@ class TestMalformedSpecs:
     def test_empty_spec(self):
         with pytest.raises(ValueError, match="empty"):
             EngineSpec.parse("   ")
+
+
+class TestModifierGrammar:
+    """The composable ``@modifier`` grammar (order-independent,
+    registered table, loud errors)."""
+
+    def test_unknown_modifier_names_token_and_candidates(self):
+        with pytest.raises(ValueError) as err:
+            EngineSpec.parse("tree:4@warp")
+        msg = str(err.value)
+        assert "@warp" in msg and "@wuct" in msg
+
+    def test_modifier_on_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="does not apply"):
+            EngineSpec.parse("sequential@wuct")
+        with pytest.raises(ValueError, match="does not apply"):
+            EngineSpec.parse("block:2x8@wuct")
+
+    def test_duplicate_modifier_rejected(self):
+        with pytest.raises(ValueError, match="duplicate modifier @wuct"):
+            EngineSpec.parse("tree:4@wuct@wuct")
+
+    def test_conflicting_modifiers_rejected(self):
+        with pytest.raises(ValueError, match="conflicting modifiers"):
+            EngineSpec.parse("tree:4@wuct@vloss")
+        with pytest.raises(ValueError, match="conflicting modifiers"):
+            EngineSpec.parse("tree:4@node@arena")
+
+    def test_order_independence(self):
+        a = EngineSpec.parse("tree:8@wuct@arena")
+        b = EngineSpec.parse("tree:8@arena@wuct")
+        assert a == b
+        assert a.canonical() == b.canonical() == "tree:8@wuct@arena"
+
+    def test_value_modifier_parses_and_round_trips(self):
+        spec = EngineSpec.parse("tree:4@vloss=1.5")
+        assert spec.params["mode"] == "vloss"
+        assert spec.params["virtual_loss"] == 1.5
+        assert spec.canonical() == "tree:4@vloss=1.5"
+        # Integral values render without a trailing .0.
+        assert (
+            EngineSpec.parse("tree:4@vloss=2").canonical()
+            == "tree:4@vloss=2"
+        )
+
+    def test_bare_value_modifier_rejected(self):
+        with pytest.raises(ValueError, match="needs a value"):
+            EngineSpec.parse("root:4@vote")
+
+    def test_flag_modifier_rejects_value(self):
+        with pytest.raises(ValueError, match="takes no value"):
+            EngineSpec.parse("tree:4@arena=2")
+
+    def test_wuct_engine_rejects_virtual_loss(self):
+        game = TicTacToe()
+        with pytest.raises(ValueError, match="virtual_loss"):
+            TreeParallelMcts(game, 1, n_workers=2, mode="wuct",
+                             virtual_loss=2.0)
+        with pytest.raises(ValueError, match="virtual_loss"):
+            PipelineMcts(game, 1, n_workers=2, mode="wuct",
+                         virtual_loss=2.0)
+
+    def test_vloss_rejects_nonpositive_virtual_loss(self):
+        game = TicTacToe()
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValueError, match="virtual_loss"):
+                TreeParallelMcts(game, 1, n_workers=2, virtual_loss=bad)
+            with pytest.raises(ValueError, match="virtual_loss"):
+                PipelineMcts(game, 1, n_workers=2, virtual_loss=bad)
+
+
+class TestSpecGrammarLint:
+    """Every registered default spec round-trips through canonical()
+    -- and so do modifier-decorated variants of every kind."""
+
+    @pytest.mark.parametrize(
+        "kind", sorted(k.name for k in engine_kinds())
+    )
+    def test_registered_example_round_trips(self, kind):
+        example = next(
+            k.example for k in engine_kinds() if k.name == kind
+        )
+        spec = EngineSpec.parse(example)
+        assert spec.canonical() == example
+        assert EngineSpec.parse(spec.canonical()) == spec
+
+    @pytest.mark.parametrize(
+        "kind", sorted(k.name for k in engine_kinds())
+    )
+    def test_every_applicable_modifier_round_trips(self, kind):
+        example = next(
+            k.example for k in engine_kinds() if k.name == kind
+        )
+        for mod in spec_modifiers():
+            if mod.kinds is not None and kind not in mod.kinds:
+                continue
+            if mod.flag_params is None:
+                if mod.name != "vote":
+                    continue
+                text = f"{example}@{mod.name}=majority"
+            else:
+                text = f"{example}@{mod.name}"
+            # Canonical form is a fixed point: parsing it and
+            # re-canonicalising changes nothing (defaults such as
+            # @vloss or @node may be dropped on the first pass).
+            canonical = EngineSpec.parse(text).canonical()
+            assert EngineSpec.parse(canonical).canonical() == canonical

@@ -46,14 +46,16 @@ class TestZeroRateBitIdentity:
         assert defended.simulations == baseline.simulations
         assert defended.elapsed_s == baseline.elapsed_s
         # ... and the defenses report a clean run.
-        info = defended.extras["integrity"]
+        info = defended.integrity
         assert info["corrupt_detected"] == 0
         assert info["corrupt_escaped"] == 0
         assert info["quarantined_trees"] == []
 
     def test_no_injector_result_has_no_integrity_extras(self):
         result = block_engine(None).search(GAME.initial_state(), BUDGET)
-        assert "integrity" not in result.extras
+        assert not any(
+            k.startswith("integrity.") for k in result.extras
+        )
         assert result.integrity == {}
 
 

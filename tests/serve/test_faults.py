@@ -388,7 +388,7 @@ class TestServiceUnderFaults:
         assert records[0].status == "completed"
         extras = records[0].result.extras
         # Both reductions (visits, wins) drop the non-root rank.
-        assert extras["dropped_messages"] == 2
+        assert extras["mpi.dropped_messages"] == 2
         assert service.report().faults_injected[KIND_MPI_DROP] == 2
 
     def test_metrics_row_rendering_under_faults(self):
