@@ -8,7 +8,12 @@ collectives.
 Run directly (``python benchmarks/bench_micro.py [--quick]``) it
 compares block-parallel iterations/sec on the ``node`` vs ``arena``
 tree backends and exits non-zero if the arena is not faster -- the CI
-benchmark-smoke gate.
+benchmark-smoke gate.  ``--compare executors`` times the full backend
+x playout-executor grid (gate: compiled beats NumPy, bit-identically).
+``--compare fused`` gates the combined serving stack -- fused
+cross-tenant launches + compiled playouts must clear ``--threshold``
+(default 5x) round throughput over the unfused NumPy baseline with
+bit-identical per-lane answers.
 """
 
 import argparse
@@ -207,14 +212,207 @@ def bench_backends(args) -> int:
     return 0
 
 
+def bench_executors(args) -> int:
+    """Time block-parallel search across the full backend x executor
+    grid.
+
+    Returns 0 when the compiled executor clears ``args.threshold`` x
+    the NumPy baseline's iterations/sec (same node backend) with every
+    cell bit-identical, 1 otherwise.  With no C toolchain the compiled
+    cells silently run NumPy, so the gate cannot pass -- CI only runs
+    this mode on toolchain images.
+    """
+    from repro.compiled import compiled_available, unavailable_reason
+    from repro.core import make_engine
+    from repro.util.tables import format_table
+
+    game = make_game(args.game)
+    state = game.initial_state()
+    spec = {
+        "kind": "block",
+        "blocks": args.blocks,
+        "threads_per_block": args.tpb,
+        "max_iterations": args.iterations,
+    }
+    if not compiled_available():
+        print(
+            f"note: compiled executor unavailable "
+            f"({unavailable_reason()}); cells fall back to NumPy"
+        )
+    cells = [
+        ("node", "numpy"),
+        ("arena", "numpy"),
+        ("node", "compiled"),
+        ("arena", "compiled"),
+    ]
+    runs = {}
+    for backend, playout in cells:
+        engine = make_engine(
+            dict(spec, backend=backend, playout=playout),
+            game,
+            args.seed,
+        )
+        t0 = time.perf_counter()
+        result = engine.search(state, 1e9)
+        wall = time.perf_counter() - t0
+        runs[(backend, playout)] = (result, result.iterations / wall)
+
+    base_res, base_ips = runs[("node", "numpy")]
+    rows = []
+    identical = True
+    for backend, playout in cells:
+        res, ips = runs[(backend, playout)]
+        same = (
+            res.move == base_res.move
+            and res.stats == base_res.stats
+            and res.iterations == base_res.iterations
+            and res.simulations == base_res.simulations
+        )
+        identical = identical and same
+        rows.append(
+            (
+                f"{backend}+{playout}",
+                f"{ips:.1f}",
+                f"{ips / base_ips:.2f}x",
+                res.iterations,
+                res.move,
+                "yes" if same else "NO",
+            )
+        )
+    print(
+        format_table(
+            ("stack", "iters/s", "speedup", "iters", "move", "identical"),
+            rows,
+            title=(
+                f"backend x executor grid: block-parallel {args.game} "
+                f"{args.blocks}x{args.tpb}, seed {args.seed}"
+            ),
+        )
+    )
+    gated = runs[("node", "compiled")][1] / base_ips
+    print(
+        f"\ncompiled speedup (node+compiled / node+numpy): "
+        f"{gated:.2f}x   threshold: {args.threshold:.1f}x"
+    )
+    if not identical:
+        print("FAIL: executor grid disagrees", file=sys.stderr)
+        return 1
+    if gated < args.threshold:
+        print(
+            f"FAIL: compiled executor below {args.threshold:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def bench_fused(args) -> int:
+    """Gate the combined serving stack: fused launches + compiled
+    playouts vs the unfused NumPy node baseline.
+
+    Runs ``--rounds`` merged scheduler rounds of a fixed multi-tenant
+    demand (``--lanes`` lanes per game per round -- the widths real
+    ticks carry) through both stacks and compares wall-clock round
+    throughput.  Returns 0 when the combined stack clears
+    ``args.threshold`` (default 5x) with bit-identical per-lane
+    answers, 1 otherwise.
+    """
+    from repro.compiled import compiled_available, unavailable_reason
+    from repro.gpu import TESLA_C2050, DevicePool
+    from repro.serve import FusedBatcher, LaneBatcher
+    from repro.util.clock import Clock
+    from repro.util.tables import format_table
+
+    games = args.games.split(",")
+    states = {g: make_game(g).initial_state() for g in games}
+    lanes_per_round = args.lanes * len(games)
+
+    if not compiled_available():
+        print(
+            f"note: compiled executor unavailable "
+            f"({unavailable_reason()}); fused cell falls back to NumPy"
+        )
+
+    def run(cls, playout):
+        pool = DevicePool((TESLA_C2050,) * 2, Clock())
+        batcher = cls(pool, args.seed, playout=playout)
+        per_round = []
+        t0 = time.perf_counter()
+        for _ in range(args.rounds):
+            demand = {g: [states[g]] * args.lanes for g in games}
+            answers, _ = batcher.execute_demand(demand)
+            per_round.append(answers)
+        wall = time.perf_counter() - t0
+        return per_round, wall, batcher
+
+    base_answers, base_wall, base = run(LaneBatcher, "numpy")
+    fused_answers, fused_wall, fused = run(FusedBatcher, "compiled")
+    identical = base_answers == fused_answers
+    rows = [
+        (
+            "unfused+numpy",
+            f"{args.rounds / base_wall:.1f}",
+            f"{args.rounds * lanes_per_round / base_wall:,.0f}",
+            "1.00x",
+            base.launch_count,
+        ),
+        (
+            "fused+compiled",
+            f"{args.rounds / fused_wall:.1f}",
+            f"{args.rounds * lanes_per_round / fused_wall:,.0f}",
+            f"{base_wall / fused_wall:.2f}x",
+            fused.launch_count,
+        ),
+    ]
+    print(
+        format_table(
+            ("stack", "rounds/s", "lanes/s", "speedup", "launches"),
+            rows,
+            title=(
+                f"combined serving stack: {args.rounds} rounds x "
+                f"{args.lanes} lanes x {len(games)} games "
+                f"({args.games}), seed {args.seed}"
+            ),
+        )
+    )
+    combined = base_wall / fused_wall
+    print(
+        f"\ncombined speedup (fused+compiled / unfused numpy): "
+        f"{combined:.2f}x   threshold: {args.threshold:.1f}x"
+        f"   identical answers: {identical}"
+        f"   pad waste: {fused.pad_lanes} lanes"
+    )
+    if not identical:
+        print("FAIL: fused+compiled answers differ", file=sys.stderr)
+        return 1
+    if combined < args.threshold:
+        print(
+            f"FAIL: combined stack below {args.threshold:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="block-parallel node-vs-arena backend benchmark"
+        description="block-parallel backend / executor benchmark gates"
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="small shape for CI smoke (128 trees, 120 iterations)",
+    )
+    parser.add_argument(
+        "--compare",
+        choices=("backends", "executors", "fused"),
+        default="backends",
+        help=(
+            "backends: node vs arena (gate: arena faster); executors: "
+            "backend x playout grid (gate: compiled beats numpy); "
+            "fused: fused+compiled serving stack vs unfused numpy "
+            "(gate: --threshold speedup, default 5x)"
+        ),
     )
     parser.add_argument("--game", default="tictactoe")
     parser.add_argument("--blocks", type=int, default=256)
@@ -222,14 +420,47 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=400)
     parser.add_argument("--seed", type=int, default=85_2011)
     parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "minimum gated speedup (default: 5.0 for --compare fused, "
+            "1.5 for --compare executors)"
+        ),
+    )
+    parser.add_argument(
+        "--games",
+        default="reversi,connect4,tictactoe",
+        help="comma-separated games for --compare fused",
+    )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        default=128,
+        help="lanes per game per round for --compare fused",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=20,
+        help="scheduler rounds for --compare fused",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="print per-phase wall-clock breakdown for both backends",
     )
     args = parser.parse_args(argv)
+    if args.threshold is None:
+        args.threshold = 5.0 if args.compare == "fused" else 1.5
     if args.quick:
         args.blocks = min(args.blocks, 128)
         args.iterations = min(args.iterations, 120)
+        args.rounds = min(args.rounds, 8)
+    if args.compare == "fused":
+        return bench_fused(args)
+    if args.compare == "executors":
+        return bench_executors(args)
     return bench_backends(args)
 
 

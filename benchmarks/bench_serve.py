@@ -109,6 +109,76 @@ def run_load_sweep(cfg: ServeBenchConfig):
     }
 
 
+def run_fusion_comparison(
+    cfg: ServeBenchConfig, n_requests: int, fusion: bool
+):
+    """One contended-pool run (single device, ``n_requests`` tenants)
+    with cross-tenant fusion on or off."""
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=None,
+        )
+    )
+    service = SearchService(
+        n_devices=1,
+        max_active=cfg.max_active,
+        seed=cfg.seed,
+        enforce_deadlines=False,
+        fusion=fusion,
+    )
+    service.submit_all(workload)
+    records = service.run()
+    return records, service.report()
+
+
+def run_fusion_sweep(cfg: ServeBenchConfig, loads=(8, 16, 32)):
+    """Tenant count -> (unfused report, fused report) on one device."""
+    return {
+        n: (
+            run_fusion_comparison(cfg, n, fusion=False),
+            run_fusion_comparison(cfg, n, fusion=True),
+        )
+        for n in loads
+    }
+
+
+def render_fusion_sweep(results) -> str:
+    from repro.util.tables import format_series
+
+    loads = sorted(results)
+    rows = {
+        "p50 unfused (ms)": [],
+        "p50 fused (ms)": [],
+        "p50 win": [],
+        "launches unfused": [],
+        "launches fused": [],
+        "tenants/launch": [],
+    }
+    for n in loads:
+        (_, plain), (_, fused) = results[n]
+        rows["p50 unfused (ms)"].append(
+            f"{plain.p50_latency_s * 1e3:.2f}"
+        )
+        rows["p50 fused (ms)"].append(f"{fused.p50_latency_s * 1e3:.2f}")
+        rows["p50 win"].append(
+            f"{(1 - fused.p50_latency_s / plain.p50_latency_s) * 100:+.1f}%"
+        )
+        rows["launches unfused"].append(str(plain.kernel_launches))
+        rows["launches fused"].append(str(fused.kernel_launches))
+        rows["tenants/launch"].append(
+            f"{fused.mean_tenants_per_launch:.1f}"
+        )
+    return format_series(
+        "concurrent tenants",
+        loads,
+        rows,
+        title="cross-tenant fusion on a contended pool (1 device)",
+    )
+
+
 def render_sweep(reports) -> str:
     from repro.util.tables import format_series
 
@@ -164,6 +234,36 @@ def test_serve_speedup_vs_serial_baseline(run_once):
     assert speedup >= 2.0
 
 
+def test_serve_fusion_p50_win_on_contended_pool(run_once):
+    """The fusion tentpole's serving claim: at 8+ concurrent tenants
+    on a contended single-device pool, fused launches cut p50 latency
+    (launch + readback latency paid once per tick, not once per game)
+    while returning bit-identical per-request results."""
+    cfg = ServeBenchConfig.for_tier()
+
+    def compare():
+        return run_fusion_sweep(cfg, loads=(8, 16, 32))
+
+    def results_only(records):
+        # Latency is exactly what fusion improves; what must not
+        # change is every request's search outcome.
+        return [
+            (rid, status, move, sims)
+            for rid, status, _, move, sims in fingerprint(records)
+        ]
+
+    results = run_once(compare)
+    print()
+    print(render_fusion_sweep(results))
+    for n, ((plain_recs, plain), (fused_recs, fused)) in (
+        results.items()
+    ):
+        assert results_only(fused_recs) == results_only(plain_recs)
+        assert fused.kernel_launches < plain.kernel_launches
+        assert fused.fused_launches > 0
+        assert fused.p50_latency_s < plain.p50_latency_s
+
+
 def test_serve_load_sweep(run_once):
     cfg = ServeBenchConfig.for_tier()
     reports = run_once(run_load_sweep, cfg)
@@ -191,3 +291,5 @@ if __name__ == "__main__":  # pragma: no cover
     )
     print()
     print(render_sweep(run_load_sweep(cfg)))
+    print()
+    print(render_fusion_sweep(run_fusion_sweep(cfg)))

@@ -42,12 +42,16 @@ def _cmd_play(args) -> int:
 
     game = make_game(args.game)
     spec = args.engine or f"block:{args.blocks}x{args.tpb}"
-    if args.backend != "node":
+    if args.backend != "node" or args.playout != "numpy":
         from repro.core import EngineSpec, with_backend
+        from repro.core.spec import with_playout
 
         parsed = EngineSpec.coerce(spec)
-        if "backend" not in parsed.params:
-            spec = with_backend(parsed, args.backend).canonical()
+        if args.backend != "node" and "backend" not in parsed.params:
+            parsed = with_backend(parsed, args.backend)
+        if args.playout != "numpy" and "playout" not in parsed.params:
+            parsed = with_playout(parsed, args.playout)
+        spec = parsed.canonical()
     mcts = MctsPlayer(
         game,
         make_engine(spec, game, args.seed),
@@ -131,6 +135,8 @@ def _cmd_serve_bench(args) -> int:
                 tracer=tracer,
                 faults=args.faults,
                 backend=args.backend,
+                playout=args.playout,
+                fusion=not args.no_fusion,
                 integrity=integrity,
             )
             if args.resume:
@@ -155,6 +161,7 @@ def _cmd_serve_bench(args) -> int:
                             budget_scale=args.budget_scale,
                             deadline_s=args.deadline,
                             backend=args.backend,
+                            playout=args.playout,
                         )
                     )
                 )
@@ -261,6 +268,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="node",
         help="tree backend for the engine (@suffix in a spec wins)",
     )
+    play.add_argument(
+        "--playout",
+        choices=("numpy", "compiled"),
+        default="numpy",
+        help=(
+            "playout executor (@compiled in a spec wins); 'compiled' "
+            "falls back to numpy without a C toolchain"
+        ),
+    )
     play.set_defaults(func=_cmd_play)
 
     sub.add_parser(
@@ -341,6 +357,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("node", "arena"),
         default="node",
         help="tree backend applied to every engine in the workload",
+    )
+    bench.add_argument(
+        "--playout",
+        choices=("numpy", "compiled"),
+        default="numpy",
+        help="playout executor applied to every engine in the workload",
+    )
+    bench.add_argument(
+        "--no-fusion",
+        action="store_true",
+        help=(
+            "disable cross-tenant kernel fusion (one launch per game "
+            "per tick instead of one fused launch per tick)"
+        ),
     )
     bench.add_argument(
         "--profile",

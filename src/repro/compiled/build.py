@@ -1,0 +1,182 @@
+"""Build-and-cache layer for the compiled playout kernels.
+
+The kernels live in ``playout.c`` next to this module and are compiled
+on first use with the system C compiler into a content-addressed shared
+library under a cache directory.  No build step, no new dependency:
+when no toolchain is available (or ``REPRO_COMPILED=0``), loading
+reports unavailable and callers fall back to the pure-NumPy path.
+
+Environment knobs:
+
+``REPRO_COMPILED``
+    ``0``/``never`` disables the compiled path entirely (forces the
+    NumPy fallback -- what CI uses to prove the fallback leg);
+    anything else (or unset) means auto-detect.
+``REPRO_COMPILED_CACHE``
+    Cache directory for built libraries (default
+    ``~/.cache/repro-compiled``).
+``CC``
+    Compiler to use (default: first of ``cc``/``gcc``/``clang`` on
+    ``PATH``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+_SOURCE = Path(__file__).with_name("playout.c")
+_CFLAGS = ("-O2", "-shared", "-fPIC")
+
+#: Load-once cache: ``False`` = not attempted, ``None`` = unavailable.
+_LIB: "ctypes.CDLL | None | bool" = False
+#: Human-readable reason the compiled path is unavailable (diagnostics).
+_UNAVAILABLE_REASON: str | None = None
+
+
+def compiled_disabled() -> bool:
+    """Did the environment explicitly turn the compiled path off?"""
+    return os.environ.get("REPRO_COMPILED", "").lower() in (
+        "0",
+        "never",
+        "off",
+        "false",
+    )
+
+
+def _find_compiler() -> str | None:
+    cc = os.environ.get("CC")
+    if cc:
+        return cc if shutil.which(cc) else None
+    for candidate in ("cc", "gcc", "clang"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_COMPILED_CACHE")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-compiled"
+
+
+def _cache_key(compiler: str, source: bytes) -> str:
+    digest = hashlib.sha256()
+    digest.update(compiler.encode())
+    digest.update(b"\0")
+    digest.update(" ".join(_CFLAGS).encode())
+    digest.update(b"\0")
+    digest.update(source)
+    return digest.hexdigest()[:16]
+
+
+def build_library() -> Path | None:
+    """Compile (or reuse) the playout kernel library; ``None`` when no
+    toolchain is available or compilation fails."""
+    global _UNAVAILABLE_REASON
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError as exc:
+        _UNAVAILABLE_REASON = f"kernel source missing: {exc}"
+        return None
+    compiler = _find_compiler()
+    if compiler is None:
+        _UNAVAILABLE_REASON = "no C compiler on PATH (cc/gcc/clang)"
+        return None
+    cache = _cache_dir()
+    target = cache / f"playout-{_cache_key(compiler, source)}.so"
+    if target.exists():
+        return target
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        # Build to a private temp file, then atomically publish, so
+        # concurrent first-use builds never observe a half-written .so.
+        fd, tmp = tempfile.mkstemp(
+            suffix=".so", prefix="playout-", dir=cache
+        )
+        os.close(fd)
+        proc = subprocess.run(
+            [compiler, *_CFLAGS, "-o", tmp, str(_SOURCE)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            os.unlink(tmp)
+            _UNAVAILABLE_REASON = (
+                f"{compiler} failed: {proc.stderr.strip()[:500]}"
+            )
+            return None
+        os.replace(tmp, target)
+    except (OSError, subprocess.SubprocessError) as exc:
+        _UNAVAILABLE_REASON = f"build error: {exc}"
+        return None
+    return target
+
+
+def _bind(lib: ctypes.CDLL) -> ctypes.CDLL:
+    u64p = ctypes.POINTER(ctypes.c_uint64)
+    i8p = ctypes.POINTER(ctypes.c_int8)
+    u8p = ctypes.POINTER(ctypes.c_uint8)
+    i16p = ctypes.POINTER(ctypes.c_int16)
+    i64p = ctypes.POINTER(ctypes.c_int64)
+    i64 = ctypes.c_int64
+    f64 = ctypes.c_double
+    lib.repro_reversi_playouts.restype = ctypes.c_int
+    lib.repro_reversi_playouts.argtypes = [
+        i64, u64p, u64p, i8p, u8p, u8p, u64p, u64p,
+        i8p, i16p, i64p, i64, i64, f64,
+    ]
+    for name in ("repro_tictactoe_playouts", "repro_connect4_playouts"):
+        fn = getattr(lib, name)
+        fn.restype = ctypes.c_int
+        fn.argtypes = [
+            i64, u64p, u64p, i8p, u8p, u64p, u64p,
+            i8p, i16p, i64p, i64, i64, f64,
+        ]
+    lib.repro_rng_advance.restype = None
+    lib.repro_rng_advance.argtypes = [i64, u64p, u64p, i64]
+    return lib
+
+
+def load_library() -> ctypes.CDLL | None:
+    """The bound kernel library, building it on first call; ``None``
+    when the compiled path is disabled or unavailable."""
+    global _LIB, _UNAVAILABLE_REASON
+    if compiled_disabled():
+        # Re-check every call: tests toggle REPRO_COMPILED at runtime.
+        _UNAVAILABLE_REASON = "disabled via REPRO_COMPILED"
+        return None
+    if _LIB is False:
+        path = build_library()
+        if path is None:
+            _LIB = None
+        else:
+            try:
+                _LIB = _bind(ctypes.CDLL(str(path)))
+            except OSError as exc:
+                _UNAVAILABLE_REASON = f"dlopen failed: {exc}"
+                _LIB = None
+    lib = _LIB or None
+    if lib is not None:
+        # A prior disabled/failed probe may have left a stale reason.
+        _UNAVAILABLE_REASON = None
+    return lib
+
+
+def unavailable_reason() -> str | None:
+    """Why :func:`load_library` returned ``None`` (``None`` = it
+    didn't)."""
+    return _UNAVAILABLE_REASON
+
+
+def reset_cache() -> None:
+    """Forget the loaded library so the next call re-resolves (tests)."""
+    global _LIB
+    _LIB = False

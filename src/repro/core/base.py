@@ -24,6 +24,7 @@ from repro.cpu import XEON_X5670, CpuCostModel
 from repro.games.base import Game, GameState
 from repro.games.batch import run_playouts_tracked
 from repro.core.backend import make_forest, make_tree, validate_backend
+from repro.core.executors import tracked_runner, validate_playout
 from repro.core.checkpoint import (
     CHECKPOINT_FORMAT_VERSION,
     CheckpointError,
@@ -62,6 +63,7 @@ class Engine(abc.ABC):
         max_iterations: int | None = None,
         selection_rule: str = "ucb1",
         backend: str = "node",
+        playout: str = "numpy",
         profiler: Profiler | None = None,
     ) -> None:
         if max_iterations is not None and max_iterations <= 0:
@@ -70,6 +72,7 @@ class Engine(abc.ABC):
             )
         validate_selection_rule(selection_rule)
         validate_backend(backend)
+        validate_playout(playout)
         self.game = game
         self.seed = seed
         self.ucb_c = ucb_c
@@ -79,6 +82,10 @@ class Engine(abc.ABC):
         self.max_iterations = max_iterations
         self.selection_rule = selection_rule
         self.backend = backend
+        #: Playout executor for vectorised batches ("numpy" or
+        #: "compiled"); bit-identical by contract, so it is a pure
+        #: performance knob that never changes search results.
+        self.playout = playout
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.rng = XorShift64Star(derive_seed(seed, "engine", self.name))
         #: Called as ``hook(engine, iterations)`` at every clean
@@ -235,7 +242,9 @@ class Engine(abc.ABC):
                 self.game, XorShift64Star.from_state(state["rng"])
             )
         if state["kind"] == "batch":
-            executor = BatchExecutor(self.game.name, state["seed"])
+            executor = BatchExecutor(
+                self.game.name, state["seed"], playout=self.playout
+            )
             executor.setstate(state)
             return executor
         raise CheckpointError(
@@ -313,11 +322,14 @@ class BatchExecutor:
     #: inlined scalar playout (measured crossover ~10 lanes on Reversi).
     SCALAR_CUTOFF = 10
 
-    def __init__(self, game_name: str, seed: int) -> None:
+    def __init__(
+        self, game_name: str, seed: int, playout: str = "numpy"
+    ) -> None:
         from repro.games import make_game
 
         self.game_name = game_name
         self.seed = seed
+        self.playout = validate_playout(playout)
         self.bg = make_batch_game(game_name)
         self.game = make_game(game_name)
         self.ladder_seed = derive_seed(seed, "batch_executor")
@@ -336,7 +348,7 @@ class BatchExecutor:
             len(states), derive_seed(self.ladder_seed, self.call_count)
         )
         batch = self.bg.make_batch(list(states), 1)
-        tracked = run_playouts_tracked(self.bg, batch, rng)
+        tracked = tracked_runner(self.playout)(self.bg, batch, rng)
         return list(
             zip(
                 (int(w) for w in tracked.winners),
@@ -366,10 +378,10 @@ def scalar_executor(
 
 
 def batch_executor(
-    game_name: str, seed: int
+    game_name: str, seed: int, playout: str = "numpy"
 ) -> Callable[[PlayoutBatch], PlayoutResults]:
     """Factory form of :class:`BatchExecutor`."""
-    return BatchExecutor(game_name, seed)
+    return BatchExecutor(game_name, seed, playout=playout)
 
 
 def drive_search(

@@ -41,7 +41,11 @@ class HybridMcts(Engine):
         self.config = LaunchConfig(blocks, threads_per_block)
         self.config.validate(device)
         self.gpu = VirtualGpu(
-            device, self.clock, game.name, derive_seed(seed, "gpu")
+            device,
+            self.clock,
+            game.name,
+            derive_seed(seed, "gpu"),
+            playout=self.playout,
         )
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:

@@ -40,7 +40,11 @@ class LeafParallelMcts(Engine):
         self.config = LaunchConfig(blocks, threads_per_block)
         self.config.validate(device)
         self.gpu = VirtualGpu(
-            device, self.clock, game.name, derive_seed(seed, "gpu")
+            device,
+            self.clock,
+            game.name,
+            derive_seed(seed, "gpu"),
+            playout=self.playout,
         )
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:

@@ -84,6 +84,7 @@ class MultiGpuMcts(Engine):
             max_iterations=self.max_iterations,
             selection_rule=self.selection_rule,
             backend=self.backend,
+            playout=self.playout,
             injector=self.injector,
             integrity=self.integrity,
         )

@@ -57,7 +57,9 @@ class RootParallelMcts(Engine):
 
     def search(self, state: GameState, budget_s: float) -> SearchResult:
         executor = BatchExecutor(
-            self.game.name, derive_seed(self.seed, "exec")
+            self.game.name,
+            derive_seed(self.seed, "exec"),
+            playout=self.playout,
         )
         self._pending_executor = executor
         return drive_search(self.search_steps(state, budget_s), executor)

@@ -26,6 +26,7 @@ modifier   sets                          applies to
             ``=X`` sets ``virtual_loss``)
 ``@wuct``   ``mode="wuct"``              ``tree``, ``pipeline``
 ``@vote``   ``=sum|majority|trimmed``    ``root``, ``block``
+``@compiled`` ``playout="compiled"``     every kind
 ========== ============================ ==========================
 
 :meth:`EngineSpec.canonical` renders the unique canonical string --
@@ -373,6 +374,7 @@ _CANONICAL_DEFAULTS = {
     "backend": "node",
     "mode": "vloss",
     "vote": "sum",
+    "playout": "numpy",
 }
 
 
@@ -430,6 +432,21 @@ def with_backend(
     if backend == "node" or "backend" in parsed.params:
         return parsed
     return EngineSpec(parsed.kind, {**parsed.params, "backend": backend})
+
+
+def with_playout(
+    spec: "EngineSpec | str | Mapping", playout: str
+) -> EngineSpec:
+    """Apply a default playout executor to a spec: the spec's own
+    ``@compiled``/param wins; ``"numpy"`` (the global default) is a
+    no-op.  Mirrors :func:`with_backend`."""
+    from repro.core.executors import validate_playout
+
+    validate_playout(playout)
+    parsed = EngineSpec.coerce(spec)
+    if playout == "numpy" or "playout" in parsed.params:
+        return parsed
+    return EngineSpec(parsed.kind, {**parsed.params, "playout": playout})
 
 
 def make_engine(
@@ -510,5 +527,12 @@ register_modifier(
         name="arena",
         group="tree backend",
         flag_params={"backend": "arena"},
+    )
+)
+register_modifier(
+    SpecModifier(
+        name="compiled",
+        group="playout executor",
+        flag_params={"playout": "compiled"},
     )
 )

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.executors import tracked_runner
 from repro.games import make_batch_game
-from repro.games.batch import run_playouts_tracked
 from repro.gpu.device import DeviceSpec
 from repro.gpu.kernel import KernelSpec, LaunchConfig, playout_kernel_spec
 from repro.gpu.memory import DeviceMemory
@@ -90,10 +90,13 @@ class VirtualGpu:
         game_name: str,
         seed: int,
         kernel: KernelSpec | None = None,
+        playout: str = "numpy",
     ) -> None:
         self.spec = spec
         self.clock = clock
         self.game_name = game_name
+        self.playout = playout
+        self._run_tracked = tracked_runner(playout)
         self.kernel = kernel or playout_kernel_spec(game_name)
         self.batch_game = make_batch_game(game_name)
         self.memory = DeviceMemory(spec)
@@ -175,7 +178,7 @@ class VirtualGpu:
             ):
                 buffers.append(self.memory.alloc(nbytes, label))
             batch = bg.make_batch(states, lanes_per_state)
-            tracked = run_playouts_tracked(bg, batch, self._rng(n))
+            tracked = self._run_tracked(bg, batch, self._rng(n))
         finally:
             for buf in buffers:
                 self.memory.free(buf)

@@ -28,6 +28,24 @@ def _splitmix64_vec(x: np.ndarray) -> np.ndarray:
         return z ^ (z >> U64(31))
 
 
+def _lane_states(
+    seed: int, lo: int, hi: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Initial ``(s0, s1)`` state arrays for lanes ``lo..hi`` of
+    ``seed``'s stream family.  Lane ``i``'s state depends only on
+    ``(seed, i)``, so any contiguous range reproduces exactly the
+    matching slice of a full-width generator."""
+    base = U64(derive_seed(seed))
+    lanes = np.arange(lo, hi, dtype=U64)
+    s0 = _splitmix64_vec(base + lanes * U64(2))
+    s1 = _splitmix64_vec(base + lanes * U64(2) + U64(1))
+    # xorshift128+ must never start at the all-zero state.
+    dead = (s0 == 0) & (s1 == 0)
+    if dead.any():
+        s1[dead] = U64(0x9E37_79B9_7F4A_7C15)
+    return s0, s1
+
+
 class BatchXorShift128Plus:
     """``n`` parallel xorshift128+ streams.
 
@@ -48,14 +66,28 @@ class BatchXorShift128Plus:
         # Vectorised splitmix64 seeding: lane i's state depends only on
         # (seed, i), so a width-4 generator produces the same first four
         # streams as a width-4096 one.
-        base = U64(derive_seed(seed))
-        lanes = np.arange(n, dtype=U64)
-        self._s0 = _splitmix64_vec(base + lanes * U64(2))
-        self._s1 = _splitmix64_vec(base + lanes * U64(2) + U64(1))
-        # xorshift128+ must never start at the all-zero state.
-        dead = (self._s0 == 0) & (self._s1 == 0)
-        if dead.any():
-            self._s1[dead] = U64(0x9E37_79B9_7F4A_7C15)
+        self._s0, self._s1 = _lane_states(seed, 0, n)
+
+    @classmethod
+    def for_lanes(
+        cls, seed: int, lo: int, hi: int
+    ) -> "BatchXorShift128Plus":
+        """Streams ``lo..hi`` of ``seed``'s lane family.
+
+        Exactly the ``[lo:hi]`` slice of a full-width generator's
+        lanes, without materialising the prefix -- this is what lets a
+        chunked (or fused, or padded) launch assign lane ``i`` of a
+        merged batch its geometry-independent stream no matter how the
+        batch was split across kernels.
+        """
+        if lo < 0 or hi <= lo:
+            raise ValueError(
+                f"need a non-empty lane range, got [{lo}, {hi})"
+            )
+        rng = object.__new__(cls)
+        rng._n = hi - lo
+        rng._s0, rng._s1 = _lane_states(seed, lo, hi)
+        return rng
 
     @property
     def n(self) -> int:

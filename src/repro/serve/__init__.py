@@ -52,9 +52,11 @@ from repro.serve.request import (
     SearchRequest,
 )
 from repro.serve.scheduler import (
+    FusedBatcher,
     GeneratorPool,
     LaneBatcher,
     drive_generators,
+    fused_kernel_spec,
     launch_config_for,
 )
 from repro.serve.service import (
@@ -95,7 +97,9 @@ __all__ = [
     "RetryPolicy",
     "GeneratorPool",
     "LaneBatcher",
+    "FusedBatcher",
     "drive_generators",
+    "fused_kernel_spec",
     "launch_config_for",
     "WorkloadConfig",
     "make_workload",

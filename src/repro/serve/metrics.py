@@ -46,6 +46,12 @@ class ServiceReport:
     p95_queue_wait_s: float
     kernel_launches: int
     mean_lanes_per_launch: float
+    #: Cross-tenant fusion accounting (``serve.fusion.*``): padded
+    #: megakernel launches issued, power-of-two pad lanes wasted on
+    #: them, and the mean number of tenant slices sharing one.
+    fused_launches: int = 0
+    fusion_pad_lanes: int = 0
+    mean_tenants_per_launch: float = 0.0
     #: Track name ("gpu0", ...) -> busy fraction over the run.
     device_utilization: dict[str, float] = field(default_factory=dict)
     #: Completed-but-degraded requests (lost playout batches).
@@ -111,6 +117,21 @@ class ServiceReport:
             "kernel launches": [str(self.kernel_launches)],
             "mean lanes/launch": [f"{self.mean_lanes_per_launch:.1f}"],
         }
+        if self.fused_launches:
+            waste = self.fusion_pad_lanes / max(
+                1,
+                self.fusion_pad_lanes
+                + round(
+                    self.mean_lanes_per_launch * self.kernel_launches
+                ),
+            )
+            rows["fused launches"] = [str(self.fused_launches)]
+            rows["fusion pad lanes"] = [
+                f"{self.fusion_pad_lanes} ({waste * 100:.0f}% waste)"
+            ]
+            rows["mean tenants/launch"] = [
+                f"{self.mean_tenants_per_launch:.1f}"
+            ]
         if (
             self.degraded
             or self.retries
@@ -172,6 +193,9 @@ def summarize(
     elapsed_s: float,
     kernel_launches: int = 0,
     mean_lanes_per_launch: float = 0.0,
+    fused_launches: int = 0,
+    fusion_pad_lanes: int = 0,
+    mean_tenants_per_launch: float = 0.0,
     device_utilization: dict[str, float] | None = None,
     retries: int = 0,
     lost_launches: int = 0,
@@ -233,5 +257,8 @@ def summarize(
         p95_queue_wait_s=percentile(waits, 95) if waits else 0.0,
         kernel_launches=kernel_launches,
         mean_lanes_per_launch=mean_lanes_per_launch,
+        fused_launches=fused_launches,
+        fusion_pad_lanes=fusion_pad_lanes,
+        mean_tenants_per_launch=mean_tenants_per_launch,
         device_utilization=dict(device_utilization or {}),
     )

@@ -13,21 +13,33 @@ Two layers, both reused outside the service:
   :class:`~repro.gpu.lease.DevicePool`, and returns the per-lane
   ``(winner, plies)`` results along with the leases to synchronise on.
 
-Results are deterministic: lane RNG streams derive from the batcher
-seed and a global launch counter, and placement follows insertion
-order, so the same submitted workload always produces the same
-per-request search results.
+Results are deterministic *and geometry-independent*: lane ``i`` of
+game ``g``'s merged demand on that game's round ``r`` always draws
+from stream ``i`` of the ``derive_seed(batcher_seed, g, r)`` family,
+no matter how the batch was chunked across devices or fused with other
+games' lanes.  The same submitted workload therefore produces the same
+per-request search results under every launch geometry -- the property
+the fused-vs-unfused identity tests pin.
+
+:class:`FusedBatcher` is the cross-tenant fusion variant: instead of
+one launch per game per tick it packs every game's lane demand into a
+single power-of-two-padded virtual megakernel, paying the launch and
+readback latencies once per tick instead of once per game.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping, Sequence
 
 from repro.core.base import PlayoutBatch, PlayoutResults
+from repro.core.executors import tracked_runner
 from repro.games import make_batch_game
-from repro.games.batch import run_playouts_tracked
-from repro.gpu.kernel import LaunchConfig, playout_kernel_spec
+from repro.gpu.kernel import (
+    KernelSpec,
+    LaunchConfig,
+    playout_kernel_spec,
+)
 from repro.gpu.lease import DeviceLease, DevicePool
 from repro.gpu.timing import kernel_time
 from repro.faults import KIND_CORRUPT_RESULT
@@ -140,6 +152,18 @@ class LaunchRecord:
     #: covered.
     lo: int = 0
     hi: int = 0
+    #: Fused launches cover several per-game spans at once; each entry
+    #: is ``(game, lo, hi)`` into that game's merged batch.  Empty for
+    #: ordinary single-game launches (use ``game``/``lo``/``hi``).
+    segments: tuple[tuple[str, int, int], ...] = field(
+        default_factory=tuple
+    )
+
+    def spans(self) -> tuple[tuple[str, int, int], ...]:
+        """Every ``(game, lo, hi)`` span this launch covered."""
+        if self.segments:
+            return self.segments
+        return ((self.game, self.lo, self.hi),)
 
     @property
     def delivered(self) -> bool:
@@ -168,8 +192,8 @@ class LaneBatcher:
     """Executes merged per-game playout batches on a device pool.
 
     One instance per service run: it owns the batch-game caches, the
-    launch counter that seeds each launch's RNG lanes, and the policy
-    for splitting very wide batches across devices.
+    per-game round counters that seed each round's lane RNG family,
+    and the policy for splitting very wide batches across devices.
     """
 
     #: Below this many lanes a batch is never split across devices
@@ -182,6 +206,7 @@ class LaneBatcher:
         seed: int,
         launcher: ResilientLauncher | None = None,
         integrity: IntegrityState | None = None,
+        playout: str = "numpy",
     ) -> None:
         self.pool = pool
         self.seed = derive_seed(seed, "lane_batcher")
@@ -192,12 +217,29 @@ class LaneBatcher:
         #: injector's decision and validated; rejects retry through the
         #: resilient launcher.  Requires ``launcher``.
         self.integrity = integrity
+        #: Playout executor ("numpy" or "compiled") running the merged
+        #: batches; bit-identical by contract, so this never changes
+        #: which results tenants see.
+        self.playout = playout
+        self._run_tracked = tracked_runner(playout)
         self.launch_count = 0
         self.lanes_total = 0
         #: Lanes whose launch chain exhausted its retries (results
         #: dropped, requests degraded).
         self.lost_lanes = 0
+        #: Fusion accounting (only the FusedBatcher advances these;
+        #: they live on the base so reporting is uniform).
+        self.fused_launches = 0
+        self.pad_lanes = 0
+        self.tenant_slices = 0
+        #: Per-game round counters: round ``r`` of game ``g`` seeds the
+        #: lane stream family ``derive_seed(seed, g, r)``, independent
+        #: of how many launches (or which fusion geometry) served it.
+        self._rounds: dict[str, int] = {}
         self._batch_games: dict[str, object] = {}
+        #: Reusable pad scratch for block-step padding (grown
+        #: geometrically, never re-allocated per launch).
+        self._steps_scratch = np.zeros(0, dtype=np.int64)
 
     def _batch_game(self, game: str):
         bg = self._batch_games.get(game)
@@ -205,6 +247,23 @@ class LaneBatcher:
             bg = make_batch_game(game)
             self._batch_games[game] = bg
         return bg
+
+    def _round_seed(self, game: str) -> int:
+        """Advance ``game``'s round counter and derive the round's lane
+        stream family seed."""
+        r = self._rounds.get(game, 0) + 1
+        self._rounds[game] = r
+        return derive_seed(self.seed, game, r)
+
+    def _scratch(self, total: int) -> np.ndarray:
+        """A reusable int64 scratch view of length ``total`` (contents
+        undefined; callers overwrite every entry)."""
+        if self._steps_scratch.shape[0] < total:
+            self._steps_scratch = np.zeros(
+                max(total, 2 * self._steps_scratch.shape[0]),
+                dtype=np.int64,
+            )
+        return self._steps_scratch[:total]
 
     def _chunks(self, n: int) -> list[tuple[int, int]]:
         """Contiguous (lo, hi) lane spans, one per launch."""
@@ -224,8 +283,9 @@ class LaneBatcher:
 
         def duration(spec) -> float:
             config = launch_config_for(lanes, spec.warp_size)
-            padded = np.zeros(config.total_threads, dtype=np.int64)
+            padded = self._scratch(config.total_threads)
             padded[:lanes] = tracked.finish_steps
+            padded[lanes:] = 0
             block_steps = padded.reshape(
                 config.blocks, config.threads_per_block
             ).max(axis=1)
@@ -278,6 +338,7 @@ class LaneBatcher:
         if not states:
             return [], []
         bg = self._batch_game(game)
+        round_seed = self._round_seed(game)
         answers: list[tuple[int, int]] = []
         records: list[LaunchRecord] = []
         for lo, hi in self._chunks(len(states)):
@@ -285,11 +346,12 @@ class LaneBatcher:
             lanes = len(chunk)
             self.launch_count += 1
             self.lanes_total += lanes
-            rng = BatchXorShift128Plus(
-                lanes, derive_seed(self.seed, game, self.launch_count)
-            )
+            # Geometry-independent streams: chunk lane j is merged lane
+            # lo + j, and always gets that lane's stream of this
+            # round's family regardless of the chunking.
+            rng = BatchXorShift128Plus.for_lanes(round_seed, lo, hi)
             batch = bg.make_batch(chunk, 1)
-            tracked = run_playouts_tracked(bg, batch, rng)
+            tracked = self._run_tracked(bg, batch, rng)
             chunk_answers = list(
                 zip(
                     (int(w) for w in tracked.winners),
@@ -353,8 +415,382 @@ class LaneBatcher:
             answers.extend(chunk_answers)
         return answers, records
 
+    def execute_demand(
+        self,
+        demand: Mapping[str, Sequence],
+        spans: Mapping[Hashable, tuple[str, int, int]] | None = None,
+        holder: str = "merged",
+    ) -> tuple[dict[str, PlayoutResults], list[LaunchRecord]]:
+        """Run one tick's full merged demand (game -> states).
+
+        Returns per-game answer lists (aligned with each game's
+        states) and all launch records issued.  ``spans`` maps tenant
+        keys to their ``(game, lo, hi)`` slice of the merged per-game
+        batches; the base batcher ignores it (it exists for interface
+        parity with :meth:`FusedBatcher.execute_demand`, which screens
+        and accounts per tenant).
+        """
+        answers_by_game: dict[str, PlayoutResults] = {}
+        records: list[LaunchRecord] = []
+        for game, states in demand.items():
+            answers, launches = self.execute(game, states, holder)
+            answers_by_game[game] = answers
+            records.extend(launches)
+        return answers_by_game, records
+
+    def tick_floor_s(self) -> float:
+        """The cheapest possible merged tick on this pool: one launch
+        plus one readback with zero compute.  Fusion-aware admission
+        uses this as the lower bound no request can finish under."""
+        return min(
+            self.pool.spec_of(d).kernel_launch_latency_s
+            + self.pool.spec_of(d).transfer_latency_s
+            for d in range(len(self.pool))
+        )
+
     @property
     def mean_lanes_per_launch(self) -> float:
         if self.launch_count == 0:
             return 0.0
         return self.lanes_total / self.launch_count
+
+    @property
+    def mean_tenants_per_launch(self) -> float:
+        """Mean distinct tenant slices sharing one fused launch."""
+        if self.fused_launches == 0:
+            return 0.0
+        return self.tenant_slices / self.fused_launches
+
+
+def _next_pow2(n: int) -> int:
+    """Smallest power of two >= ``n`` (n >= 1)."""
+    return 1 << (n - 1).bit_length()
+
+
+def fused_kernel_spec(games: Sequence[str]) -> KernelSpec:
+    """Conservative kernel spec for a fused cross-game megakernel.
+
+    A fused launch runs every game's playout loop in one grid, so its
+    per-step cost, dependent-latency floor and per-thread resources
+    are the worst case over the fused games -- the occupancy and
+    timing model then never underestimate the fused kernel.
+    """
+    specs = [playout_kernel_spec(g) for g in dict.fromkeys(games)]
+    if len(specs) == 1:
+        return specs[0]
+    return KernelSpec(
+        name="fused_playout",
+        cycles_per_step=max(s.cycles_per_step for s in specs),
+        latency_cycles_per_step=max(
+            s.latency_cycles_per_step for s in specs
+        ),
+        registers_per_thread=max(
+            s.registers_per_thread for s in specs
+        ),
+        shared_mem_per_block=max(
+            s.shared_mem_per_block for s in specs
+        ),
+        divergence_overhead=max(
+            s.divergence_overhead for s in specs
+        ),
+    )
+
+
+class FusedBatcher(LaneBatcher):
+    """Cross-tenant kernel fusion: one padded megakernel per tick.
+
+    Packs every game's merged lane demand into a single virtual launch
+    per tick: per-game block-aligned segments are concatenated and the
+    grid is padded up to a power-of-two thread count (pad blocks carry
+    zero steps, so they cost no compute -- only the wasted lanes the
+    fusion metrics report).  The kernel-launch and readback latencies
+    are paid once per tick instead of once per game, which is where
+    the p50 win at high tenant counts comes from.
+
+    The identity contract of :class:`LaneBatcher` is preserved
+    exactly: lane ``i`` of game ``g``'s merged demand draws from the
+    same per-(game, round) stream family under fusion as without it,
+    so per-request results are bit-identical fused vs unfused.
+    """
+
+    #: Uniform block width of a fused launch (the paper's block-size
+    #: sweet spot; keeps pad granularity and occupancy predictable).
+    FUSED_TPB = 128
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        seed: int,
+        launcher: ResilientLauncher | None = None,
+        integrity: IntegrityState | None = None,
+        playout: str = "numpy",
+        max_fused_lanes: int = 1 << 16,
+    ) -> None:
+        super().__init__(
+            pool,
+            seed,
+            launcher=launcher,
+            integrity=integrity,
+            playout=playout,
+        )
+        if max_fused_lanes < self.FUSED_TPB:
+            raise ValueError(
+                f"max_fused_lanes must be at least {self.FUSED_TPB}: "
+                f"{max_fused_lanes}"
+            )
+        #: Real-lane capacity of one fused launch; wider demand rolls
+        #: over into additional fused launches.
+        self.max_fused_lanes = max_fused_lanes
+
+    # -- packing -----------------------------------------------------------
+
+    def _segments(
+        self, lane_counts: Mapping[str, int]
+    ) -> list[list[tuple[str, int, int]]]:
+        """Group per-game lane demand into fused launch groups.
+
+        Each game is cut into block-capacity pieces, then pieces are
+        packed greedily (in game insertion order) into groups of at
+        most ``max_fused_lanes`` real lanes -- one group per fused
+        launch.
+        """
+        cap = (self.max_fused_lanes // self.FUSED_TPB) * self.FUSED_TPB
+        pieces: list[tuple[str, int, int]] = []
+        for game, n in lane_counts.items():
+            lo = 0
+            while lo < n:
+                hi = min(n, lo + cap)
+                pieces.append((game, lo, hi))
+                lo = hi
+        groups: list[list[tuple[str, int, int]]] = []
+        current: list[tuple[str, int, int]] = []
+        current_lanes = 0
+        for piece in pieces:
+            lanes = piece[2] - piece[1]
+            if current and current_lanes + lanes > self.max_fused_lanes:
+                groups.append(current)
+                current = []
+                current_lanes = 0
+            current.append(piece)
+            current_lanes += lanes
+        if current:
+            groups.append(current)
+        return groups
+
+    def _group_geometry(
+        self, segments: list[tuple[str, int, int]]
+    ) -> tuple[int, int, int]:
+        """``(real_blocks, padded_blocks, real_lanes)`` of one group:
+        each segment occupies whole blocks, and the block count is
+        padded to the next power of two."""
+        tpb = self.FUSED_TPB
+        real_blocks = sum(
+            -(-(hi - lo) // tpb) for _, lo, hi in segments
+        )
+        real_lanes = sum(hi - lo for _, lo, hi in segments)
+        return real_blocks, _next_pow2(real_blocks), real_lanes
+
+    def _fused_duration(
+        self,
+        segments: list[tuple[str, int, int]],
+        tracked_by_game: Mapping[str, object],
+    ):
+        """Closure mapping a device spec to the fused launch's modelled
+        kernel time (re-placement may land on any pooled device)."""
+        kernel = fused_kernel_spec([g for g, _, _ in segments])
+        tpb = self.FUSED_TPB
+        real_blocks, padded_blocks, real_lanes = self._group_geometry(
+            segments
+        )
+
+        def duration(spec) -> float:
+            config = LaunchConfig(
+                blocks=padded_blocks, threads_per_block=tpb
+            )
+            steps = self._scratch(config.total_threads)
+            steps[:] = 0
+            offset = 0
+            for game, lo, hi in segments:
+                lanes = hi - lo
+                steps[offset : offset + lanes] = tracked_by_game[
+                    game
+                ].finish_steps[lo:hi]
+                offset += -(-lanes // tpb) * tpb
+            block_steps = steps.reshape(padded_blocks, tpb).max(axis=1)
+            return kernel_time(
+                spec,
+                kernel,
+                config,
+                block_steps,
+                transfer_bytes=4 * real_lanes,
+            ).total_s
+
+        return duration
+
+    # -- tenant-sliced integrity screening ---------------------------------
+
+    def _tenant_slices(
+        self,
+        segments: list[tuple[str, int, int]],
+        spans: Mapping[Hashable, tuple[str, int, int]] | None,
+    ) -> list[tuple[str, int, int]]:
+        """The per-tenant ``(game, lo, hi)`` slices of one fused
+        launch's readback, in tenant submission order.
+
+        Each tenant whose lanes fall inside the launch gets exactly
+        one slice per launch -- the unit the integrity screen
+        validates.  Without tenant spans (direct batcher use) each
+        whole segment is one slice.
+        """
+        if spans is None:
+            return list(segments)
+        slices = []
+        for game, lo, hi in spans.values():
+            overlap = [
+                (game, max(lo, slo), min(hi, shi))
+                for sgame, slo, shi in segments
+                if sgame == game and min(hi, shi) > max(lo, slo)
+            ]
+            if overlap:
+                olo = min(o[1] for o in overlap)
+                ohi = max(o[2] for o in overlap)
+                slices.append((game, olo, ohi))
+        return slices
+
+    def _make_fused_screen(self, tenant_slices, answers_by_game):
+        """Host-boundary validation for one fused readback: every
+        tenant's slice is screened exactly once per delivery attempt,
+        and the delivery is accepted only if every slice validates.
+        Returns ``(None, None)`` with no integrity state attached."""
+        guard = self.integrity
+        if guard is None:
+            return None, None
+        cell: dict = {}
+
+        def screen() -> bool:
+            parts = []
+            ok_all = True
+            for game, lo, hi in tenant_slices:
+                part = answers_by_game[game][lo:hi]
+                screened, ok = guard.screen_answers(part)
+                parts.append((game, lo, hi, screened))
+                ok_all = ok_all and ok
+            if ok_all:
+                cell["parts"] = parts
+            return ok_all
+
+        return screen, cell
+
+    # -- execution ---------------------------------------------------------
+
+    def execute_demand(
+        self,
+        demand: Mapping[str, Sequence],
+        spans: Mapping[Hashable, tuple[str, int, int]] | None = None,
+        holder: str = "merged",
+    ) -> tuple[dict[str, PlayoutResults], list[LaunchRecord]]:
+        """Run one tick's full merged demand as fused launches.
+
+        The playouts themselves run per game (the vectorised batch
+        games share no state layout), with the identical per-(game,
+        round) lane streams the unfused path uses; what fuses is the
+        *launch*: all games' lanes ride one padded grid whose launch
+        and readback latencies are paid once.
+        """
+        demand = {g: s for g, s in demand.items() if s}
+        if not demand:
+            return {}, []
+        answers_by_game: dict[str, list] = {}
+        tracked_by_game: dict[str, object] = {}
+        for game, states in demand.items():
+            bg = self._batch_game(game)
+            round_seed = self._round_seed(game)
+            rng = BatchXorShift128Plus.for_lanes(
+                round_seed, 0, len(states)
+            )
+            batch = bg.make_batch(list(states), 1)
+            tracked = self._run_tracked(bg, batch, rng)
+            tracked_by_game[game] = tracked
+            answers_by_game[game] = list(
+                zip(
+                    (int(w) for w in tracked.winners),
+                    (int(p) for p in tracked.finish_steps),
+                )
+            )
+
+        records: list[LaunchRecord] = []
+        lane_counts = {g: len(s) for g, s in demand.items()}
+        for segments in self._segments(lane_counts):
+            _, padded_blocks, real_lanes = self._group_geometry(
+                segments
+            )
+            self.launch_count += 1
+            self.fused_launches += 1
+            self.lanes_total += real_lanes
+            self.pad_lanes += padded_blocks * self.FUSED_TPB - real_lanes
+            tenant_slices = self._tenant_slices(segments, spans)
+            self.tenant_slices += len(tenant_slices)
+            duration_for = self._fused_duration(
+                segments, tracked_by_game
+            )
+            games_label = "+".join(dict.fromkeys(g for g, _, _ in segments))
+            if self.launcher is not None:
+                screen, cell = self._make_fused_screen(
+                    tenant_slices, answers_by_game
+                )
+                outcome = self.launcher.launch(
+                    holder,
+                    duration_for,
+                    label=f"fused_{games_label}_playouts",
+                    screen=screen,
+                    lanes=real_lanes,
+                    game=games_label,
+                    fused_tenants=len(tenant_slices),
+                )
+                if not outcome.delivered:
+                    for game, lo, hi in segments:
+                        answers_by_game[game][lo:hi] = [(0, 0)] * (
+                            hi - lo
+                        )
+                    self.lost_lanes += real_lanes
+                    if (
+                        self.integrity is not None
+                        and outcome.attempts
+                        and outcome.attempts[-1].fault
+                        == KIND_CORRUPT_RESULT
+                    ):
+                        self.integrity.give_up()
+                elif cell is not None:
+                    # Adopt the accepted (possibly escaped-corrupt)
+                    # screened slices from the last screen call.
+                    for game, lo, hi, part in cell["parts"]:
+                        answers_by_game[game][lo:hi] = part
+                records.append(
+                    LaunchRecord(
+                        game=games_label,
+                        lanes=real_lanes,
+                        lease=outcome.lease,
+                        outcome=outcome,
+                        segments=tuple(segments),
+                    )
+                )
+            else:
+                device_id = self.pool.least_busy()
+                lease = self.pool.launch(
+                    holder,
+                    duration_for(self.pool.spec_of(device_id)),
+                    device_id=device_id,
+                    label=f"fused_{games_label}_playouts",
+                    lanes=real_lanes,
+                    game=games_label,
+                    fused_tenants=len(tenant_slices),
+                )
+                records.append(
+                    LaunchRecord(
+                        game=games_label,
+                        lanes=real_lanes,
+                        lease=lease,
+                        segments=tuple(segments),
+                    )
+                )
+        return answers_by_game, records

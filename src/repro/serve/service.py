@@ -46,6 +46,7 @@ from pathlib import Path
 
 from repro.core.backend import validate_backend
 from repro.core.base import Engine
+from repro.core.executors import validate_playout
 from repro.core.checkpoint import (
     CheckpointError,
     EngineSnapshot,
@@ -77,7 +78,11 @@ from repro.serve.request import (
     RequestRecord,
     SearchRequest,
 )
-from repro.serve.scheduler import GeneratorPool, LaneBatcher
+from repro.serve.scheduler import (
+    FusedBatcher,
+    GeneratorPool,
+    LaneBatcher,
+)
 from repro.util.clock import Clock
 from repro.util.seeding import derive_seed
 
@@ -129,6 +134,10 @@ class SearchService:
         faults: FaultPlan | str | None = None,
         retry: RetryPolicy | None = None,
         backend: str = "node",
+        playout: str = "numpy",
+        fusion: bool = True,
+        fusion_admission: bool = False,
+        max_fused_lanes: int = 1 << 16,
         journal: "str | Path | JournalWriter | None" = None,
         checkpoint_every: int = 50,
         integrity: "IntegrityPolicy | dict | None" = None,
@@ -142,6 +151,7 @@ class SearchService:
                 f"checkpoint_every cannot be negative: {checkpoint_every}"
             )
         validate_backend(backend)
+        validate_playout(playout)
         if devices is None:
             devices = (TESLA_C2050,) * n_devices
         self.clock = Clock()
@@ -165,15 +175,41 @@ class SearchService:
             if self.injector is not None
             else None
         )
-        self.batcher = LaneBatcher(
-            self.pool,
-            derive_seed(seed, "serve"),
-            launcher=self.launcher,
-            integrity=self.integrity_state,
-        )
+        #: Cross-tenant kernel fusion: with ``fusion`` every tick's
+        #: merged demand rides one padded launch (bit-identical
+        #: per-request results either way); without it, one launch per
+        #: game per tick.
+        self.fusion = fusion
+        if fusion:
+            self.batcher: LaneBatcher = FusedBatcher(
+                self.pool,
+                derive_seed(seed, "serve"),
+                launcher=self.launcher,
+                integrity=self.integrity_state,
+                playout=playout,
+                max_fused_lanes=max_fused_lanes,
+            )
+        else:
+            self.batcher = LaneBatcher(
+                self.pool,
+                derive_seed(seed, "serve"),
+                launcher=self.launcher,
+                integrity=self.integrity_state,
+                playout=playout,
+            )
+        #: Fusion-aware admission (opt-in because it changes outcomes):
+        #: at each tick boundary, requests whose deadline cannot even
+        #: cover the pool's minimum launch+readback floor are missed
+        #: before they are packed into the fused launch, so doomed
+        #: tenants never widen (or delay) the batch.
+        self.fusion_admission = fusion_admission
         #: Default tree backend for requests whose spec does not pick
         #: one explicitly (an ``@backend`` suffix always wins).
         self.backend = backend
+        #: Default playout executor for requests whose spec does not
+        #: pick one (an ``@compiled`` suffix always wins); also the
+        #: executor the merged-tick batcher runs.
+        self.playout = playout
         self.max_active = max_active
         self.max_queue = max_queue
         self.seed = seed
@@ -258,6 +294,8 @@ class SearchService:
         overrides = {}
         if self.backend != "node" and "backend" not in spec.params:
             overrides["backend"] = self.backend
+        if self.playout != "numpy" and "playout" not in spec.params:
+            overrides["playout"] = self.playout
         if self.injector is not None and spec.kind in (
             "block",
             "root",
@@ -486,6 +524,25 @@ class SearchService:
                 elif now >= slot.outcome.ready_s:
                     self._finish(slot.record, active, result=slot.result)
 
+            # Fusion-aware admission (opt-in): a request whose deadline
+            # is inside even the cheapest possible merged tick cannot
+            # finish this tick -- miss it now instead of packing its
+            # lanes into the fused launch.
+            if (
+                self.fusion_admission
+                and self.enforce_deadlines
+                and gen_pool.pending
+            ):
+                floor = (
+                    self.batcher.tick_floor_s() + self.tick_overhead_s
+                )
+                for rid in gen_pool.pending:
+                    deadline = active[
+                        rid
+                    ].record.request.absolute_deadline_s
+                    if deadline is not None and now + floor > deadline:
+                        self._miss(active[rid].record, active, gen_pool)
+
             pending = gen_pool.pending
             if not pending:
                 if active:
@@ -532,16 +589,12 @@ class SearchService:
                 active[rid].record.ticks += 1
                 active[rid].record.lanes += len(reqs)
 
-            # Kernel phase: merged launches, one lane per leaf; the
-            # tick waits for every launch it issued.
-            answers_by_game: dict[str, list] = {}
-            tick_launches = []
-            for game_name, states in per_game_states.items():
-                answers, launches = self.batcher.execute(
-                    game_name, states
-                )
-                answers_by_game[game_name] = answers
-                tick_launches.extend(launches)
+            # Kernel phase: merged launches, one lane per leaf (one
+            # fused padded launch for the whole tick under fusion);
+            # the tick waits for every launch it issued.
+            answers_by_game, tick_launches = self.batcher.execute_demand(
+                per_game_states, spans
+            )
             for launch in tick_launches:
                 if launch.lease is not None:
                     self.pool.synchronize(launch.lease)
@@ -553,15 +606,20 @@ class SearchService:
             # Attribute lost lanes to the requests whose leaf spans
             # overlapped the dropped launch chunks; those requests
             # complete with a reduced effective budget.
-            lost = [l for l in tick_launches if not l.delivered]
-            if lost:
+            lost_spans = [
+                span
+                for l in tick_launches
+                if not l.delivered
+                for span in l.spans()
+            ]
+            if lost_spans:
                 for rid in pending:
                     game_name, lo, hi = spans[rid]
                     overlap = sum(
-                        min(hi, l.hi) - max(lo, l.lo)
-                        for l in lost
-                        if l.game == game_name
-                        and min(hi, l.hi) > max(lo, l.lo)
+                        min(hi, shi) - max(lo, slo)
+                        for sgame, slo, shi in lost_spans
+                        if sgame == game_name
+                        and min(hi, shi) > max(lo, slo)
                     )
                     if overlap:
                         record = active[rid].record
@@ -699,6 +757,11 @@ class SearchService:
             elapsed_s=elapsed,
             kernel_launches=self.batcher.launch_count,
             mean_lanes_per_launch=self.batcher.mean_lanes_per_launch,
+            fused_launches=self.batcher.fused_launches,
+            fusion_pad_lanes=self.batcher.pad_lanes,
+            mean_tenants_per_launch=(
+                self.batcher.mean_tenants_per_launch
+            ),
             device_utilization=self.pool.utilization(self.clock.now),
             retries=self.launcher.retries,
             lost_launches=self.launcher.lost_launches,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.spec import EngineSpec, with_backend
+from repro.core.spec import EngineSpec, with_backend, with_playout
 from repro.serve.request import SearchRequest
 from repro.util.seeding import derive_seed
 
@@ -57,9 +57,13 @@ class WorkloadConfig:
     #: Tree backend suffixed onto every engine spec (``@arena``);
     #: ``"node"`` leaves the spec strings untouched.
     backend: str = "node"
+    #: Playout executor suffixed onto every engine spec
+    #: (``@compiled``); ``"numpy"`` leaves the spec strings untouched.
+    playout: str = "numpy"
 
     def __post_init__(self) -> None:
         from repro.core.backend import validate_backend
+        from repro.core.executors import validate_playout
 
         if self.n_requests <= 0:
             raise ValueError(
@@ -72,6 +76,7 @@ class WorkloadConfig:
         if not self.id_prefix:
             raise ValueError("id_prefix cannot be empty")
         validate_backend(self.backend)
+        validate_playout(self.playout)
 
 
 def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
@@ -81,12 +86,15 @@ def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
     for i in range(config.n_requests):
         game = config.games[i % len(config.games)]
         engine = config.engines[i % len(config.engines)]
-        if config.backend != "node":
+        if config.backend != "node" or config.playout != "numpy":
+            # An explicit @node/@arena/@compiled in the spec wins --
+            # and is kept verbatim so request strings stay stable.
             spec = EngineSpec.coerce(engine)
-            if "backend" not in spec.params:
-                # An explicit @node/@arena in the spec wins -- and is
-                # kept verbatim so request strings stay stable.
-                engine = with_backend(spec, config.backend).canonical()
+            rewritten = with_playout(
+                with_backend(spec, config.backend), config.playout
+            )
+            if rewritten is not spec:
+                engine = rewritten.canonical()
         budget = DEFAULT_BUDGETS[game] * config.budget_scale
         requests.append(
             SearchRequest(

@@ -1,0 +1,131 @@
+"""Bit-identity wall for the compiled playout executor.
+
+The compiled C kernels must be indistinguishable from the NumPy
+reference at the playout-call level: identical winners, scores and
+finish steps for every lane, *and* identical RNG side effects (the
+caller's generator must advance by exactly the same per-lane streams,
+including the compaction k* rule), across games, widths and starting
+states.  When no C toolchain is available every test still passes --
+the runner falls back to the NumPy path, which is trivially identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiled import (
+    COMPILED_GAMES,
+    compiled_available,
+    run_playouts_tracked_compiled,
+    unavailable_reason,
+)
+from repro.games import make_batch_game, make_game
+from repro.games.batch import run_playouts_tracked
+from repro.rng import BatchXorShift128Plus
+
+pytestmark = pytest.mark.compiled
+
+GAMES = sorted(COMPILED_GAMES)
+#: Widths straddling the scalar cutoff, the compaction threshold
+#: (>= 64) and a wide vectorised batch.
+WIDTHS = [1, 3, 63, 64, 200, 1024]
+
+
+def _mid_state(game_name: str, plies: int, seed: int = 7):
+    game = make_game(game_name)
+    rng = np.random.default_rng(seed)
+    state = game.initial_state()
+    for _ in range(plies):
+        if game.is_terminal(state):
+            break
+        moves = game.legal_moves(state)
+        state = game.apply(state, int(rng.choice(moves)))
+    return state
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+@pytest.mark.parametrize("n", WIDTHS)
+def test_initial_state_identical(game_name, n):
+    state = make_game(game_name).initial_state()
+    _run_both_state(game_name, state, n, seed=11)
+
+
+def _run_both_state(game_name, state, n, seed):
+    bg = make_batch_game(game_name)
+    ref_rng = BatchXorShift128Plus(n, seed)
+    cmp_rng = BatchXorShift128Plus(n, seed)
+    ref = run_playouts_tracked(bg, bg.make_batch([state], n), ref_rng)
+    got = run_playouts_tracked_compiled(
+        bg, bg.make_batch([state], n), cmp_rng
+    )
+    np.testing.assert_array_equal(got.winners, ref.winners)
+    np.testing.assert_array_equal(got.scores, ref.scores)
+    np.testing.assert_array_equal(got.finish_steps, ref.finish_steps)
+    assert cmp_rng.state_digest() == ref_rng.state_digest()
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+@pytest.mark.parametrize("plies", [2, 5, 9])
+def test_mid_game_states_identical(game_name, plies):
+    game = make_game(game_name)
+    state = _mid_state(game_name, plies)
+    _run_both_state(game_name, state, 128, seed=plies)
+    if game.is_terminal(state):
+        return
+    # Mixed batch: mid-game roots at a non-compacting width too.
+    _run_both_state(game_name, state, 17, seed=plies + 100)
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+def test_terminal_state_identical(game_name):
+    game = make_game(game_name)
+    state = _mid_state(game_name, 200)
+    assert game.is_terminal(state)
+    _run_both_state(game_name, state, 96, seed=1)
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+def test_repeated_calls_share_rng_stream(game_name):
+    """Two consecutive calls on the same generator stay aligned: the
+    compiled path's k* advance rule must leave the generator exactly
+    where the NumPy path leaves it, or call two diverges."""
+    bg = make_batch_game(game_name)
+    state = make_game(game_name).initial_state()
+    ref_rng = BatchXorShift128Plus(256, 5)
+    cmp_rng = BatchXorShift128Plus(256, 5)
+    for _ in range(3):
+        ref = run_playouts_tracked(
+            bg, bg.make_batch([state], 256), ref_rng
+        )
+        got = run_playouts_tracked_compiled(
+            bg, bg.make_batch([state], 256), cmp_rng
+        )
+        np.testing.assert_array_equal(got.winners, ref.winners)
+        assert cmp_rng.state_digest() == ref_rng.state_digest()
+
+
+def test_unsupported_game_falls_back():
+    bg = make_batch_game("breakthrough")
+    state = make_game("breakthrough").initial_state()
+    ref_rng = BatchXorShift128Plus(32, 3)
+    cmp_rng = BatchXorShift128Plus(32, 3)
+    ref = run_playouts_tracked(bg, bg.make_batch([state], 32), ref_rng)
+    got = run_playouts_tracked_compiled(
+        bg, bg.make_batch([state], 32), cmp_rng
+    )
+    np.testing.assert_array_equal(got.winners, ref.winners)
+    assert cmp_rng.state_digest() == ref_rng.state_digest()
+
+
+def test_disabled_env_reports_unavailable(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILED", "never")
+    assert not compiled_available()
+    assert unavailable_reason() is not None
+
+
+def test_availability_is_consistent():
+    """Whichever way the toolchain probe went, the module agrees with
+    itself: available means no unavailability reason and vice versa."""
+    if compiled_available():
+        assert unavailable_reason() is None
+    else:
+        assert unavailable_reason() is not None

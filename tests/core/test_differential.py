@@ -1,6 +1,6 @@
 """Differential tests across the engine-spec registry.
 
-Two oracles:
+Three oracles:
 
 * every registered engine kind is exactly reproducible -- the same
   spec, seed and budget produce the identical chosen move and root
@@ -11,8 +11,15 @@ Two oracles:
   moves) under a fixed iteration budget.  Per-move statistics differ
   -- the two engines draw from differently-derived RNG streams -- so
   the oracle compares what the algorithms must share, not incidental
-  stream layout.
+  stream layout;
+* the compiled playout executor is a pure performance knob: every
+  kind x {node, arena} x {numpy, compiled} cell must produce the
+  bit-identical search (move, per-move stats, counters, virtual
+  time), whether the C library actually loaded or the executor fell
+  back to NumPy.
 """
+
+import os
 
 import pytest
 
@@ -91,6 +98,54 @@ def test_arena_backend_matches_node_backend_other_games(game_name):
     assert arena.move == node.move
     assert arena.stats == node.stats
     assert arena.simulations == node.simulations
+
+
+def _assert_identical(a, b):
+    assert a.move == b.move
+    assert a.stats == b.stats
+    assert a.iterations == b.iterations
+    assert a.simulations == b.simulations
+    assert a.elapsed_s == b.elapsed_s
+    assert a.max_depth == b.max_depth
+    assert a.tree_nodes == b.tree_nodes
+
+
+@pytest.mark.compiled
+@pytest.mark.parametrize(
+    "spec", sorted(SMALL_SPECS.values()) + MODIFIER_SPECS
+)
+@pytest.mark.parametrize("backend_suffix", ["", "@arena"])
+def test_compiled_playout_matches_numpy(spec, backend_suffix):
+    """The full kind x backend x executor wall: ``@compiled`` never
+    changes a search, on either tree backend.  When the C toolchain is
+    absent the compiled executor silently runs NumPy, so this also
+    pins the fallback to exact identity."""
+    baseline = _run(f"{spec}{backend_suffix}")
+    compiled = _run(f"{spec}{backend_suffix}@compiled")
+    _assert_identical(compiled, baseline)
+
+
+@pytest.mark.compiled
+@pytest.mark.parametrize("game_name", ["connect4", "reversi"])
+def test_compiled_playout_matches_numpy_other_games(game_name):
+    baseline = _run("block:2x8", game_name)
+    compiled = _run("block:2x8@compiled", game_name)
+    _assert_identical(compiled, baseline)
+
+
+@pytest.mark.compiled
+def test_compiled_disabled_env_forces_identical_fallback(monkeypatch):
+    """``REPRO_COMPILED=0`` must flip an ``@compiled`` engine onto the
+    NumPy path without changing a single bit of its search."""
+    enabled = _run("block:2x8@compiled", "reversi")
+    monkeypatch.setenv("REPRO_COMPILED", "0")
+    from repro.compiled import compiled_available
+
+    assert not compiled_available()
+    disabled = _run("block:2x8@compiled", "reversi")
+    _assert_identical(disabled, enabled)
+    monkeypatch.delenv("REPRO_COMPILED")
+    assert os.environ.get("REPRO_COMPILED") is None
 
 
 @pytest.mark.parametrize("n_trees", [2, 4])
