@@ -14,12 +14,27 @@ A load sweep (offered loads 1..256) reports requests/s and p50/p95
 latency at each point.  Run standalone with
 ``python benchmarks/bench_serve.py``; under pytest the quick tier
 scales budgets down (REPRO_TIER=default restores the full budgets).
+
+The cluster tier (``--cluster``, CI gate ``--cluster --smoke``)
+measures the sharded stack from docs/cluster.md: shard-count
+throughput scaling on independent traffic (>= 3x at 4 shards), the
+result cache's p50 collapse on Zipf-skewed duplicate traffic (hit
+rate > 0, measured collapse recorded in
+``benchmarks/REPORT_cluster.md``), and a mid-run shard kill that must
+recover exactly-once through the journal.
 """
 
+import sys
+import tempfile
 from dataclasses import dataclass, replace
 
 from repro.harness.common import resolve_tier
-from repro.serve import SearchService, WorkloadConfig, make_workload
+from repro.serve import (
+    ClusterRouter,
+    SearchService,
+    WorkloadConfig,
+    make_workload,
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +59,188 @@ class ServeBenchConfig:
                 loads=(1, 4, 16, 64, 128, 256), budget_scale=2.0
             )
         return ServeBenchConfig()
+
+
+@dataclass(frozen=True)
+class ClusterBenchConfig:
+    """Shape of the sharded-cluster benchmark runs.
+
+    Shards are deliberately *contended* (2 devices, 4 active slots
+    each): sharding pays off when one node saturates, and a virtual
+    node with a huge admission window never does.
+    """
+
+    n_requests: int = 64
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    budget_scale: float = 0.25
+    n_devices: int = 2
+    max_active: int = 4
+    seed: int = 2011
+    #: Independent traffic: candidate positions per game (several per
+    #: request, so duplicates -- and cache hits -- are rare).
+    position_pool: int = 256
+    #: Zipf-skewed traffic: a small hot pool under this exponent.
+    skew: float = 1.1
+    skew_pool: int = 12
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "ClusterBenchConfig":
+        tier = resolve_tier(tier)
+        if tier == "quick":
+            # Keep the full 64-request workload and position pool:
+            # the scaling and cache-collapse effects need enough
+            # offered load (and shard balance) to show; trim the
+            # sweep to its gated endpoints instead.
+            return ClusterBenchConfig(shard_counts=(1, 4))
+        if tier == "full":
+            return ClusterBenchConfig(
+                n_requests=128,
+                budget_scale=0.5,
+                position_pool=512,
+            )
+        return ClusterBenchConfig()
+
+
+def run_cluster(
+    cfg: ClusterBenchConfig,
+    n_shards: int,
+    cache=None,
+    position_skew: float = 0.0,
+    position_pool: int | None = None,
+    journal_dir=None,
+    shard_overrides=None,
+):
+    """One cluster run over a generated workload."""
+    workload = make_workload(
+        WorkloadConfig(
+            n_requests=cfg.n_requests,
+            seed=cfg.seed,
+            budget_scale=cfg.budget_scale,
+            deadline_s=None,
+            position_skew=position_skew,
+            position_pool=(
+                cfg.position_pool
+                if position_pool is None
+                else position_pool
+            ),
+        )
+    )
+    cluster = ClusterRouter(
+        n_shards=n_shards,
+        seed=cfg.seed,
+        cache=cache,
+        journal_dir=journal_dir,
+        shard_overrides=shard_overrides,
+        n_devices=cfg.n_devices,
+        max_active=cfg.max_active,
+        enforce_deadlines=False,
+    )
+    cluster.submit_all(workload)
+    records = cluster.run()
+    return records, cluster.report()
+
+
+def run_scaling_sweep(cfg: ClusterBenchConfig):
+    """Shard count -> ClusterReport on independent traffic."""
+    return {
+        n: run_cluster(cfg, n)[1] for n in cfg.shard_counts
+    }
+
+
+def run_skew_comparison(cfg: ClusterBenchConfig):
+    """(cache-off report, cache-on report) on Zipf-skewed traffic."""
+    off = run_cluster(
+        cfg,
+        4,
+        cache=None,
+        position_skew=cfg.skew,
+        position_pool=cfg.skew_pool,
+    )[1]
+    on = run_cluster(
+        cfg,
+        4,
+        cache=True,
+        position_skew=cfg.skew,
+        position_pool=cfg.skew_pool,
+    )[1]
+    return off, on
+
+
+def run_shard_kill(cfg: ClusterBenchConfig):
+    """Kill shard 0 mid-run; the journal must recover exactly-once."""
+    with tempfile.TemporaryDirectory() as journal_dir:
+        records, report = run_cluster(
+            cfg,
+            4,
+            journal_dir=journal_dir,
+            shard_overrides={0: {"faults": "crash=tick:4"}},
+        )
+    rids = [r.request.request_id for r in records]
+    assert len(rids) == len(set(rids)), "request served twice"
+    return records, report
+
+
+def render_scaling_sweep(reports) -> str:
+    from repro.util.tables import format_series
+
+    counts = sorted(reports)
+    base = reports[counts[0]].requests_per_s
+    return format_series(
+        "shards",
+        counts,
+        {
+            "requests/s": [
+                f"{reports[n].requests_per_s:.1f}" for n in counts
+            ],
+            "scaling": [
+                f"{reports[n].requests_per_s / base:.2f}x"
+                for n in counts
+            ],
+            "elapsed (s)": [
+                f"{reports[n].elapsed_s:.4f}" for n in counts
+            ],
+            "p50 latency (ms)": [
+                f"{reports[n].p50_latency_s * 1e3:.2f}"
+                for n in counts
+            ],
+        },
+        title=(
+            "cluster throughput scaling "
+            "(independent traffic, contended shards)"
+        ),
+    )
+
+
+def render_skew_comparison(off, on) -> str:
+    from repro.util.tables import format_series
+
+    return format_series(
+        "metric",
+        [
+            "p50 latency (ms)",
+            "p95 latency (ms)",
+            "requests/s",
+            "cache hit rate",
+        ],
+        {
+            "cache off": [
+                f"{off.p50_latency_s * 1e3:.2f}",
+                f"{off.p95_latency_s * 1e3:.2f}",
+                f"{off.requests_per_s:.1f}",
+                "-",
+            ],
+            "cache on": [
+                f"{on.p50_latency_s * 1e3:.2f}",
+                f"{on.p95_latency_s * 1e3:.2f}",
+                f"{on.requests_per_s:.1f}",
+                f"{on.cache_hit_rate * 100:.0f}%",
+            ],
+        },
+        title=(
+            "Zobrist result cache on Zipf-skewed traffic "
+            "(4 shards)"
+        ),
+    )
 
 
 def run_concurrent(cfg: ServeBenchConfig, n_requests: int | None = None):
@@ -277,7 +474,87 @@ def test_serve_load_sweep(run_once):
         assert report.p95_latency_s >= report.p50_latency_s
 
 
+def test_cluster_throughput_scales_with_shards(run_once):
+    cfg = ClusterBenchConfig.for_tier()
+    reports = run_once(run_scaling_sweep, cfg)
+    print()
+    print(render_scaling_sweep(reports))
+    counts = sorted(reports)
+    for report in reports.values():
+        assert report.completed == cfg.n_requests
+    if 4 in reports:
+        scaling = (
+            reports[4].requests_per_s / reports[1].requests_per_s
+        )
+        assert scaling >= 3.0
+    # More shards never hurts throughput across the sweep.
+    assert (
+        reports[counts[-1]].requests_per_s
+        >= reports[counts[0]].requests_per_s
+    )
+
+
+def test_cluster_cache_collapses_skewed_p50(run_once):
+    cfg = ClusterBenchConfig.for_tier()
+    off, on = run_once(run_skew_comparison, cfg)
+    print()
+    print(render_skew_comparison(off, on))
+    assert off.completed == on.completed == cfg.n_requests
+    assert on.cache_hit_rate > 0
+    # The measured collapse (>= 2x at the default tier) is recorded
+    # in REPORT_cluster.md; keep slack here for the quick tier.
+    assert on.p50_latency_s * 1.5 <= off.p50_latency_s
+
+
+def test_cluster_shard_kill_recovers_exactly_once(run_once):
+    cfg = ClusterBenchConfig.for_tier()
+    records, report = run_once(run_shard_kill, cfg)
+    assert report.completed == cfg.n_requests
+    assert report.shard_crashes == 1
+    assert report.shard_recoveries == 1
+    assert report.mean_mttr_s > 0
+
+
+def _cluster_main(smoke: bool) -> int:  # pragma: no cover
+    cfg = ClusterBenchConfig.for_tier("quick" if smoke else None)
+    reports = run_scaling_sweep(cfg)
+    print(render_scaling_sweep(reports))
+    scaling = reports[4].requests_per_s / reports[1].requests_per_s
+    if scaling < 3.0:
+        print(
+            f"FAIL: 4-shard throughput scaling {scaling:.2f}x < 3x"
+        )
+        return 1
+    print()
+    off, on = run_skew_comparison(cfg)
+    print(render_skew_comparison(off, on))
+    if not on.cache_hit_rate > 0:
+        print("FAIL: no cache hits under Zipf-skewed traffic")
+        return 1
+    collapse = off.p50_latency_s / on.p50_latency_s
+    print()
+    _, kill = run_shard_kill(cfg)
+    print(
+        f"shard kill: {kill.completed}/{kill.offered} completed, "
+        f"{kill.shard_crashes} crash, "
+        f"MTTR {kill.mean_mttr_s:.4f}s"
+    )
+    if kill.completed != cfg.n_requests:
+        print("FAIL: shard kill lost requests")
+        return 1
+    if smoke:
+        print(
+            f"smoke OK: 4-shard scaling {scaling:.2f}x; cache hit "
+            f"rate {on.cache_hit_rate:.0%} (p50 collapse "
+            f"{collapse:.2f}x) under skew; shard kill recovered "
+            f"exactly-once"
+        )
+    return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
+    if "--cluster" in sys.argv[1:]:
+        sys.exit(_cluster_main(smoke="--smoke" in sys.argv[1:]))
     cfg = replace(ServeBenchConfig.for_tier(), loads=(1, 4, 16, 64, 256))
     _, concurrent = run_concurrent(cfg)
     _, serial = run_serial_baseline(cfg)

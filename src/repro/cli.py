@@ -98,6 +98,47 @@ def _cmd_devices(_args) -> int:
     return 0
 
 
+def _cmd_serve_bench_cluster(args) -> int:
+    from repro.serve import ClusterRouter, WorkloadConfig, make_workload
+
+    t0 = time.perf_counter()
+    for load in args.loads:
+        workload = make_workload(
+            WorkloadConfig(
+                n_requests=load,
+                seed=args.seed,
+                budget_scale=args.budget_scale,
+                deadline_s=args.deadline,
+                backend=args.backend,
+                playout=args.playout,
+                position_skew=args.skew,
+                position_pool=args.position_pool,
+            )
+        )
+        cluster = ClusterRouter(
+            n_shards=args.cluster,
+            replicas=args.replicas,
+            seed=args.seed,
+            cache=not args.no_cache,
+            journal_dir=args.journal,
+            n_devices=args.devices,
+            max_active=args.max_active,
+            faults=args.faults,
+            backend=args.backend,
+            playout=args.playout,
+            fusion=not args.no_fusion,
+        )
+        cluster.submit_all(workload)
+        cluster.run()
+        print(f"--- offered load: {load} requests ---")
+        print(cluster.report().render())
+        print()
+    print(
+        f"[serve-bench took {time.perf_counter() - t0:.1f}s wall]"
+    )
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     from repro.gpu.trace import Tracer
     from repro.serve import (
@@ -109,6 +150,21 @@ def _cmd_serve_bench(args) -> int:
 
     from repro.util.profile import NULL_PROFILER, Profiler
 
+    if args.cluster:
+        for flag, name in (
+            (args.resume, "--resume"),
+            (args.trace_out, "--trace-out"),
+            (args.profile, "--profile"),
+            (args.no_defenses, "--no-defenses"),
+        ):
+            if flag:
+                print(
+                    f"serve-bench: {name} is not supported with "
+                    f"--cluster",
+                    file=sys.stderr,
+                )
+                return 2
+        return _cmd_serve_bench_cluster(args)
     if args.resume and not args.journal:
         print("serve-bench: --resume requires --journal", file=sys.stderr)
         return 2
@@ -162,6 +218,8 @@ def _cmd_serve_bench(args) -> int:
                             deadline_s=args.deadline,
                             backend=args.backend,
                             playout=args.playout,
+                            position_skew=args.skew,
+                            position_pool=args.position_pool,
                         )
                     )
                 )
@@ -376,6 +434,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print a wall-clock phase profile per offered load",
+    )
+    bench.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "serve through an N-shard cluster (consistent-hash "
+            "routing + Zobrist result cache) instead of one service; "
+            "--journal then names a per-shard journal directory"
+        ),
+    )
+    bench.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help=(
+            "with --cluster: fan each request out to R shards and "
+            "vote the results (trimmed mean)"
+        ),
+    )
+    bench.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --cluster: disable the cluster-wide result cache",
+    )
+    bench.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help=(
+            "Zipf exponent for duplicate-position traffic "
+            "(0 = every request searches the initial position)"
+        ),
+    )
+    bench.add_argument(
+        "--position-pool",
+        type=int,
+        default=0,
+        metavar="P",
+        help=(
+            "candidate positions per game for skewed traffic "
+            "(0 = 32 when --skew is set)"
+        ),
     )
     bench.set_defaults(func=_cmd_serve_bench)
     return parser

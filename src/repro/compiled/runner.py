@@ -4,14 +4,18 @@
 NumPy lockstep driver -- same winners, scores and finish steps, and the
 same side effect on the caller's :class:`BatchXorShift128Plus` (its
 lanes end advanced exactly as far as the lockstep loop would have
-advanced them before the first compaction).  Games without a compiled
-kernel, or environments without a C toolchain, silently fall back to
-the NumPy path; the differential suite pins the equivalence.
+advanced them before the first compaction).  Environments without a C
+toolchain silently fall back to the NumPy path (nothing the user can
+act on); a game *without a compiled kernel* (breakthrough -- see the
+known-gaps note in docs/fusion.md) also falls back, but warns once per
+game so an ``@compiled`` spec never silently runs slower than asked.
+The differential suite pins the equivalence either way.
 """
 
 from __future__ import annotations
 
 import ctypes
+import warnings
 
 import numpy as np
 
@@ -25,6 +29,10 @@ from repro.rng import BatchXorShift128Plus
 
 #: Games with a compiled kernel; everything else uses the NumPy path.
 COMPILED_GAMES = frozenset({"reversi", "tictactoe", "connect4"})
+
+#: Games already warned about missing a compiled kernel (warn once
+#: per game per process, not once per launch).
+_WARNED_GAMES: set[str] = set()
 
 
 def compiled_available() -> bool:
@@ -47,10 +55,23 @@ def run_playouts_tracked_compiled(
 
     Falls back to :func:`run_playouts_tracked` (identical results by
     contract) when the library is unavailable or the game has no
-    kernel.
+    kernel.  The no-kernel case warns (once per game): the caller
+    asked for ``@compiled`` and is getting the NumPy driver instead.
     """
     lib = load_library()
-    if lib is None or game.name not in COMPILED_GAMES:
+    if game.name not in COMPILED_GAMES:
+        if game.name not in _WARNED_GAMES:
+            _WARNED_GAMES.add(game.name)
+            warnings.warn(
+                f"no compiled playout kernel for {game.name!r}; "
+                f"@compiled degrades to the NumPy driver "
+                f"(bit-identical results, no speedup -- see "
+                f"docs/fusion.md)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        lib = None
+    if lib is None:
         return run_playouts_tracked(
             game,
             batch,

@@ -25,6 +25,7 @@ from repro.games.reversi import PASS_MOVE, Reversi, ReversiState
 from repro.games.reversi_batch import BatchReversi
 from repro.games.tictactoe import TicTacToe, TicTacToeState
 from repro.games.tictactoe_batch import BatchTicTacToe
+from repro.games.zobrist import ZobristTable, table_for
 
 _GAMES = {
     "reversi": (Reversi, BatchReversi),
@@ -74,4 +75,6 @@ __all__ = [
     "make_game",
     "make_batch_game",
     "random_playout",
+    "ZobristTable",
+    "table_for",
 ]

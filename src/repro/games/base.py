@@ -80,6 +80,55 @@ class Game(abc.ABC):
         """ASCII diagram of the position (optional, for examples)."""
         return repr(state)
 
+    # -- canonical position hashing (see repro.games.zobrist) --------------
+
+    def zobrist_planes(self, state: GameState) -> tuple[int, int]:
+        """The two occupancy bitboards hashed by the Zobrist fold:
+        ``(player +1 discs, player -1 discs)`` in *absolute* colours.
+        Together with :meth:`to_move` these must determine the
+        position completely -- two states with equal planes and side
+        to move are the same position."""
+        raise NotImplementedError(
+            f"{self.name} does not define Zobrist occupancy planes"
+        )
+
+    def zobrist_key(self, state: GameState) -> int:
+        """Canonical 64-bit Zobrist key of ``state`` (full recompute).
+
+        The key is a cross-process contract: the cluster router hashes
+        it for consistent placement and the shared result cache keys
+        on it (docs/cluster.md).  Use :meth:`zobrist_apply` to advance
+        a key incrementally along a move sequence.
+        """
+        from repro.games.zobrist import table_for
+
+        p1, p2 = self.zobrist_planes(state)
+        return table_for(self.name).fold(p1, p2, self.to_move(state))
+
+    def zobrist_apply(
+        self, state: GameState, move: int, key: int
+    ) -> tuple[GameState, int]:
+        """Apply ``move`` and incrementally update the position key.
+
+        Only the *changed* occupancy bits are folded (XOR of keys is
+        self-inverse), so the cost is proportional to the move's
+        footprint -- one bit for a drop, the flip set for Reversi --
+        not the board size.  Equals ``(next, zobrist_key(next))`` by
+        contract, pinned property-style in the test suite.
+        """
+        from repro.games.zobrist import table_for
+
+        nxt = self.apply(state, move)
+        p1, p2 = self.zobrist_planes(state)
+        q1, q2 = self.zobrist_planes(nxt)
+        key = table_for(self.name).fold_update(
+            key,
+            p1 ^ q1,
+            p2 ^ q2,
+            self.to_move(state) != self.to_move(nxt),
+        )
+        return nxt, key
+
     def playout(self, state: GameState, rng) -> tuple[int, int]:
         """One uniformly random playout: ``(absolute winner, plies)``.
 

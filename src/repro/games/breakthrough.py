@@ -213,6 +213,11 @@ class Breakthrough(Game):
         """Pawn difference (wins dominate score only at terminal)."""
         return bit_count(state.p1) - bit_count(state.p2)
 
+    def zobrist_planes(
+        self, state: BreakthroughState
+    ) -> tuple[int, int]:
+        return state.p1, state.p2
+
     def playout(self, state: BreakthroughState, rng) -> tuple[int, int]:
         return fast_playout(state, rng)
 

@@ -116,6 +116,9 @@ class Connect4(Game):
     def score(self, state: Connect4State) -> int:
         return self.winner(state)
 
+    def zobrist_planes(self, state: Connect4State) -> tuple[int, int]:
+        return state.p1, state.p2
+
     def render(self, state: Connect4State) -> str:
         rows = []
         for r in range(NUM_ROWS - 1, -1, -1):

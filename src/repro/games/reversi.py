@@ -238,6 +238,9 @@ class Reversi(Game):
         """Total discs on the board (monotone: 4 + plies played)."""
         return bit_count(state.black | state.white)
 
+    def zobrist_planes(self, state: ReversiState) -> tuple[int, int]:
+        return state.black, state.white
+
     def playout(self, state: ReversiState, rng) -> tuple[int, int]:
         return fast_playout(state, rng)
 

@@ -106,3 +106,6 @@ class TicTacToe(Game):
 
     def occupancy(self, state: TicTacToeState) -> int:
         return bit_count(state.x | state.o)
+
+    def zobrist_planes(self, state: TicTacToeState) -> tuple[int, int]:
+        return state.x, state.o

@@ -1,0 +1,140 @@
+"""Canonical Zobrist position hashing for every game in the stack.
+
+A position's *Zobrist key* is the XOR of one fixed 64-bit key per
+``(plane, square)`` occupancy bit, plus a side-to-move key when player
+``-1`` is on move.  The tables are derived deterministically from the
+game's name with :func:`repro.util.seeding.derive_seed`, so the key of
+a position is a **cross-process, cross-version contract**: the cluster
+router places requests by it, replicas agree on it without
+coordination, and the shared result cache uses it as the canonical
+position identity (see docs/cluster.md).
+
+Two folds are provided:
+
+* a scalar fold over a pair of Python-int bitboards (the
+  :meth:`repro.games.base.Game.zobrist_key` full recompute and the
+  per-move incremental :meth:`~repro.games.base.Game.zobrist_apply`
+  update, which only folds the *changed* bits), and
+* a vectorised fold over ``(n,)`` uint64 plane arrays for the batch
+  games (:meth:`repro.games.batch.BatchGame.zobrist_keys`), built on
+  per-byte XOR lookup tables -- eight table gathers per plane instead
+  of a 64-iteration bit loop.
+
+XOR-of-keys is self-inverse, so the incremental update is simply the
+fold of the XOR-difference of the two positions' planes; the
+Hypothesis suite in ``tests/games/test_zobrist.py`` pins incremental
+== full recompute across random move sequences for all four games,
+and the batch fold against the scalar one lane by lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.seeding import derive_seed
+
+#: Root seed of every Zobrist table.  Changing it invalidates every
+#: persisted cache key and cross-node placement -- treat as frozen.
+ZOBRIST_ROOT = 0x20110B1D
+
+#: Number of board squares each plane key table covers.  64 covers
+#: every bitboard in the stack (TicTacToe uses 9, Connect-4 49).
+NUM_SQUARES = 64
+
+_U64 = np.uint64
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class ZobristTable:
+    """Per-game key material plus scalar and vectorised folds."""
+
+    __slots__ = ("game", "piece_keys", "side_key", "_byte_tables")
+
+    def __init__(self, game: str) -> None:
+        self.game = game
+        self.piece_keys: tuple[tuple[int, ...], ...] = tuple(
+            tuple(
+                derive_seed(ZOBRIST_ROOT, game, plane, square)
+                for square in range(NUM_SQUARES)
+            )
+            for plane in (0, 1)
+        )
+        self.side_key: int = derive_seed(ZOBRIST_ROOT, game, "side")
+        # byte_tables[plane][byte_index, byte_value] = XOR of the keys
+        # of the bits set in `byte_value` at that byte position.
+        tables = []
+        for plane in (0, 1):
+            table = np.zeros((8, 256), dtype=_U64)
+            keys = self.piece_keys[plane]
+            for j in range(8):
+                for value in range(1, 256):
+                    low = value & -value
+                    acc = int(table[j, value ^ low])
+                    acc ^= keys[j * 8 + low.bit_length() - 1]
+                    table[j, value] = acc
+            tables.append(table)
+        self._byte_tables = tuple(tables)
+
+    # -- scalar ------------------------------------------------------------
+
+    def fold_plane(self, plane: int, bits: int) -> int:
+        """XOR of the plane's keys over the set bits of ``bits``."""
+        keys = self.piece_keys[plane]
+        acc = 0
+        while bits:
+            low = bits & -bits
+            acc ^= keys[low.bit_length() - 1]
+            bits ^= low
+        return acc
+
+    def fold(self, p1: int, p2: int, to_move: int) -> int:
+        """Full-recompute key of a position given its two occupancy
+        planes (player +1 discs, player -1 discs) and side to move."""
+        key = self.fold_plane(0, p1) ^ self.fold_plane(1, p2)
+        if to_move == -1:
+            key ^= self.side_key
+        return key
+
+    def fold_update(
+        self, key: int, dp1: int, dp2: int, side_flipped: bool
+    ) -> int:
+        """Incremental update: ``dp1``/``dp2`` are the XOR-difference
+        of the planes before and after a move (only *changed* bits are
+        folded -- XOR is self-inverse)."""
+        key ^= self.fold_plane(0, dp1) ^ self.fold_plane(1, dp2)
+        if side_flipped:
+            key ^= self.side_key
+        return key
+
+    # -- vectorised --------------------------------------------------------
+
+    def fold_arrays(
+        self,
+        p1: np.ndarray,
+        p2: np.ndarray,
+        to_move: np.ndarray,
+    ) -> np.ndarray:
+        """Per-lane keys for ``(n,)`` uint64 plane arrays; matches
+        :meth:`fold` lane by lane (pinned by the test suite)."""
+        keys = np.zeros(p1.shape[0], dtype=_U64)
+        for plane, boards in ((0, p1), (1, p2)):
+            table = self._byte_tables[plane]
+            as_bytes = np.ascontiguousarray(boards, dtype=_U64).view(
+                np.uint8
+            ).reshape(-1, 8)
+            for j in range(8):
+                keys ^= table[j, as_bytes[:, j]]
+        keys[np.asarray(to_move) == -1] ^= _U64(self.side_key)
+        return keys
+
+
+_TABLES: dict[str, ZobristTable] = {}
+
+
+def table_for(game: str) -> ZobristTable:
+    """The (cached) Zobrist table of game ``game``."""
+    table = _TABLES.get(game)
+    if table is None:
+        table = ZobristTable(game)
+        _TABLES[game] = table
+    return table

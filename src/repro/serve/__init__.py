@@ -24,6 +24,19 @@ See docs/serving.md for the scheduler design, deadline semantics and
 metric definitions.
 """
 
+from repro.serve.cache import (
+    CacheEntry,
+    CacheKey,
+    ResultCache,
+    cache_key_for,
+    screen_result,
+)
+from repro.serve.cluster import (
+    ClusterReport,
+    ClusterRouter,
+    HashRing,
+    ShardHandle,
+)
 from repro.serve.journal import (
     JOURNAL_FORMAT_VERSION,
     JournalCheckpoint,
@@ -77,6 +90,15 @@ __all__ = [
     "SearchRequest",
     "RequestRecord",
     "SearchService",
+    "ClusterRouter",
+    "ClusterReport",
+    "HashRing",
+    "ShardHandle",
+    "ResultCache",
+    "CacheEntry",
+    "CacheKey",
+    "cache_key_for",
+    "screen_result",
     "ServiceCrash",
     "ServiceError",
     "ServiceReport",

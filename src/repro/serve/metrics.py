@@ -31,6 +31,66 @@ def percentile(values: Sequence[float], q: float) -> float:
     return ordered[min(rank, len(ordered)) - 1]
 
 
+def latency_summary(
+    values: Sequence[float],
+) -> tuple[float, float, float]:
+    """``(p50, p95, mean)`` of a latency sample (zeros when empty).
+
+    The one latency-statistics fold shared by the single-service
+    :func:`summarize` and the cluster aggregation in
+    :mod:`repro.serve.cluster` -- percentile conventions must never
+    drift between the per-shard and aggregate rows.
+    """
+    if not values:
+        return 0.0, 0.0, 0.0
+    return (
+        percentile(values, 50),
+        percentile(values, 95),
+        sum(values) / len(values),
+    )
+
+
+def outcome_rows(
+    offered: int,
+    completed: int,
+    rejected: int,
+    missed: int,
+    elapsed_s: float,
+    requests_per_s: float,
+    p50_latency_s: float,
+    p95_latency_s: float,
+    mean_latency_s: float,
+) -> "dict[str, str]":
+    """The offered/completed/latency report rows shared verbatim by
+    :class:`ServiceReport` and the cluster's ``ClusterReport`` -- one
+    definition so labels and number formats cannot drift between the
+    single-service and aggregate tables (docs/cluster.md)."""
+    return {
+        "offered requests": str(offered),
+        "completed": str(completed),
+        "rejected (queue full)": str(rejected),
+        "deadline missed": str(missed),
+        "virtual elapsed (s)": f"{elapsed_s:.4f}",
+        "requests/s": f"{requests_per_s:.1f}",
+        "latency p50 (ms)": f"{p50_latency_s * 1e3:.2f}",
+        "latency p95 (ms)": f"{p95_latency_s * 1e3:.2f}",
+        "latency mean (ms)": f"{mean_latency_s * 1e3:.2f}",
+    }
+
+
+def render_metric_rows(title: str, rows: "dict[str, str]") -> str:
+    """Render a ``metric -> value`` mapping as the standard two-column
+    report table.  :class:`ServiceReport` and the cluster's
+    :class:`~repro.serve.cluster.ClusterReport` both format through
+    this helper so per-shard and aggregate rows look identical."""
+    return format_series(
+        "metric",
+        list(rows),
+        {"value": list(rows.values())},
+        title=title,
+    )
+
+
 @dataclass
 class ServiceReport:
     """Aggregated outcome of one service run."""
@@ -100,23 +160,30 @@ class ServiceReport:
             return 0.0
         return self.completed / self.offered
 
-    def render(self) -> str:
-        rows = {
-            "offered requests": [str(self.offered)],
-            "completed": [str(self.completed)],
-            "rejected (queue full)": [str(self.rejected)],
-            "deadline missed": [str(self.missed)],
-            "virtual elapsed (s)": [f"{self.elapsed_s:.4f}"],
-            "requests/s": [f"{self.requests_per_s:.1f}"],
-            "latency p50 (ms)": [f"{self.p50_latency_s * 1e3:.2f}"],
-            "latency p95 (ms)": [f"{self.p95_latency_s * 1e3:.2f}"],
-            "latency mean (ms)": [f"{self.mean_latency_s * 1e3:.2f}"],
-            "queue wait p95 (ms)": [
-                f"{self.p95_queue_wait_s * 1e3:.2f}"
-            ],
-            "kernel launches": [str(self.kernel_launches)],
-            "mean lanes/launch": [f"{self.mean_lanes_per_launch:.1f}"],
-        }
+    def outcome_rows(self) -> "dict[str, str]":
+        """The offered/completed/latency rows shared verbatim with the
+        cluster report (docs/cluster.md)."""
+        return outcome_rows(
+            self.offered,
+            self.completed,
+            self.rejected,
+            self.missed,
+            self.elapsed_s,
+            self.requests_per_s,
+            self.p50_latency_s,
+            self.p95_latency_s,
+            self.mean_latency_s,
+        )
+
+    def render(self, title: str = "service run") -> str:
+        rows = self.outcome_rows()
+        rows["queue wait p95 (ms)"] = (
+            f"{self.p95_queue_wait_s * 1e3:.2f}"
+        )
+        rows["kernel launches"] = str(self.kernel_launches)
+        rows["mean lanes/launch"] = (
+            f"{self.mean_lanes_per_launch:.1f}"
+        )
         if self.fused_launches:
             waste = self.fusion_pad_lanes / max(
                 1,
@@ -125,30 +192,30 @@ class ServiceReport:
                     self.mean_lanes_per_launch * self.kernel_launches
                 ),
             )
-            rows["fused launches"] = [str(self.fused_launches)]
-            rows["fusion pad lanes"] = [
+            rows["fused launches"] = str(self.fused_launches)
+            rows["fusion pad lanes"] = (
                 f"{self.fusion_pad_lanes} ({waste * 100:.0f}% waste)"
-            ]
-            rows["mean tenants/launch"] = [
+            )
+            rows["mean tenants/launch"] = (
                 f"{self.mean_tenants_per_launch:.1f}"
-            ]
+            )
         if (
             self.degraded
             or self.retries
             or self.lost_launches
             or self.faults_injected
         ):
-            rows["degraded"] = [str(self.degraded)]
-            rows["launch retries"] = [str(self.retries)]
-            rows["lost launches"] = [str(self.lost_launches)]
-            rows["lost lanes"] = [str(self.lost_lanes)]
-            rows["retry overhead (ms)"] = [
+            rows["degraded"] = str(self.degraded)
+            rows["launch retries"] = str(self.retries)
+            rows["lost launches"] = str(self.lost_launches)
+            rows["lost lanes"] = str(self.lost_lanes)
+            rows["retry overhead (ms)"] = (
                 f"{self.retry_overhead_s * 1e3:.2f}"
-            ]
+            )
             for kind in sorted(self.faults_injected):
-                rows[f"faults: {kind}"] = [
-                    str(self.faults_injected[kind])
-                ]
+                rows[f"faults: {kind}"] = str(
+                    self.faults_injected[kind]
+                )
         if (
             self.corrupt_detected
             or self.corrupt_escaped
@@ -158,34 +225,29 @@ class ServiceReport:
             or self.journal_corrupt
             or self.checkpoint_corrupt
         ):
-            rows["corrupt detected"] = [str(self.corrupt_detected)]
-            rows["corrupt escaped"] = [str(self.corrupt_escaped)]
-            rows["results rejected"] = [str(self.rejected_results)]
-            rows["batches dropped"] = [str(self.dropped_batches)]
-            rows["trees quarantined"] = [str(self.quarantined_trees)]
-            rows["journal records corrupt"] = [
-                str(self.journal_corrupt)
-            ]
-            rows["checkpoints corrupt"] = [
-                str(self.checkpoint_corrupt)
-            ]
+            rows["corrupt detected"] = str(self.corrupt_detected)
+            rows["corrupt escaped"] = str(self.corrupt_escaped)
+            rows["results rejected"] = str(self.rejected_results)
+            rows["batches dropped"] = str(self.dropped_batches)
+            rows["trees quarantined"] = str(self.quarantined_trees)
+            rows["journal records corrupt"] = str(
+                self.journal_corrupt
+            )
+            rows["checkpoints corrupt"] = str(
+                self.checkpoint_corrupt
+            )
         if self.recovered or self.resumed or self.restarted:
-            rows["recovered (adopted)"] = [str(self.recovered)]
-            rows["resumed from checkpoint"] = [str(self.resumed)]
-            rows["restarted from scratch"] = [str(self.restarted)]
-            rows["iterations salvaged"] = [
-                str(self.recovered_iterations)
-            ]
+            rows["recovered (adopted)"] = str(self.recovered)
+            rows["resumed from checkpoint"] = str(self.resumed)
+            rows["restarted from scratch"] = str(self.restarted)
+            rows["iterations salvaged"] = str(
+                self.recovered_iterations
+            )
         for track in sorted(self.device_utilization):
-            rows[f"{track} utilisation"] = [
+            rows[f"{track} utilisation"] = (
                 f"{self.device_utilization[track] * 100:.0f}%"
-            ]
-        return format_series(
-            "metric",
-            list(rows),
-            {"value": [v[0] for v in rows.values()]},
-            title="service run",
-        )
+            )
+        return render_metric_rows(title, rows)
 
 
 def summarize(
@@ -222,6 +284,7 @@ def summarize(
         for r in records
         if r.status == COMPLETED and r.queue_wait_s is not None
     ]
+    p50, p95, mean = latency_summary(latencies)
     return ServiceReport(
         degraded=sum(
             1
@@ -249,11 +312,9 @@ def summarize(
         rejected=sum(1 for r in records if r.status == REJECTED),
         missed=sum(1 for r in records if r.status == MISSED),
         elapsed_s=elapsed_s,
-        p50_latency_s=percentile(latencies, 50) if latencies else 0.0,
-        p95_latency_s=percentile(latencies, 95) if latencies else 0.0,
-        mean_latency_s=(
-            sum(latencies) / len(latencies) if latencies else 0.0
-        ),
+        p50_latency_s=p50,
+        p95_latency_s=p95,
+        mean_latency_s=mean,
         p95_queue_wait_s=percentile(waits, 95) if waits else 0.0,
         kernel_launches=kernel_launches,
         mean_lanes_per_launch=mean_lanes_per_launch,

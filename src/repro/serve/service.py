@@ -241,6 +241,10 @@ class SearchService:
         #: journalled checkpoints the CRC envelope refused to adopt.
         self.journal_corrupt_records = 0
         self.corrupt_checkpoints = 0
+        #: Journalled requests belonging to *another* shard that
+        #: recovery skipped (``rid_filter`` mismatches; see
+        #: :meth:`recover` and docs/cluster.md).
+        self.foreign_records = 0
 
     # -- submission --------------------------------------------------------
 
@@ -658,7 +662,10 @@ class SearchService:
 
     @classmethod
     def recover(
-        cls, journal_path: "str | Path", **service_kwargs
+        cls,
+        journal_path: "str | Path",
+        rid_filter=None,
+        **service_kwargs,
     ) -> "SearchService":
         """Rebuild a service from a crashed run's write-ahead journal.
 
@@ -669,6 +676,16 @@ class SearchService:
         resubmitted, resuming from their latest checkpoint when one
         was journalled.  The plan's scheduled crash is stripped so the
         recovered run cannot crash-loop on the same point.
+
+        ``rid_filter`` -- an optional predicate over request ids --
+        scopes recovery to *this node's* requests: in a sharded
+        cluster a journal directory can end up holding another shard's
+        (prefix-tagged) records after a misrouted append or an
+        operator concatenating files.  Foreign requests (and their
+        checkpoints/completions) are skipped wholesale and counted in
+        :attr:`foreign_records`; they are never adopted, resumed, or
+        re-journalled, so the shard that owns them recovers them
+        exactly once from its own journal.
 
         Corruption never crashes recovery and corrupted state is never
         adopted: journal records the reader skipped are counted in
@@ -689,6 +706,9 @@ class SearchService:
         service._journal_known = set(state.requests)
         service.journal_corrupt_records = state.corrupt_records
         for rid, request in state.requests.items():
+            if rid_filter is not None and not rid_filter(rid):
+                service.foreign_records += 1
+                continue
             completion = state.completions.get(rid)
             if completion is not None:
                 service._records.append(

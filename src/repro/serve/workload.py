@@ -8,6 +8,7 @@ reproducible.  Used by ``python -m repro serve-bench`` and
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 from repro.core.spec import EngineSpec, with_backend, with_playout
@@ -60,6 +61,19 @@ class WorkloadConfig:
     #: Playout executor suffixed onto every engine spec
     #: (``@compiled``); ``"numpy"`` leaves the spec strings untouched.
     playout: str = "numpy"
+    #: Zipf exponent for duplicate-position traffic.  ``0.0`` with no
+    #: :attr:`position_pool` keeps the legacy workload (every request
+    #: searches its game's initial position).  With a pool, request
+    #: positions are drawn from ``position_pool`` deterministic
+    #: random-walk positions per game, rank ``r`` weighted
+    #: ``1/(r+1)**position_skew`` -- the higher the skew, the more the
+    #: traffic concentrates on a few hot positions (what a cluster's
+    #: result cache feeds on; see docs/cluster.md).
+    position_skew: float = 0.0
+    #: Distinct candidate positions per game (0 = legacy
+    #: initial-position workload; ``position_skew > 0`` defaults it
+    #: to 32).
+    position_pool: int = 0
 
     def __post_init__(self) -> None:
         from repro.core.backend import validate_backend
@@ -75,17 +89,94 @@ class WorkloadConfig:
             )
         if not self.id_prefix:
             raise ValueError("id_prefix cannot be empty")
+        if self.position_skew < 0:
+            raise ValueError(
+                f"position_skew cannot be negative: "
+                f"{self.position_skew}"
+            )
+        if self.position_pool < 0:
+            raise ValueError(
+                f"position_pool cannot be negative: "
+                f"{self.position_pool}"
+            )
         validate_backend(self.backend)
         validate_playout(self.playout)
+
+    @property
+    def effective_position_pool(self) -> int:
+        if self.position_pool:
+            return self.position_pool
+        return 32 if self.position_skew > 0 else 0
+
+
+def _walk_position(game, plies: int, seed: int):
+    """The position ``plies`` random moves into one game, stopping
+    early at (just before) a terminal position."""
+    state = game.initial_state()
+    for step in range(plies):
+        if game.is_terminal(state):
+            break
+        moves = game.legal_moves(state)
+        state = game.apply(
+            state, moves[derive_seed(seed, step) % len(moves)]
+        )
+        if game.is_terminal(state):
+            # Requests must search a live position; back off.
+            return _walk_position(game, plies - 1, seed)
+    return state
+
+
+def _position_pool(game_name: str, pool: int, seed: int) -> list:
+    """``pool`` deterministic positions of ``game_name`` at mixed
+    depths (rank 0 is the initial position -- the hottest key)."""
+    from repro.games import make_game
+
+    game = make_game(game_name)
+    # Rank 0 is the initial position (the canonical hot key under
+    # skew); later ranks walk 2-9 plies deep with per-rank move
+    # streams, so they are distinct with overwhelming probability.
+    return [
+        _walk_position(
+            game,
+            0 if rank == 0 else 2 + (rank - 1) % 8,
+            derive_seed(seed, "position", game_name, rank),
+        )
+        for rank in range(pool)
+    ]
+
+
+def _zipf_cdf(pool: int, skew: float) -> list[float]:
+    weights = [1.0 / (rank + 1) ** skew for rank in range(pool)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
 
 
 def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
     """The workload: ``n_requests`` mixed searches, fully determined
     by ``config`` (and therefore by its seed)."""
     requests = []
+    pool = config.effective_position_pool
+    positions = (
+        {
+            name: _position_pool(name, pool, config.seed)
+            for name in set(config.games)
+        }
+        if pool
+        else {}
+    )
+    cdf = _zipf_cdf(pool, config.position_skew) if pool else []
     for i in range(config.n_requests):
         game = config.games[i % len(config.games)]
         engine = config.engines[i % len(config.engines)]
+        state = None
+        if pool:
+            u = derive_seed(config.seed, "zipf", i) / 2.0**64
+            rank = min(bisect.bisect_left(cdf, u), pool - 1)
+            state = positions[game][rank]
         if config.backend != "node" or config.playout != "numpy":
             # An explicit @node/@arena/@compiled in the spec wins --
             # and is kept verbatim so request strings stay stable.
@@ -105,6 +196,7 @@ def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
                 seed=derive_seed(config.seed, "request", i),
                 arrival_s=i * config.arrival_period_s,
                 deadline_s=config.deadline_s,
+                state=state,
             )
         )
     return requests

@@ -103,17 +103,36 @@ def test_repeated_calls_share_rng_stream(game_name):
         assert cmp_rng.state_digest() == ref_rng.state_digest()
 
 
-def test_unsupported_game_falls_back():
+def test_unsupported_game_falls_back(monkeypatch):
+    """Breakthrough has no C kernel: ``@compiled`` must degrade to
+    the NumPy driver -- bit-identically -- and say so, once."""
+    import warnings
+
+    from repro.compiled import runner
+
+    monkeypatch.setattr(runner, "_WARNED_GAMES", set())
+    assert "breakthrough" not in COMPILED_GAMES
     bg = make_batch_game("breakthrough")
     state = make_game("breakthrough").initial_state()
     ref_rng = BatchXorShift128Plus(32, 3)
     cmp_rng = BatchXorShift128Plus(32, 3)
     ref = run_playouts_tracked(bg, bg.make_batch([state], 32), ref_rng)
-    got = run_playouts_tracked_compiled(
-        bg, bg.make_batch([state], 32), cmp_rng
-    )
+    with pytest.warns(RuntimeWarning, match="breakthrough"):
+        got = run_playouts_tracked_compiled(
+            bg, bg.make_batch([state], 32), cmp_rng
+        )
     np.testing.assert_array_equal(got.winners, ref.winners)
+    np.testing.assert_array_equal(got.scores, ref.scores)
+    np.testing.assert_array_equal(
+        got.finish_steps, ref.finish_steps
+    )
     assert cmp_rng.state_digest() == ref_rng.state_digest()
+    # Warn once per game, not once per launch.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        run_playouts_tracked_compiled(
+            bg, bg.make_batch([state], 32), cmp_rng
+        )
 
 
 def test_disabled_env_reports_unavailable(monkeypatch):

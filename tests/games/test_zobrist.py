@@ -1,0 +1,137 @@
+"""Canonical Zobrist hashing: incremental == full recompute, batch ==
+scalar, and the keys actually behave like a position identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.games import make_batch_game, make_game, table_for
+from repro.games.zobrist import NUM_SQUARES, ZobristTable
+from repro.rng import XorShift64Star
+
+GAMES = ("tictactoe", "connect4", "reversi", "breakthrough")
+
+
+def random_walk(game, seed, max_plies=60):
+    """States along one random game, capped at ``max_plies``."""
+    rng = XorShift64Star(seed)
+    state = game.initial_state()
+    states = [state]
+    for _ in range(max_plies):
+        if game.is_terminal(state):
+            break
+        moves = game.legal_moves(state)
+        state = game.apply(state, moves[rng.randrange(len(moves))])
+        states.append(state)
+    return states
+
+
+# -- table construction ------------------------------------------------------
+
+
+def test_tables_are_deterministic_and_per_game():
+    a = ZobristTable("reversi")
+    b = table_for("reversi")
+    assert a.piece_keys == b.piece_keys
+    assert a.side_key == b.side_key
+    assert table_for("reversi") is table_for("reversi")
+    assert table_for("connect4").piece_keys != a.piece_keys
+
+
+def test_table_keys_are_distinct():
+    table = table_for("reversi")
+    keys = {
+        k for plane in table.piece_keys for k in plane
+    } | {table.side_key}
+    assert len(keys) == 2 * NUM_SQUARES + 1
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+def test_side_to_move_changes_key(game_name):
+    game = make_game(game_name)
+    state = game.initial_state()
+    p1, p2 = game.zobrist_planes(state)
+    table = table_for(game_name)
+    assert table.fold(p1, p2, 1) != table.fold(p1, p2, -1)
+    assert game.zobrist_key(state) == table.fold(p1, p2, 1)
+
+
+# -- scalar: incremental == full recompute -----------------------------------
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_incremental_matches_recompute(game_name, seed):
+    game = make_game(game_name)
+    rng = XorShift64Star(seed)
+    state = game.initial_state()
+    key = game.zobrist_key(state)
+    for _ in range(60):
+        if game.is_terminal(state):
+            break
+        moves = game.legal_moves(state)
+        move = moves[rng.randrange(len(moves))]
+        state, key = game.zobrist_apply(state, move, key)
+        assert key == game.zobrist_key(state)
+
+
+def test_distinct_positions_get_distinct_keys():
+    # Not a guarantee (64-bit), but a sanity screen over a few
+    # thousand reachable positions per game.
+    for game_name in GAMES:
+        game = make_game(game_name)
+        seen: dict[int, object] = {}
+        for seed in range(60):
+            for state in random_walk(game, seed):
+                key = game.zobrist_key(state)
+                prior = seen.setdefault(key, state)
+                assert prior == state, (
+                    f"{game_name}: collision {prior!r} vs {state!r}"
+                )
+
+
+def test_transposition_same_key():
+    # Two move orders reaching the same board share one key.
+    game = make_game("tictactoe")
+    s = game.initial_state()
+    a = game.apply(game.apply(game.apply(s, 0), 4), 8)
+    b = game.apply(game.apply(game.apply(s, 8), 4), 0)
+    assert a == b
+    assert game.zobrist_key(a) == game.zobrist_key(b)
+
+
+# -- batch: vectorised fold == scalar fold ------------------------------------
+
+
+@pytest.mark.parametrize("game_name", GAMES)
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_batch_keys_match_scalar(game_name, seed):
+    game = make_game(game_name)
+    batch_game = make_batch_game(game_name)
+    states = [
+        random_walk(game, derived)[-1]
+        for derived in range(seed, seed + 7)
+    ]
+    # Drop terminal states: batch games only need to key live lanes,
+    # but keep any that happen to be keyable anyway.
+    batch = batch_game.make_batch(states, lanes_per_state=2)
+    keys = batch_game.zobrist_keys(batch)
+    assert keys.dtype == np.uint64
+    expected = [game.zobrist_key(s) for s in states for _ in range(2)]
+    assert [int(k) for k in keys] == expected
+
+
+def test_fold_arrays_matches_scalar_fold_random_planes():
+    table = table_for("reversi")
+    rng = np.random.default_rng(7)
+    p1 = rng.integers(0, 2**64, size=64, dtype=np.uint64)
+    p2 = rng.integers(0, 2**64, size=64, dtype=np.uint64) & ~p1
+    to_move = np.where(rng.random(64) < 0.5, 1, -1).astype(np.int8)
+    keys = table.fold_arrays(p1, p2, to_move)
+    for i in range(64):
+        assert int(keys[i]) == table.fold(
+            int(p1[i]), int(p2[i]), int(to_move[i])
+        )

@@ -320,3 +320,101 @@ class TestJournalledRunWithoutCrash:
         service.run()
         text = path.read_text()
         assert '"type": "checkpoint"' not in text
+
+
+class TestForeignShardRecords:
+    """A shard's journal polluted with *another shard's* records --
+    a misrouted append or an operator concatenating per-shard files
+    (docs/cluster.md).  The reader keeps every record; shard-scoped
+    recovery (``rid_filter``) adopts only its own."""
+
+    def shared_journal(self, tmp_path):
+        """shard-a's journal with shard-b's records interleaved."""
+        path = tmp_path / "shard-a.journal"
+        writer = JournalWriter(path)
+        ours = [request(i, request_id=f"a::r{i}") for i in range(3)]
+        theirs = [
+            request(i, request_id=f"b::r{i}", seed=900 + i)
+            for i in range(2)
+        ]
+        writer.submit(ours[0])
+        writer.submit(theirs[0])       # foreign submission
+        writer.submit(ours[1])
+        writer.complete("b::r0", COMPLETED, None, 1.0)  # foreign
+        writer.checkpoint("b::r1", 7, b"foreign-snapshot")
+        writer.submit(theirs[1])
+        writer.submit(ours[2])
+        writer.complete("a::r0", COMPLETED, None, 2.0)
+        writer.close()
+        return path, ours, theirs
+
+    def test_read_journal_keeps_interleaved_foreign_records(
+        self, tmp_path
+    ):
+        path, ours, theirs = self.shared_journal(tmp_path)
+        state = read_journal(path)
+        # The reader is shard-agnostic: everything is surfaced.
+        assert set(state.requests) == {
+            r.request_id for r in ours + theirs
+        }
+        assert state.completions["b::r0"].status == COMPLETED
+        assert state.checkpoints["b::r1"].iterations == 7
+        assert state.corrupt_records == 0
+
+    def test_recover_rid_filter_skips_foreign_records(
+        self, tmp_path
+    ):
+        path, ours, theirs = self.shared_journal(tmp_path)
+        service = SearchService.recover(
+            path,
+            rid_filter=lambda rid: rid.startswith("a::"),
+            seed=5,
+            n_devices=2,
+        )
+        # Foreign submissions, completions and checkpoints were all
+        # skipped wholesale and counted.
+        assert service.foreign_records == 2
+        rids = {r.request.request_id for r in service.records}
+        assert rids == {r.request_id for r in ours}
+        # Own completion adopted verbatim; own incompletes resubmitted.
+        assert service.recovered_requests == 1
+        assert service.restarted_requests == 2
+        records = service.run()
+        assert {r.request.request_id for r in records} == rids
+        assert all(r.status == COMPLETED for r in records)
+        # The foreign checkpoint was never adopted.
+        assert service.resumed_requests == 0
+
+    def test_recover_without_filter_adopts_everything(
+        self, tmp_path
+    ):
+        path, ours, theirs = self.shared_journal(tmp_path)
+        service = SearchService.recover(path, seed=5, n_devices=2)
+        assert service.foreign_records == 0
+        assert len(service.records) == 5
+
+    def test_torn_line_at_shard_boundary(self, tmp_path):
+        """A partial foreign append tearing mid-line must neither
+        poison the reader nor leak into the owning shard's recovery."""
+        path, ours, theirs = self.shared_journal(tmp_path)
+        with open(path, "a") as fh:
+            fh.write(
+                '{"type": "submission", "rid": "b::r2", "ga'
+            )  # torn mid-record: the writing shard died here
+        state = read_journal(path)
+        assert "b::r2" not in state.requests
+        assert set(state.requests) == {
+            r.request_id for r in ours + theirs
+        }
+        service = SearchService.recover(
+            path,
+            rid_filter=lambda rid: rid.startswith("a::"),
+            seed=5,
+            n_devices=2,
+        )
+        assert service.foreign_records == 2
+        records = service.run()
+        assert all(r.status == COMPLETED for r in records)
+        assert {r.request.request_id for r in records} == {
+            r.request_id for r in ours
+        }

@@ -49,3 +49,59 @@ class TestWorkload:
             WorkloadConfig(n_requests=0)
         with pytest.raises(ValueError, match="budget_scale"):
             WorkloadConfig(budget_scale=0.0)
+
+
+class TestPositionSkew:
+    def test_default_workload_searches_initial_positions(self):
+        reqs = make_workload(WorkloadConfig(n_requests=8))
+        assert all(r.state is None for r in reqs)
+
+    def test_pooled_positions_are_deterministic_and_live(self):
+        from repro.games import make_game
+
+        cfg = WorkloadConfig(
+            n_requests=24, seed=3, position_pool=12
+        )
+        reqs = make_workload(cfg)
+        again = make_workload(cfg)
+        assert all(r.state is not None for r in reqs)
+        assert [r.state for r in reqs] == [r.state for r in again]
+        games = {name: make_game(name) for name in cfg.games}
+        for r in reqs:
+            assert not games[r.game].is_terminal(r.state)
+
+    def test_skew_concentrates_traffic_on_hot_positions(self):
+        from collections import Counter
+
+        def key_counts(skew):
+            reqs = make_workload(
+                WorkloadConfig(
+                    n_requests=60,
+                    seed=3,
+                    games=("tictactoe",),
+                    engines=("sequential",),
+                    position_pool=30,
+                    position_skew=skew,
+                )
+            )
+            return Counter(r.state for r in reqs)
+
+        uniform = key_counts(0.0)
+        skewed = key_counts(1.4)
+        # Zipf mass piles onto the head: the hottest position is
+        # hotter, and fewer distinct positions are touched.
+        assert skewed.most_common(1)[0][1] > (
+            uniform.most_common(1)[0][1]
+        )
+        assert len(skewed) < len(uniform)
+
+    def test_skew_defaults_a_pool(self):
+        cfg = WorkloadConfig(position_skew=1.0)
+        assert cfg.effective_position_pool == 32
+        assert WorkloadConfig().effective_position_pool == 0
+
+    def test_skew_validation(self):
+        with pytest.raises(ValueError, match="position_skew"):
+            WorkloadConfig(position_skew=-0.1)
+        with pytest.raises(ValueError, match="position_pool"):
+            WorkloadConfig(position_pool=-1)
