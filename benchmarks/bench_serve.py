@@ -22,6 +22,15 @@ result cache's p50 collapse on Zipf-skewed duplicate traffic (hit
 rate > 0, measured collapse recorded in
 ``benchmarks/REPORT_cluster.md``), and a mid-run shard kill that must
 recover exactly-once through the journal.
+
+The storm tier (``--storm``, CI gate ``--storm --smoke``) measures
+the overload-survival layer from docs/overload.md: a 4x flash crowd
+over a 2-device node must hold interactive SLO attainment >= 95%
+with the degradation ladder and autoscaler engaged, versus < 50%
+undefended; seeded storms must replay bit-identically; a cluster
+storm with a mid-storm shard crash must still serve every request
+exactly once.  Measured numbers are recorded in
+``benchmarks/REPORT_overload.md``.
 """
 
 import sys
@@ -31,9 +40,15 @@ from dataclasses import dataclass, replace
 from repro.harness.common import resolve_tier
 from repro.serve import (
     ClusterRouter,
+    ClusterStormConfig,
+    FlashCrowd,
     SearchService,
+    StormConfig,
+    TraceConfig,
     WorkloadConfig,
     make_workload,
+    run_cluster_storm,
+    run_storm,
 )
 
 
@@ -239,6 +254,175 @@ def render_skew_comparison(off, on) -> str:
         title=(
             "Zobrist result cache on Zipf-skewed traffic "
             "(4 shards)"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class StormBenchConfig:
+    """Operating point for the overload-survival gate.
+
+    Calibrated so the flash crowd peaks ~4x beyond the 2-device
+    sustainable rate: undefended, interactive attainment collapses
+    below 50% as the queue backs up through every deadline;
+    defended (admission ladder + autoscaler), interactive must hold
+    >= 95% while standard/batch absorb the shedding.  The gate
+    thresholds are tied to this exact operating point, so tiers
+    share it.
+    """
+
+    base_rate: float = 450.0
+    horizon_s: float = 0.6
+    crowd_start_s: float = 0.1
+    crowd_duration_s: float = 0.4
+    crowd: float = 4.0
+    budget_scale: float = 0.25
+    n_devices: int = 2
+    max_active: int = 32
+    autoscale_max: int = 8
+    scaleup_lag_s: float = 0.03
+    seed: int = 11
+
+    def trace(self, **overrides) -> TraceConfig:
+        horizon = overrides.pop("horizon_s", self.horizon_s)
+        base_rate = overrides.pop("base_rate", self.base_rate)
+        return TraceConfig(
+            base_rate=base_rate,
+            horizon_s=horizon,
+            seed=self.seed,
+            components=(
+                FlashCrowd(
+                    start_s=self.crowd_start_s,
+                    duration_s=self.crowd_duration_s,
+                    multiplier=self.crowd,
+                ),
+            ),
+            class_deadline_s=(
+                ("interactive", 0.1),
+                ("standard", 0.3),
+                ("batch", 1.0),
+            ),
+            workload=WorkloadConfig(
+                seed=self.seed,
+                engines=("sequential", "root:2"),
+                budget_scale=self.budget_scale,
+            ),
+            **overrides,
+        )
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "StormBenchConfig":
+        resolve_tier(tier)
+        return StormBenchConfig()
+
+
+def run_storm_defended(cfg: StormBenchConfig):
+    """The full defense stack: ladder + hysteresis + autoscaler."""
+    return run_storm(
+        StormConfig(
+            trace=cfg.trace(),
+            n_devices=cfg.n_devices,
+            max_active=cfg.max_active,
+            seed=cfg.seed,
+            overload=True,
+            autoscale={
+                "max_devices": cfg.autoscale_max,
+                "scaleup_lag_s": cfg.scaleup_lag_s,
+            },
+        )
+    )
+
+
+def run_storm_undefended(cfg: StormBenchConfig):
+    """Same trace, no admission control, fixed fleet."""
+    return run_storm(
+        StormConfig(
+            trace=cfg.trace(),
+            n_devices=cfg.n_devices,
+            max_active=cfg.max_active,
+            seed=cfg.seed,
+            overload=None,
+            autoscale=None,
+        )
+    )
+
+
+def storm_fingerprint(outcome):
+    """Bit-level identity of one storm: every arrival and every
+    per-request terminal outcome."""
+    arrivals = [
+        (r.request_id, r.arrival_s, r.priority, r.deadline_s,
+         r.game, r.engine, r.budget_s, r.seed)
+        for r in outcome.requests
+    ]
+    outcomes = [
+        (
+            rec.request.request_id,
+            rec.status,
+            rec.outcome,
+            rec.degrade_level,
+            rec.latency_s,
+            None if rec.result is None else rec.result.move,
+            None if rec.result is None else rec.result.simulations,
+        )
+        for rec in outcome.records
+    ]
+    return arrivals, outcomes
+
+
+def run_storm_cluster_kill(cfg: StormBenchConfig):
+    """A cluster storm whose second epoch kills shard 0 mid-crowd;
+    the per-epoch journals must recover it exactly-once."""
+    trace = cfg.trace(base_rate=150.0, horizon_s=0.3)
+    with tempfile.TemporaryDirectory() as journal_dir:
+        return run_cluster_storm(
+            ClusterStormConfig(
+                trace=trace,
+                epochs=2,
+                initial_shards=2,
+                seed=cfg.seed,
+                journal_dir=journal_dir,
+                crash_epoch=1,
+                service_kwargs=(
+                    ("n_devices", cfg.n_devices),
+                    ("max_active", 8),
+                    ("overload", True),
+                ),
+            )
+        )
+
+
+def render_storm_comparison(defended, undefended) -> str:
+    from repro.util.tables import format_series
+
+    classes = ["interactive", "standard", "batch"]
+
+    def column(out):
+        cells = []
+        for cls in classes:
+            stats = out.per_class.get(cls)
+            if stats is None:
+                cells.append("-")
+                continue
+            cells.append(
+                f"{stats.attainment * 100:5.1f}%  "
+                f"({stats.met}/{stats.degraded}/{stats.shed}/"
+                f"{stats.rejected}/{stats.missed})"
+            )
+        cells.append(str(out.report.peak_devices or "-"))
+        cells.append(str(out.report.shed))
+        return cells
+
+    return format_series(
+        "class: attainment (met/degr/shed/rej/miss)",
+        classes + ["peak devices", "total shed"],
+        {
+            "defended": column(defended),
+            "undefended": column(undefended),
+        },
+        title=(
+            "overload storm: 4x flash crowd on a 2-device node "
+            "(docs/overload.md)"
         ),
     )
 
@@ -515,6 +699,109 @@ def test_cluster_shard_kill_recovers_exactly_once(run_once):
     assert report.mean_mttr_s > 0
 
 
+def test_storm_interactive_slo_defended_vs_undefended(run_once):
+    """The overload tentpole's headline: under a 4x flash crowd the
+    defense ladder keeps the interactive SLO while the undefended
+    node collapses -- and every request ends in an explicit
+    terminal outcome either way."""
+    cfg = StormBenchConfig.for_tier()
+
+    def compare():
+        return run_storm_defended(cfg), run_storm_undefended(cfg)
+
+    defended, undefended = run_once(compare)
+    print()
+    print(render_storm_comparison(defended, undefended))
+    assert defended.attainment("interactive") >= 0.95
+    assert undefended.attainment("interactive") < 0.50
+    for outcome in (defended, undefended):
+        assert len(outcome.records) == len(outcome.requests)
+        for stats in outcome.per_class.values():
+            assert stats.offered == (
+                stats.met + stats.degraded + stats.shed
+                + stats.rejected + stats.missed
+            )
+    # The ladder protects interactive by shedding lower classes, not
+    # by degrading or dropping interactive work.
+    interactive = defended.per_class["interactive"]
+    assert interactive.shed == 0
+    assert defended.report.shed > 0
+    assert defended.report.peak_devices > cfg.n_devices
+
+
+def test_storm_replay_bit_identical(run_once):
+    """Identical seeds give identical arrivals and identical
+    per-request outcomes across two full storm replays."""
+    cfg = StormBenchConfig.for_tier()
+
+    def replay():
+        return run_storm_defended(cfg), run_storm_defended(cfg)
+
+    first, second = run_once(replay)
+    assert storm_fingerprint(first) == storm_fingerprint(second)
+
+
+def test_storm_cluster_shard_crash_exactly_once(run_once):
+    """A shard crash mid-storm is recovered from its journal; no
+    request is lost and none is served twice."""
+    cfg = StormBenchConfig.for_tier()
+    outcome = run_once(run_storm_cluster_kill, cfg)
+    rids = [r.request.request_id for r in outcome.records]
+    assert len(rids) == len(set(rids)), "request served twice"
+    assert len(rids) == len(outcome.requests), "request lost"
+    assert outcome.crashes == 1
+    assert outcome.recoveries == 1
+    assert outcome.mean_mttr_s > 0
+
+
+def _storm_main(smoke: bool) -> int:  # pragma: no cover
+    cfg = StormBenchConfig.for_tier("quick" if smoke else None)
+    defended = run_storm_defended(cfg)
+    undefended = run_storm_undefended(cfg)
+    print(render_storm_comparison(defended, undefended))
+    d_int = defended.attainment("interactive")
+    u_int = undefended.attainment("interactive")
+    if d_int < 0.95:
+        print(
+            f"FAIL: defended interactive attainment "
+            f"{d_int:.1%} < 95%"
+        )
+        return 1
+    if u_int >= 0.50:
+        print(
+            f"FAIL: undefended interactive attainment "
+            f"{u_int:.1%} >= 50% -- storm is not overloading"
+        )
+        return 1
+    replay = run_storm_defended(cfg)
+    if storm_fingerprint(replay) != storm_fingerprint(defended):
+        print("FAIL: storm replay is not bit-identical")
+        return 1
+    kill = run_storm_cluster_kill(cfg)
+    rids = [r.request.request_id for r in kill.records]
+    if len(rids) != len(set(rids)) or len(rids) != len(kill.requests):
+        print("FAIL: shard crash lost or duplicated requests")
+        return 1
+    if kill.crashes != 1 or kill.recoveries != 1:
+        print(
+            f"FAIL: expected one crash+recovery, got "
+            f"{kill.crashes}/{kill.recoveries}"
+        )
+        return 1
+    print(
+        f"cluster storm: {len(kill.records)} requests over "
+        f"{kill.shard_counts} shards, {kill.crashes} crash, "
+        f"MTTR {kill.mean_mttr_s:.4f}s"
+    )
+    if smoke:
+        print(
+            f"smoke OK: interactive attainment {d_int:.0%} defended "
+            f"vs {u_int:.0%} undefended; replay bit-identical; "
+            f"mid-storm shard crash recovered exactly-once"
+        )
+    return 0
+
+
 def _cluster_main(smoke: bool) -> int:  # pragma: no cover
     cfg = ClusterBenchConfig.for_tier("quick" if smoke else None)
     reports = run_scaling_sweep(cfg)
@@ -553,6 +840,8 @@ def _cluster_main(smoke: bool) -> int:  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover
+    if "--storm" in sys.argv[1:]:
+        sys.exit(_storm_main(smoke="--smoke" in sys.argv[1:]))
     if "--cluster" in sys.argv[1:]:
         sys.exit(_cluster_main(smoke="--smoke" in sys.argv[1:]))
     cfg = replace(ServeBenchConfig.for_tier(), loads=(1, 4, 16, 64, 256))

@@ -98,6 +98,79 @@ def _cmd_devices(_args) -> int:
     return 0
 
 
+def _cmd_serve_bench_storm(args) -> int:
+    from repro.serve import (
+        FlashCrowd,
+        StormConfig,
+        TraceConfig,
+        WorkloadConfig,
+        run_storm,
+    )
+
+    t0 = time.perf_counter()
+    horizon = args.storm_horizon
+    workload = WorkloadConfig(
+        seed=args.seed,
+        engines=("sequential", "root:2"),
+        budget_scale=args.budget_scale,
+        backend=args.backend,
+        playout=args.playout,
+        position_skew=args.skew,
+        position_pool=args.position_pool,
+    )
+    trace = TraceConfig(
+        base_rate=args.storm_rate,
+        horizon_s=horizon,
+        seed=args.seed,
+        components=(
+            FlashCrowd(
+                start_s=horizon * 0.15,
+                duration_s=horizon * 0.5,
+                multiplier=args.storm_crowd,
+            ),
+        ),
+        class_deadline_s=(
+            ("interactive", 0.1),
+            ("standard", 0.3),
+            ("batch", 1.0),
+        ),
+        workload=workload,
+    )
+    autoscale = (
+        {"max_devices": args.autoscale_max, "scaleup_lag_s": 0.03}
+        if args.autoscale_max
+        else None
+    )
+    outcome = run_storm(
+        StormConfig(
+            trace=trace,
+            n_devices=args.devices,
+            max_active=args.max_active,
+            seed=args.seed,
+            overload=None if args.no_overload else True,
+            autoscale=autoscale,
+            faults=args.faults,
+            journal=args.journal,
+        )
+    )
+    defended = "undefended" if args.no_overload else "defended"
+    print(
+        f"--- storm: {len(outcome.requests)} arrivals over "
+        f"{horizon:.2f}s, {args.storm_crowd:.0f}x flash crowd, "
+        f"{defended} ---"
+    )
+    print(outcome.report.render(f"storm run ({defended})"))
+    if outcome.crashes:
+        print(
+            f"crashes: {outcome.crashes}  recoveries: "
+            f"{outcome.recoveries}  MTTR: {outcome.mttr_s:.4f}s"
+        )
+    print(
+        f"[serve-bench took {time.perf_counter() - t0:.1f}s wall]"
+    )
+    return 0
+
+
 def _cmd_serve_bench_cluster(args) -> int:
     from repro.serve import ClusterRouter, WorkloadConfig, make_workload
 
@@ -150,6 +223,22 @@ def _cmd_serve_bench(args) -> int:
 
     from repro.util.profile import NULL_PROFILER, Profiler
 
+    if args.storm:
+        for flag, name in (
+            (args.resume, "--resume"),
+            (args.trace_out, "--trace-out"),
+            (args.profile, "--profile"),
+            (args.no_defenses, "--no-defenses"),
+            (args.cluster, "--cluster"),
+        ):
+            if flag:
+                print(
+                    f"serve-bench: {name} is not supported with "
+                    f"--storm",
+                    file=sys.stderr,
+                )
+                return 2
+        return _cmd_serve_bench_storm(args)
     if args.cluster:
         for flag, name in (
             (args.resume, "--resume"),
@@ -479,6 +568,54 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "candidate positions per game for skewed traffic "
             "(0 = 32 when --skew is set)"
+        ),
+    )
+    bench.add_argument(
+        "--storm",
+        action="store_true",
+        help=(
+            "fire an open-loop flash-crowd storm (Poisson arrivals, "
+            "priority classes, overload controller) instead of the "
+            "closed workload; see docs/overload.md"
+        ),
+    )
+    bench.add_argument(
+        "--storm-rate",
+        type=float,
+        default=450.0,
+        metavar="R",
+        help="with --storm: baseline arrival rate (requests/s)",
+    )
+    bench.add_argument(
+        "--storm-horizon",
+        type=float,
+        default=0.6,
+        metavar="S",
+        help="with --storm: trace horizon in virtual seconds",
+    )
+    bench.add_argument(
+        "--storm-crowd",
+        type=float,
+        default=4.0,
+        metavar="M",
+        help="with --storm: flash-crowd rate multiplier",
+    )
+    bench.add_argument(
+        "--no-overload",
+        action="store_true",
+        help=(
+            "with --storm: run undefended (no admission control, "
+            "no shedding) -- for measuring what the ladder buys"
+        ),
+    )
+    bench.add_argument(
+        "--autoscale-max",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --storm: let the autoscaler grow the device fleet "
+            "up to N devices (0 = fixed fleet)"
         ),
     )
     bench.set_defaults(func=_cmd_serve_bench)

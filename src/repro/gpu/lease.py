@@ -79,6 +79,12 @@ class _DeviceSlot:
     consecutive_failures: int = 0
     quarantined_until: float = 0.0
     quarantines: int = 0
+    #: Elastic-fleet state (autoscaling, docs/overload.md): a
+    #: provisioned device only accepts placements once its modelled
+    #: bring-up lag has elapsed; a retired device accepts no new
+    #: placements but drains its in-flight stream.
+    available_after_s: float = 0.0
+    retired: bool = False
 
     @property
     def busy_until(self) -> float:
@@ -150,7 +156,11 @@ class DevicePool:
         used verbatim.
         """
         if candidates is None:
-            ids = self.healthy_ids() or range(len(self._slots))
+            ids = (
+                self.healthy_ids()
+                or self.placeable_ids()
+                or range(len(self._slots))
+            )
         else:
             ids = list(candidates)
             if not ids:
@@ -274,10 +284,64 @@ class DevicePool:
     def healthy_ids(self) -> list[int]:
         """Devices currently accepting placements."""
         return [
+            device_id
+            for device_id in self.placeable_ids()
+            if not self.is_quarantined(device_id)
+        ]
+
+    # -- elastic fleet (autoscaling) ---------------------------------------
+
+    def placeable_ids(self) -> list[int]:
+        """Devices in the active fleet: provisioned (bring-up lag has
+        elapsed) and not retired.  Quarantine is ignored here -- it is
+        a *health* veto layered on top by :meth:`healthy_ids`."""
+        now = self.clock.now
+        return [
             slot.device_id
             for slot in self._slots
-            if not self.is_quarantined(slot.device_id)
+            if not slot.retired and slot.available_after_s <= now
         ]
+
+    def active_size(self) -> int:
+        """Fleet size the autoscaler reasons about: placeable devices
+        plus ones still inside their bring-up lag (already paid for,
+        not yet accepting work) -- everything except retirees."""
+        return sum(1 for slot in self._slots if not slot.retired)
+
+    def provision(
+        self, spec: DeviceSpec, available_s: float | None = None
+    ) -> int:
+        """Add one device to the pool; it starts accepting placements
+        at ``available_s`` (defaults to *now*).  Scale-up lag is how
+        flash crowds hurt: capacity requested at the spike's onset
+        only arrives once the modelled bring-up completes.  Returns
+        the new device id."""
+        available = self.clock.now if available_s is None else available_s
+        if available < self.clock.now:
+            raise PoolError(
+                f"cannot provision into the past: {available} < "
+                f"{self.clock.now}"
+            )
+        slot = _DeviceSlot(
+            len(self._slots),
+            spec,
+            Stream(self.clock),
+            available_after_s=available,
+        )
+        self._slots.append(slot)
+        return slot.device_id
+
+    def retire(self, device_id: int) -> None:
+        """Remove one device from placement.  In-flight work on its
+        stream drains normally (leases stay resolvable) but
+        :meth:`least_busy` never picks it again.  Idempotent."""
+        self._slot(device_id).retired = True
+
+    def is_retired(self, device_id: int) -> bool:
+        return self._slot(device_id).retired
+
+    def available_after(self, device_id: int) -> float:
+        return self._slot(device_id).available_after_s
 
     def health(self, device_id: int) -> dict[str, int]:
         """Observed launch outcomes for one device."""

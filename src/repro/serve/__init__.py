@@ -24,6 +24,12 @@ See docs/serving.md for the scheduler design, deadline semantics and
 metric definitions.
 """
 
+from repro.serve.autoscale import (
+    Autoscaler,
+    AutoscalerConfig,
+    ShardAutoscaler,
+    ShardAutoscalerConfig,
+)
 from repro.serve.cache import (
     CacheEntry,
     CacheKey,
@@ -46,7 +52,22 @@ from repro.serve.journal import (
     JournalWriter,
     read_journal,
 )
-from repro.serve.metrics import ServiceReport, percentile, summarize
+from repro.serve.metrics import (
+    ClassStats,
+    ServiceReport,
+    class_summary,
+    percentile,
+    summarize,
+)
+from repro.serve.overload import (
+    AdversarialBurst,
+    DiurnalCycle,
+    FlashCrowd,
+    HysteresisController,
+    OverloadPolicy,
+    TraceConfig,
+    make_trace,
+)
 from repro.serve.resilience import (
     Attempt,
     LaunchOutcome,
@@ -54,12 +75,15 @@ from repro.serve.resilience import (
     RetryPolicy,
 )
 from repro.serve.request import (
+    CLASS_RANK,
     COMPLETED,
     MISSED,
     PENDING,
+    PRIORITY_CLASSES,
     QUEUED,
     REJECTED,
     RUNNING,
+    SHED,
     TERMINAL_STATUSES,
     RequestRecord,
     SearchRequest,
@@ -78,6 +102,16 @@ from repro.serve.service import (
     ServiceError,
     serve,
     supports_search_steps,
+)
+from repro.serve.storm import (
+    ClusterStormConfig,
+    ClusterStormOutcome,
+    SilentOutcomeError,
+    StormConfig,
+    StormOutcome,
+    assert_explicit_outcomes,
+    run_cluster_storm,
+    run_storm,
 )
 from repro.serve.workload import (
     MIXED_ENGINES,
@@ -133,5 +167,29 @@ __all__ = [
     "COMPLETED",
     "REJECTED",
     "MISSED",
+    "SHED",
     "TERMINAL_STATUSES",
+    "PRIORITY_CLASSES",
+    "CLASS_RANK",
+    "ClassStats",
+    "class_summary",
+    "TraceConfig",
+    "make_trace",
+    "DiurnalCycle",
+    "FlashCrowd",
+    "AdversarialBurst",
+    "OverloadPolicy",
+    "HysteresisController",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ShardAutoscaler",
+    "ShardAutoscalerConfig",
+    "StormConfig",
+    "StormOutcome",
+    "ClusterStormConfig",
+    "ClusterStormOutcome",
+    "run_storm",
+    "run_cluster_storm",
+    "assert_explicit_outcomes",
+    "SilentOutcomeError",
 ]

@@ -63,7 +63,10 @@ from repro.games import make_game
 from repro.games.base import Game
 from repro.serve.cache import CacheKey, ResultCache, cache_key_for
 from repro.serve.metrics import (
+    ClassStats,
     ServiceReport,
+    class_rows,
+    class_summary,
     latency_summary,
     outcome_rows,
     render_metric_rows,
@@ -72,6 +75,7 @@ from repro.serve.request import (
     COMPLETED,
     MISSED,
     REJECTED,
+    SHED,
     RequestRecord,
     SearchRequest,
 )
@@ -94,6 +98,9 @@ register_extra_keys(
         "cluster.replicas": int,
         # Replicas whose own move differed from the voted move.
         "cluster.dissent": int,
+        # Replica placements that could not get a distinct failure
+        # domain (0 whenever domains outnumber replicas).
+        "cluster.replica_collisions": int,
     },
 )
 
@@ -108,6 +115,16 @@ class HashRing:
     successor-list placement, so adding a shard only moves the keys
     that land in its new arcs.
 
+    ``domains`` optionally maps each shard to a **failure domain**
+    (rack / zone): ``domains[shard]`` is the shard's domain id.
+    Replica placement then skips shards whose domain is already used,
+    so the R replicas of one request never co-locate on a domain that
+    can fail as a unit -- unless there are fewer live domains than
+    replicas, in which case placement falls back to distinct shards
+    and counts each violation in :attr:`replica_collisions`.  With no
+    ``domains`` every shard is its own domain, which reduces exactly
+    to the classic distinct-shard walk.
+
     Keys are used verbatim, so they must already be uniform 64-bit
     values (the router derives them with
     ``derive_seed(zobrist_key, game)``); low-entropy raw keys would
@@ -115,7 +132,11 @@ class HashRing:
     """
 
     def __init__(
-        self, n_shards: int, vnodes: int = 64, seed: int = 0
+        self,
+        n_shards: int,
+        vnodes: int = 64,
+        seed: int = 0,
+        domains: "tuple[int, ...] | list[int] | None" = None,
     ) -> None:
         if n_shards <= 0:
             raise ValueError(
@@ -123,7 +144,20 @@ class HashRing:
             )
         if vnodes <= 0:
             raise ValueError(f"vnodes must be positive: {vnodes}")
+        if domains is None:
+            domains = tuple(range(n_shards))
+        else:
+            domains = tuple(domains)
+            if len(domains) != n_shards:
+                raise ValueError(
+                    f"domains must map every shard: "
+                    f"{len(domains)} != {n_shards}"
+                )
         self.n_shards = n_shards
+        self.domains = domains
+        #: Replica placements that violated domain-distinctness
+        #: because fewer domains than replicas exist.
+        self.replica_collisions = 0
         points = sorted(
             (derive_seed(seed, "ring", shard, v), shard)
             for shard in range(n_shards)
@@ -133,19 +167,40 @@ class HashRing:
         self._owners = [s for _, s in points]
 
     def shards_for(self, key: int, count: int = 1) -> list[int]:
-        """The ``count`` distinct shards owning ``key`` (primary
-        first, then its clockwise successors)."""
+        """The ``count`` shards owning ``key`` (primary first, then
+        clockwise successors), in distinct failure domains whenever
+        enough domains exist."""
         count = min(count, self.n_shards)
         i = bisect.bisect_right(self._hashes, key & (2**64 - 1))
-        owners: list[int] = []
+        order: list[int] = []
         seen: set[int] = set()
         n = len(self._owners)
-        while len(owners) < count:
+        while len(order) < self.n_shards:
             shard = self._owners[i % n]
             if shard not in seen:
                 seen.add(shard)
-                owners.append(shard)
+                order.append(shard)
             i += 1
+        owners: list[int] = []
+        used_domains: set[int] = set()
+        for shard in order:
+            if len(owners) == count:
+                break
+            domain = self.domains[shard]
+            if domain in used_domains:
+                continue
+            used_domains.add(domain)
+            owners.append(shard)
+        if len(owners) < count:
+            # Fewer live domains than replicas: fall back to distinct
+            # shards (never fewer replicas) and count the violations.
+            for shard in order:
+                if len(owners) == count:
+                    break
+                if shard in owners:
+                    continue
+                owners.append(shard)
+                self.replica_collisions += 1
         return owners
 
     def shard_for(self, key: int) -> int:
@@ -252,6 +307,15 @@ class ClusterReport:
     #: Dispatch waves the run needed (1 unless followers had to be
     #: re-dispatched after a failed cache leader).
     waves: int = 1
+    #: Requests the overload controller shed (explicit rejections).
+    shed: int = 0
+    #: Per-priority-class outcome stats (docs/overload.md).
+    per_class: "dict[str, ClassStats]" = field(default_factory=dict)
+    #: Replica placements that violated failure-domain distinctness
+    #: (0 whenever domains outnumber replicas).
+    replica_collisions: int = 0
+    #: Cache hits served past the cache's freshness horizon.
+    cache_stale_hits: int = 0
     #: Result-cache accounting (zeros when the cache is off).
     cache_hits: int = 0
     cache_misses: int = 0
@@ -300,10 +364,13 @@ class ClusterReport:
             self.p50_latency_s,
             self.p95_latency_s,
             self.mean_latency_s,
+            shed=self.shed,
         )
         rows["shards"] = str(self.n_shards)
         rows["replicas"] = str(self.replicas)
         rows["dispatch waves"] = str(self.waves)
+        if self.shed or set(self.per_class) - {"standard"}:
+            rows.update(class_rows(self.per_class))
         lookups = self.cache_hits + self.cache_misses
         if lookups:
             rows["cache hits"] = str(self.cache_hits)
@@ -317,8 +384,15 @@ class ClusterReport:
             rows["cache screened out"] = str(
                 self.cache_screened_out
             )
+            if self.cache_stale_hits:
+                rows["cache stale hits"] = str(
+                    self.cache_stale_hits
+                )
         if self.replicas > 1:
             rows["replica dissent"] = str(self.replica_dissent)
+            rows["replica domain collisions"] = str(
+                self.replica_collisions
+            )
         if self.shard_crashes or self.foreign_records:
             rows["shard crashes"] = str(self.shard_crashes)
             rows["shard recoveries"] = str(self.shard_recoveries)
@@ -379,6 +453,7 @@ class ClusterRouter:
         vote_trim: float = 0.34,
         vnodes: int = 64,
         shard_overrides: "dict[int, dict] | None" = None,
+        failure_domains: "tuple[int, ...] | list[int] | None" = None,
         **service_kwargs,
     ) -> None:
         if replicas <= 0:
@@ -396,7 +471,10 @@ class ClusterRouter:
         self.cache = ResultCache.coerce(cache)
         self.cache_hit_cost_s = cache_hit_cost_s
         self.ring = HashRing(
-            n_shards, vnodes=vnodes, seed=derive_seed(seed, "ring")
+            n_shards,
+            vnodes=vnodes,
+            seed=derive_seed(seed, "ring"),
+            domains=failure_domains,
         )
         overrides = shard_overrides or {}
         journal_dir = (
@@ -419,6 +497,8 @@ class ClusterRouter:
         self.waves = 0
         self.coalesced = 0
         self.replica_dissent = 0
+        #: Per-request domain-collision counts from ring placement.
+        self._collisions: "dict[str, int]" = {}
         self._requests: "list[SearchRequest]" = []
         self._final: "dict[str, RequestRecord]" = {}
         self._games: "dict[str, Game]" = {}
@@ -543,6 +623,9 @@ class ClusterRouter:
             extras={
                 "cluster.replicas": len(completed),
                 "cluster.dissent": dissent,
+                "cluster.replica_collisions": (
+                    self._collisions.get(request.request_id, 0)
+                ),
             },
         )
         starts = [
@@ -614,8 +697,12 @@ class ClusterRouter:
         by_shard: "dict[int, list[SearchRequest]]" = {}
         replica_rids: "dict[str, list[str]]" = {}
         for request in dispatch:
+            before = self.ring.replica_collisions
             owners = self.ring.shards_for(
                 self._route_key(request), self.replicas
+            )
+            self._collisions[request.request_id] = (
+                self.ring.replica_collisions - before
             )
             rids = []
             for k, shard_id in enumerate(owners):
@@ -681,6 +768,12 @@ class ClusterRouter:
                 self._final[follower.request_id] = (
                     self._hit_record(follower, entry, t_eff)
                 )
+        # Proactive TTL sweep at the wave boundary: a diurnal lull
+        # empties the cache instead of leaving dead entries to expire
+        # lazily one lookup at a time.  Swept at the wave's last
+        # arrival, which never postdates any entry the wave inserted.
+        if self.cache is not None and requests:
+            self.cache.sweep(max(r.arrival_s for r in requests))
         return next_wave
 
     # -- reporting ---------------------------------------------------------
@@ -715,6 +808,12 @@ class ClusterRouter:
                 1 for r in records if r.status == REJECTED
             ),
             missed=sum(1 for r in records if r.status == MISSED),
+            shed=sum(1 for r in records if r.status == SHED),
+            per_class=class_summary(records),
+            replica_collisions=self.ring.replica_collisions,
+            cache_stale_hits=(
+                self.cache.stale_hits if self.cache else 0
+            ),
             elapsed_s=elapsed,
             p50_latency_s=p50,
             p95_latency_s=p95,

@@ -14,7 +14,9 @@ from typing import Sequence
 from repro.serve.request import (
     COMPLETED,
     MISSED,
+    PRIORITY_CLASSES,
     REJECTED,
+    SHED,
     RequestRecord,
 )
 from repro.util.tables import format_series
@@ -60,22 +62,143 @@ def outcome_rows(
     p50_latency_s: float,
     p95_latency_s: float,
     mean_latency_s: float,
+    shed: int = 0,
 ) -> "dict[str, str]":
     """The offered/completed/latency report rows shared verbatim by
     :class:`ServiceReport` and the cluster's ``ClusterReport`` -- one
     definition so labels and number formats cannot drift between the
     single-service and aggregate tables (docs/cluster.md)."""
-    return {
+    rows = {
         "offered requests": str(offered),
         "completed": str(completed),
         "rejected (queue full)": str(rejected),
         "deadline missed": str(missed),
-        "virtual elapsed (s)": f"{elapsed_s:.4f}",
-        "requests/s": f"{requests_per_s:.1f}",
-        "latency p50 (ms)": f"{p50_latency_s * 1e3:.2f}",
-        "latency p95 (ms)": f"{p95_latency_s * 1e3:.2f}",
-        "latency mean (ms)": f"{mean_latency_s * 1e3:.2f}",
     }
+    if shed:
+        rows["shed (overload)"] = str(shed)
+    rows.update(
+        {
+            "virtual elapsed (s)": f"{elapsed_s:.4f}",
+            "requests/s": f"{requests_per_s:.1f}",
+            "latency p50 (ms)": f"{p50_latency_s * 1e3:.2f}",
+            "latency p95 (ms)": f"{p95_latency_s * 1e3:.2f}",
+            "latency mean (ms)": f"{mean_latency_s * 1e3:.2f}",
+        }
+    )
+    return rows
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Per-priority-class outcome of one run (docs/overload.md).
+
+    *Attainment* is the SLO headline: the fraction of offered
+    requests of the class that completed within their deadline (a
+    request without a deadline counts as within).  Degraded
+    completions inside the deadline attain the SLO -- that is the
+    whole point of the degradation ladder -- but are reported
+    separately so goodput under overload decomposes into
+    ``met | degraded | shed | rejected | missed``.
+    """
+
+    offered: int = 0
+    met: int = 0
+    degraded: int = 0
+    shed: int = 0
+    rejected: int = 0
+    missed: int = 0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+
+    @property
+    def attained(self) -> int:
+        return self.met + self.degraded
+
+    @property
+    def attainment(self) -> float:
+        """Completed-within-deadline over offered (0.0 when empty)."""
+        if self.offered <= 0:
+            return 0.0
+        return self.attained / self.offered
+
+
+def _within_deadline(record: RequestRecord) -> bool:
+    deadline = record.request.deadline_s
+    if deadline is None:
+        return True
+    latency = record.latency_s
+    return latency is not None and latency <= deadline + 1e-12
+
+
+def class_summary(
+    records: Sequence[RequestRecord],
+) -> "dict[str, ClassStats]":
+    """Fold records into per-priority-class :class:`ClassStats`.
+
+    Classes with no offered traffic are omitted; a run without
+    priorities therefore reports one ``standard`` row.
+    """
+    out: dict[str, ClassStats] = {}
+    for name in PRIORITY_CLASSES:
+        subset = [
+            r for r in records if r.request.priority == name
+        ]
+        if not subset:
+            continue
+        latencies = sorted(
+            r.latency_s
+            for r in subset
+            if r.status == COMPLETED and r.latency_s is not None
+        )
+        attained = [
+            r
+            for r in subset
+            if r.status == COMPLETED and _within_deadline(r)
+        ]
+        out[name] = ClassStats(
+            offered=len(subset),
+            met=sum(1 for r in attained if not r.degraded),
+            degraded=sum(1 for r in attained if r.degraded),
+            shed=sum(1 for r in subset if r.status == SHED),
+            rejected=sum(
+                1 for r in subset if r.status == REJECTED
+            ),
+            missed=sum(
+                1 for r in subset if r.status == MISSED
+            )
+            + sum(
+                1
+                for r in subset
+                if r.status == COMPLETED
+                and not _within_deadline(r)
+            ),
+            p50_latency_s=(
+                percentile(latencies, 50) if latencies else 0.0
+            ),
+            p99_latency_s=(
+                percentile(latencies, 99) if latencies else 0.0
+            ),
+        )
+    return out
+
+
+def class_rows(per_class: "dict[str, ClassStats]") -> "dict[str, str]":
+    """Per-class report rows shared by the service and cluster tables
+    (one formatter, docs/overload.md)."""
+    rows: dict[str, str] = {}
+    for name, stats in per_class.items():
+        rows[f"{name}: attainment"] = (
+            f"{stats.attainment * 100:.1f}% "
+            f"({stats.attained}/{stats.offered})"
+        )
+        rows[f"{name}: met/degr/shed/rej/miss"] = (
+            f"{stats.met}/{stats.degraded}/{stats.shed}/"
+            f"{stats.rejected}/{stats.missed}"
+        )
+        rows[f"{name}: p99 latency (ms)"] = (
+            f"{stats.p99_latency_s * 1e3:.2f}"
+        )
+    return rows
 
 
 def render_metric_rows(title: str, rows: "dict[str, str]") -> str:
@@ -106,6 +229,18 @@ class ServiceReport:
     p95_queue_wait_s: float
     kernel_launches: int
     mean_lanes_per_launch: float
+    #: Overload-survival accounting (docs/overload.md): requests the
+    #: controller load-shed with an explicit rejection, per-class
+    #: outcome stats, and the highest degradation-ladder rung the
+    #: hysteresis controller reached during the run.
+    shed: int = 0
+    per_class: "dict[str, ClassStats]" = field(default_factory=dict)
+    peak_overload_level: int = 0
+    #: Autoscaler accounting: scale-up / scale-down decisions taken
+    #: and the largest fleet the run reached.
+    scale_ups: int = 0
+    scale_downs: int = 0
+    peak_devices: int = 0
     #: Cross-tenant fusion accounting (``serve.fusion.*``): padded
     #: megakernel launches issued, power-of-two pad lanes wasted on
     #: them, and the mean number of tenant slices sharing one.
@@ -173,10 +308,21 @@ class ServiceReport:
             self.p50_latency_s,
             self.p95_latency_s,
             self.mean_latency_s,
+            shed=self.shed,
         )
 
     def render(self, title: str = "service run") -> str:
         rows = self.outcome_rows()
+        if self.shed or self.peak_overload_level:
+            rows["peak overload level"] = str(
+                self.peak_overload_level
+            )
+        if self.shed or set(self.per_class) - {"standard"}:
+            rows.update(class_rows(self.per_class))
+        if self.scale_ups or self.scale_downs:
+            rows["autoscaler scale-ups"] = str(self.scale_ups)
+            rows["autoscaler scale-downs"] = str(self.scale_downs)
+            rows["peak devices"] = str(self.peak_devices)
         rows["queue wait p95 (ms)"] = (
             f"{self.p95_queue_wait_s * 1e3:.2f}"
         )
@@ -274,6 +420,10 @@ def summarize(
     quarantined_trees: int = 0,
     journal_corrupt: int = 0,
     checkpoint_corrupt: int = 0,
+    peak_overload_level: int = 0,
+    scale_ups: int = 0,
+    scale_downs: int = 0,
+    peak_devices: int = 0,
 ) -> ServiceReport:
     """Fold a run's request records into a :class:`ServiceReport`."""
     latencies = [
@@ -311,6 +461,12 @@ def summarize(
         completed=len(latencies),
         rejected=sum(1 for r in records if r.status == REJECTED),
         missed=sum(1 for r in records if r.status == MISSED),
+        shed=sum(1 for r in records if r.status == SHED),
+        per_class=class_summary(records),
+        peak_overload_level=peak_overload_level,
+        scale_ups=scale_ups,
+        scale_downs=scale_downs,
+        peak_devices=peak_devices,
         elapsed_s=elapsed_s,
         p50_latency_s=p50,
         p95_latency_s=p95,

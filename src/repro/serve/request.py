@@ -2,11 +2,13 @@
 
 A :class:`SearchRequest` is the unit of admission into the service:
 one game position to search, with a declarative engine spec, a search
-budget (virtual seconds on the request's own engine clock) and an
+budget (virtual seconds on the request's own engine clock), an
 optional completion deadline (virtual seconds on the *service* clock,
-relative to arrival).  A :class:`RequestRecord` tracks the request
-through `PENDING -> RUNNING -> COMPLETED` (or `QUEUED`, `REJECTED`,
-`MISSED`) and holds the latency accounting the service reports.
+relative to arrival) and a **priority class** (``interactive`` /
+``standard`` / ``batch`` -- see docs/overload.md).  A
+:class:`RequestRecord` tracks the request through
+`PENDING -> RUNNING -> COMPLETED` (or `QUEUED`, `REJECTED`, `MISSED`,
+`SHED`) and holds the latency accounting the service reports.
 """
 
 from __future__ import annotations
@@ -25,8 +27,17 @@ RUNNING = "running"      # holds an active slot, search in progress
 COMPLETED = "completed"  # search finished inside its deadline
 REJECTED = "rejected"    # bounded queue was full at arrival
 MISSED = "missed"        # deadline passed before the search finished
+SHED = "shed"            # dropped by the overload controller, with an
+                         # explicit rejection instead of a silent miss
 
-TERMINAL_STATUSES = frozenset({COMPLETED, REJECTED, MISSED})
+TERMINAL_STATUSES = frozenset({COMPLETED, REJECTED, MISSED, SHED})
+
+#: Priority classes, best first.  ``interactive`` traffic is never
+#: load-shed by the degradation ladder; ``batch`` is the first to go.
+PRIORITY_CLASSES = ("interactive", "standard", "batch")
+
+#: Class -> dequeue rank (lower dequeues first).
+CLASS_RANK = {name: i for i, name in enumerate(PRIORITY_CLASSES)}
 
 
 @dataclass(frozen=True)
@@ -47,11 +58,19 @@ class SearchRequest:
     arrival_s: float = 0.0
     deadline_s: float | None = None
     state: GameState | None = None
+    #: Priority class (see :data:`PRIORITY_CLASSES`); the overload
+    #: controller schedules, degrades and sheds by class.
+    priority: str = "standard"
 
     def __post_init__(self) -> None:
         if self.budget_s <= 0:
             raise ValueError(
                 f"budget must be positive: {self.budget_s}"
+            )
+        if self.priority not in CLASS_RANK:
+            raise ValueError(
+                f"unknown priority class {self.priority!r}; "
+                f"known: {PRIORITY_CLASSES}"
             )
         if self.arrival_s < 0:
             raise ValueError(
@@ -89,11 +108,25 @@ class RequestRecord:
     degraded: bool = False
     #: Playout lanes this request lost to exhausted launch chains.
     lost_lanes: int = 0
+    #: Degradation-ladder rung applied at activation (0 = full spec,
+    #: 1 = reduced budget, 2 = cheaper engine spec; see
+    #: docs/overload.md).  Non-zero rungs also set :attr:`degraded`.
+    degrade_level: int = 0
     extras: dict = field(default_factory=dict)
 
     @property
     def done(self) -> bool:
         return self.status in TERMINAL_STATUSES
+
+    @property
+    def outcome(self) -> str:
+        """Coarse overload-accounting outcome: ``met`` (completed at
+        full fidelity), ``degraded`` (completed under the ladder or
+        with fault-lost lanes), or the terminal status verbatim
+        (``shed`` / ``rejected`` / ``missed``)."""
+        if self.status == COMPLETED:
+            return "degraded" if self.degraded else "met"
+        return self.status
 
     @property
     def latency_s(self) -> float | None:

@@ -61,20 +61,28 @@ from repro.gpu.device import TESLA_C2050, DeviceSpec
 from repro.gpu.lease import DevicePool
 from repro.gpu.trace import Tracer
 from repro.integrity import IntegrityPolicy, IntegrityState
+from repro.serve.autoscale import Autoscaler, AutoscalerConfig
 from repro.serve.journal import JournalWriter, read_journal
-from repro.serve.metrics import ServiceReport, summarize
+from repro.serve.metrics import ServiceReport, percentile, summarize
+from repro.serve.overload import (
+    HysteresisController,
+    OverloadPolicy,
+)
 from repro.serve.resilience import (
     LaunchOutcome,
     ResilientLauncher,
     RetryPolicy,
 )
 from repro.serve.request import (
+    CLASS_RANK,
     COMPLETED,
     MISSED,
     PENDING,
+    PRIORITY_CLASSES,
     QUEUED,
     REJECTED,
     RUNNING,
+    SHED,
     RequestRecord,
     SearchRequest,
 )
@@ -141,6 +149,8 @@ class SearchService:
         journal: "str | Path | JournalWriter | None" = None,
         checkpoint_every: int = 50,
         integrity: "IntegrityPolicy | dict | None" = None,
+        overload: "OverloadPolicy | dict | bool | None" = None,
+        autoscale: "AutoscalerConfig | dict | bool | None" = None,
     ) -> None:
         if max_active <= 0:
             raise ValueError(f"max_active must be positive: {max_active}")
@@ -157,6 +167,35 @@ class SearchService:
         self.clock = Clock()
         self.tracer = tracer if tracer is not None else Tracer()
         self.pool = DevicePool(devices, self.clock, self.tracer)
+        #: Overload-survival controls (docs/overload.md).  With no
+        #: policy and no autoscaler, every code path below is
+        #: bit-identical to the legacy FIFO service -- the overload
+        #: layer is strictly opt-in.
+        self.overload = OverloadPolicy.coerce(overload)
+        self.controller = (
+            HysteresisController(self.overload)
+            if self.overload is not None
+            else None
+        )
+        autoscale_cfg = AutoscalerConfig.coerce(autoscale)
+        self.autoscaler = (
+            Autoscaler(self.pool, autoscale_cfg, devices[0])
+            if autoscale_cfg is not None
+            else None
+        )
+        #: Sliding window of completed latency/deadline ratios (and
+        #: miss penalties) feeding controller and autoscaler.
+        self._ratio_window: "deque[float] | None" = (
+            deque(
+                maxlen=(
+                    self.overload.window
+                    if self.overload is not None
+                    else 64
+                )
+            )
+            if self.overload is not None or self.autoscaler is not None
+            else None
+        )
         self.fault_plan = FaultPlan.coerce(faults)
         self.injector = (
             FaultInjector(self.fault_plan)
@@ -294,7 +333,28 @@ class SearchService:
         record.status = RUNNING
         record.start_s = self.clock.now
         game = self._game(req.game)
-        spec = EngineSpec.coerce(req.engine)
+        # Degradation ladder (docs/overload.md): the controller's
+        # current rung decides, per class, whether this activation
+        # runs at full fidelity, with a squeezed budget, or on the
+        # cheap engine spec.  Interactive traffic always runs whole.
+        budget_s = req.budget_s
+        engine_source = req.engine
+        rung = 0
+        if self.overload is not None and self.controller is not None:
+            level = self.controller.level
+            rung = self.overload.degrade_level_for(
+                level, req.priority
+            )
+            budget_s *= self.overload.budget_scale_for(
+                level, req.priority
+            )
+            engine_source = self.overload.spec_for(
+                level, req.priority, req.engine
+            )
+        if rung:
+            record.degrade_level = rung
+            record.degraded = True
+        spec = EngineSpec.coerce(engine_source)
         overrides = {}
         if self.backend != "node" and "backend" not in spec.params:
             overrides["backend"] = self.backend
@@ -328,7 +388,7 @@ class SearchService:
             gen = (
                 engine.resume_steps()
                 if resume_from is not None
-                else engine.search_steps(state, req.budget_s)
+                else engine.search_steps(state, budget_s)
             )
             still_running = gen_pool.add(req.request_id, gen)
             slot.pending_cpu_s = engine.clock.now - before
@@ -346,7 +406,7 @@ class SearchService:
             result = (
                 engine.resume()
                 if resume_from is not None
-                else engine.search(state, req.budget_s)
+                else engine.search(state, budget_s)
             )
             slot.result = result
             slot.outcome = self.launcher.launch(
@@ -412,14 +472,40 @@ class SearchService:
         record.result = result
         record.finish_s = self.clock.now
         active.pop(record.request.request_id, None)
+        self._observe_outcome(record)
         self._journal_terminal(record)
 
-    def _miss(
+    def _observe_outcome(self, record: RequestRecord) -> None:
+        """Feed one terminal outcome into the pressure window the
+        controller and autoscaler watch."""
+        if self._ratio_window is None:
+            return
+        deadline = record.request.deadline_s
+        if record.status == COMPLETED and deadline:
+            latency = record.latency_s
+            if latency is not None:
+                self._ratio_window.append(latency / deadline)
+        elif record.status == MISSED:
+            penalty = (
+                self.overload.miss_penalty
+                if self.overload is not None
+                else 2.0
+            )
+            self._ratio_window.append(penalty)
+
+    def _cancel(
         self,
         record: RequestRecord,
         active: dict[str, _Active],
         gen_pool: GeneratorPool,
+        status: str,
     ) -> None:
+        """Terminate an admitted request without a result (deadline
+        miss or load shed), resolving everything it holds: its
+        generator leaves the pool and any in-flight direct-path lease
+        is abandoned, so :meth:`DevicePool.assert_drained` holds even
+        for requests cancelled after admission but before (or between)
+        launches."""
         rid = record.request.request_id
         if rid in gen_pool.pending:
             gen_pool.cancel(rid)
@@ -432,7 +518,31 @@ class SearchService:
             # The host will never wait on a cancelled request's device
             # work; resolve the lease so busy-time accounting drains.
             self.pool.abandon(slot.outcome.lease)
-        self._finish(record, active, result=None, status=MISSED)
+        self._finish(record, active, result=None, status=status)
+
+    def _miss(
+        self,
+        record: RequestRecord,
+        active: dict[str, _Active],
+        gen_pool: GeneratorPool,
+    ) -> None:
+        self._cancel(record, active, gen_pool, MISSED)
+
+    def _shed(
+        self,
+        record: RequestRecord,
+        active: dict[str, _Active],
+        gen_pool: GeneratorPool,
+    ) -> None:
+        self._cancel(record, active, gen_pool, SHED)
+
+    def _reject(self, record: RequestRecord, status: str) -> None:
+        """Terminate a request that never got a slot (queue-full
+        rejection, shed at admission, or missed while queued)."""
+        record.status = status
+        record.finish_s = self.clock.now
+        self._observe_outcome(record)
+        self._journal_terminal(record)
 
     def run(self) -> list[RequestRecord]:
         """Serve every submitted request to a terminal status."""
@@ -464,47 +574,132 @@ class SearchService:
                 key=lambda i: (self._records[i].request.arrival_s, i),
             )
         )
-        queue: deque[RequestRecord] = deque()
+        # Per-priority-class wait queues.  With every request in the
+        # default ``standard`` class this is exactly the legacy
+        # single FIFO; with classes, dequeue order is strict priority
+        # (interactive first), FIFO within class -- or earliest
+        # deadline first within class when an overload policy is on.
+        queues: "dict[str, deque[RequestRecord]]" = {
+            name: deque() for name in PRIORITY_CLASSES
+        }
         active: dict[str, _Active] = {}
         gen_pool = GeneratorPool()
+        policy = self.overload
 
-        while arrivals or queue or active:
-            now = self.clock.now
-            # Idle service: jump to the next arrival.
-            if not active and not queue and arrivals:
-                next_arrival = self._records[arrivals[0]].request.arrival_s
-                if next_arrival > now:
-                    self.clock.advance_to(next_arrival)
-                    now = self.clock.now
+        def queued_total() -> int:
+            return sum(len(q) for q in queues.values())
 
-            # Admission: activate, queue, or reject in arrival order.
-            while (
-                arrivals
-                and self._records[arrivals[0]].request.arrival_s <= now
-            ):
-                record = self._records[arrivals.popleft()]
-                if len(active) < self.max_active:
-                    self._activate(record, active, gen_pool)
-                elif len(queue) < self.max_queue:
-                    record.status = QUEUED
-                    queue.append(record)
-                else:
-                    record.status = REJECTED
-                    record.finish_s = now
-                    self._journal_terminal(record)
-            while queue and len(active) < self.max_active:
-                record = queue.popleft()
+        def pop_next() -> RequestRecord | None:
+            for name in PRIORITY_CLASSES:
+                q = queues[name]
+                if not q:
+                    continue
+                if policy is None:
+                    return q.popleft()
+                best = min(
+                    range(len(q)),
+                    key=lambda k: (
+                        q[k].request.absolute_deadline_s
+                        if q[k].request.absolute_deadline_s
+                        is not None
+                        else float("inf"),
+                        q[k].request.arrival_s,
+                        k,
+                    ),
+                )
+                record = q[best]
+                del q[best]
+                return record
+            return None
+
+        def evict_for(priority: str) -> RequestRecord | None:
+            """The queued request a full queue sacrifices to admit a
+            higher-priority arrival: the worst (latest-deadline)
+            member of the lowest-priority non-empty class strictly
+            below ``priority``."""
+            rank = CLASS_RANK[priority]
+            for name in reversed(PRIORITY_CLASSES):
+                if CLASS_RANK[name] <= rank:
+                    return None
+                q = queues[name]
+                if not q:
+                    continue
+                worst = max(
+                    range(len(q)),
+                    key=lambda k: (
+                        q[k].request.absolute_deadline_s
+                        if q[k].request.absolute_deadline_s
+                        is not None
+                        else float("inf"),
+                        q[k].request.arrival_s,
+                        k,
+                    ),
+                )
+                record = q[worst]
+                del q[worst]
+                return record
+            return None
+
+        def drain(now: float) -> None:
+            while queued_total() and len(active) < self.max_active:
+                record = pop_next()
                 deadline = record.request.absolute_deadline_s
                 if (
                     self.enforce_deadlines
                     and deadline is not None
                     and now >= deadline
                 ):
-                    record.status = MISSED
-                    record.finish_s = now
-                    self._journal_terminal(record)
+                    self._reject(record, MISSED)
                     continue
                 self._activate(record, active, gen_pool)
+
+        while arrivals or queued_total() or active:
+            now = self.clock.now
+            # Idle service: jump to the next arrival.
+            if not active and not queued_total() and arrivals:
+                next_arrival = self._records[arrivals[0]].request.arrival_s
+                if next_arrival > now:
+                    self.clock.advance_to(next_arrival)
+                    now = self.clock.now
+
+            # Admission: activate, queue, shed, or reject in arrival
+            # order.  Under a policy every arrival goes through the
+            # class queues (no queue-jumping past waiting tenants);
+            # without one, arrivals grab free slots directly -- the
+            # legacy path, bit-for-bit.
+            while (
+                arrivals
+                and self._records[arrivals[0]].request.arrival_s <= now
+            ):
+                record = self._records[arrivals.popleft()]
+                priority = record.request.priority
+                level = (
+                    self.controller.level
+                    if self.controller is not None
+                    else 0
+                )
+                if policy is not None and policy.sheds(
+                    level, priority
+                ):
+                    self._reject(record, SHED)
+                elif policy is None and len(active) < self.max_active:
+                    self._activate(record, active, gen_pool)
+                elif queued_total() < self.max_queue:
+                    record.status = QUEUED
+                    queues[priority].append(record)
+                elif policy is not None:
+                    victim = evict_for(priority)
+                    if victim is not None:
+                        # A full queue sheds its worst lower-class
+                        # member to admit the better arrival.
+                        self._reject(victim, SHED)
+                        record.status = QUEUED
+                        queues[priority].append(record)
+                    else:
+                        self._reject(record, SHED)
+                else:
+                    self._reject(record, REJECTED)
+            drain(now)
 
             # Deadline enforcement at the tick boundary.
             if self.enforce_deadlines:
@@ -528,6 +723,52 @@ class SearchService:
                 elif now >= slot.outcome.ready_s:
                     self._finish(slot.record, active, result=slot.result)
 
+            # Overload control: one pressure observation per
+            # scheduling round drives the hysteresis ladder; at the
+            # shedding rungs, waiting and not-yet-launched work of
+            # sheddable classes is dropped with an explicit SHED (a
+            # cancelled generator leaves the pool, an in-flight lease
+            # is abandoned -- lease accounting always drains).  The
+            # autoscaler watches the same signals on its own cadence.
+            if self._ratio_window is not None:
+                ratio_p99 = (
+                    percentile(list(self._ratio_window), 99)
+                    if self._ratio_window
+                    else 0.0
+                )
+                queue_frac = (
+                    queued_total() / self.max_queue
+                    if self.max_queue > 0
+                    else (1.0 if queued_total() else 0.0)
+                )
+                if self.controller is not None:
+                    pressure = max(
+                        queue_frac / policy.queue_high,
+                        ratio_p99 / policy.headroom_high,
+                    )
+                    level = self.controller.observe(pressure)
+                    shed_rank = policy.shed_rank(level)
+                    if shed_rank is not None:
+                        for name in PRIORITY_CLASSES:
+                            if CLASS_RANK[name] < shed_rank:
+                                continue
+                            q = queues[name]
+                            while q:
+                                self._reject(q.popleft(), SHED)
+                        for slot in list(active.values()):
+                            req = slot.record.request
+                            if (
+                                CLASS_RANK[req.priority] >= shed_rank
+                                and slot.outcome is None
+                                and slot.result is None
+                            ):
+                                self._shed(
+                                    slot.record, active, gen_pool
+                                )
+                        drain(now)
+                if self.autoscaler is not None:
+                    self.autoscaler.step(now, ratio_p99, queue_frac)
+
             # Fusion-aware admission (opt-in): a request whose deadline
             # is inside even the cheapest possible merged tick cannot
             # finish this tick -- miss it now instead of packing its
@@ -541,11 +782,23 @@ class SearchService:
                     self.batcher.tick_floor_s() + self.tick_overhead_s
                 )
                 for rid in gen_pool.pending:
-                    deadline = active[
-                        rid
-                    ].record.request.absolute_deadline_s
+                    record = active[rid].record
+                    deadline = record.request.absolute_deadline_s
                     if deadline is not None and now + floor > deadline:
-                        self._miss(active[rid].record, active, gen_pool)
+                        # Under an escalated overload policy a doomed
+                        # non-interactive request is an explicit shed
+                        # (the controller chose to drop it mid-tick,
+                        # before its lanes hit the fused launch), not
+                        # a silent miss.
+                        if (
+                            policy is not None
+                            and self.controller.level >= 1
+                            and record.request.priority
+                            != "interactive"
+                        ):
+                            self._shed(record, active, gen_pool)
+                        else:
+                            self._miss(record, active, gen_pool)
 
             pending = gen_pool.pending
             if not pending:
@@ -802,6 +1055,26 @@ class SearchService:
             quarantined_trees=quarantined,
             journal_corrupt=self.journal_corrupt_records,
             checkpoint_corrupt=self.corrupt_checkpoints,
+            peak_overload_level=(
+                self.controller.peak_level
+                if self.controller is not None
+                else 0
+            ),
+            scale_ups=(
+                self.autoscaler.scale_ups
+                if self.autoscaler is not None
+                else 0
+            ),
+            scale_downs=(
+                self.autoscaler.scale_downs
+                if self.autoscaler is not None
+                else 0
+            ),
+            peak_devices=(
+                self.autoscaler.peak_devices
+                if self.autoscaler is not None
+                else 0
+            ),
         )
 
 

@@ -155,10 +155,11 @@ def _zipf_cdf(pool: int, skew: float) -> list[float]:
     return cdf
 
 
-def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
-    """The workload: ``n_requests`` mixed searches, fully determined
-    by ``config`` (and therefore by its seed)."""
-    requests = []
+def shape_tables(config: WorkloadConfig) -> tuple[dict, list[float]]:
+    """The per-game position pools and Zipf CDF one workload shape
+    draws from.  Shared with the open-loop trace generator
+    (:mod:`repro.serve.overload`), which reuses this machinery for
+    request *shape* while supplying its own arrival process."""
     pool = config.effective_position_pool
     positions = (
         {
@@ -169,24 +170,48 @@ def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
         else {}
     )
     cdf = _zipf_cdf(pool, config.position_skew) if pool else []
+    return positions, cdf
+
+
+def shape_request(
+    config: WorkloadConfig,
+    i: int,
+    positions: dict,
+    cdf: list[float],
+) -> tuple:
+    """``(game, engine, budget_s, state)`` of request ``i`` under
+    ``config``'s shape machinery (game/engine cycling, Zipf position
+    skew, backend/playout rewriting)."""
+    pool = config.effective_position_pool
+    game = config.games[i % len(config.games)]
+    engine = config.engines[i % len(config.engines)]
+    state = None
+    if pool:
+        u = derive_seed(config.seed, "zipf", i) / 2.0**64
+        rank = min(bisect.bisect_left(cdf, u), pool - 1)
+        state = positions[game][rank]
+    if config.backend != "node" or config.playout != "numpy":
+        # An explicit @node/@arena/@compiled in the spec wins --
+        # and is kept verbatim so request strings stay stable.
+        spec = EngineSpec.coerce(engine)
+        rewritten = with_playout(
+            with_backend(spec, config.backend), config.playout
+        )
+        if rewritten is not spec:
+            engine = rewritten.canonical()
+    budget = DEFAULT_BUDGETS[game] * config.budget_scale
+    return game, engine, budget, state
+
+
+def make_workload(config: WorkloadConfig) -> list[SearchRequest]:
+    """The workload: ``n_requests`` mixed searches, fully determined
+    by ``config`` (and therefore by its seed)."""
+    requests = []
+    positions, cdf = shape_tables(config)
     for i in range(config.n_requests):
-        game = config.games[i % len(config.games)]
-        engine = config.engines[i % len(config.engines)]
-        state = None
-        if pool:
-            u = derive_seed(config.seed, "zipf", i) / 2.0**64
-            rank = min(bisect.bisect_left(cdf, u), pool - 1)
-            state = positions[game][rank]
-        if config.backend != "node" or config.playout != "numpy":
-            # An explicit @node/@arena/@compiled in the spec wins --
-            # and is kept verbatim so request strings stay stable.
-            spec = EngineSpec.coerce(engine)
-            rewritten = with_playout(
-                with_backend(spec, config.backend), config.playout
-            )
-            if rewritten is not spec:
-                engine = rewritten.canonical()
-        budget = DEFAULT_BUDGETS[game] * config.budget_scale
+        game, engine, budget, state = shape_request(
+            config, i, positions, cdf
+        )
         requests.append(
             SearchRequest(
                 request_id=f"{config.id_prefix}{i:03d}",

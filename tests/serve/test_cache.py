@@ -151,3 +151,40 @@ def test_hit_rate_and_coerce(game, state):
         ResultCache.coerce(3.14)
     with pytest.raises(ValueError):
         ResultCache(ttl_s=0.0)
+
+
+def test_stale_hits_counted_not_refused(game, state):
+    # Non-stationary traffic: a hit past stale_after_s is still
+    # served (it has not expired) but counted, so hit-rate claims
+    # on diurnal traces stay honest.
+    cache = ResultCache(ttl_s=10.0, stale_after_s=0.5)
+    key = key_of(game, state)
+    cache.insert(key, state, result_for(game, state), now_s=0.0)
+    fresh = cache.lookup(key, 0.4)
+    assert fresh is not None
+    assert cache.stale_hits == 0
+    stale = cache.lookup(key, 0.9)
+    assert stale is not None
+    assert stale.result is fresh.result
+    assert cache.stale_hits == 1
+    assert cache.hits == 2
+    with pytest.raises(ValueError):
+        ResultCache(stale_after_s=0.0)
+
+
+def test_sweep_ages_out_without_counting_misses(game, state):
+    cache = ResultCache(ttl_s=1.0)
+    other = game.apply(state, 4)
+    cache.insert(key_of(game, state), state, result_for(game, state), now_s=0.0)
+    cache.insert(
+        key_of(game, other), other, result_for(game, other), now_s=0.8
+    )
+    assert len(cache) == 2
+    # At t=1.5 only the t=0.0 entry is past its TTL.
+    assert cache.sweep(1.5) == 1
+    assert len(cache) == 1
+    assert cache.expirations == 1
+    assert cache.misses == 0  # sweep is not a lookup
+    assert cache.lookup(key_of(game, other), 1.5) is not None
+    # No TTL -> sweep is a no-op.
+    assert ResultCache().sweep(100.0) == 0

@@ -466,3 +466,79 @@ def test_report_before_run_raises():
     cluster = ClusterRouter(n_shards=1)
     with pytest.raises(ServiceError):
         cluster.report()
+
+
+# -- failure-domain-aware replica placement ----------------------------------
+
+
+class TestFailureDomains:
+    def test_default_domains_are_legacy_identical(self):
+        # domains=None (one domain per shard) must not change a
+        # single placement decision vs the pre-domain ring.
+        legacy = HashRing(8, seed=3)
+        explicit = HashRing(8, seed=3, domains=tuple(range(8)))
+        for key in range(0, 2**64, 2**58):
+            assert legacy.shards_for(key, 3) == explicit.shards_for(
+                key, 3
+            )
+        assert legacy.replica_collisions == 0
+        assert explicit.replica_collisions == 0
+
+    def test_replicas_span_distinct_domains(self):
+        # 8 shards racked into 4 domains: 3 replicas must land in 3
+        # different domains, for every key.
+        domains = tuple(i % 4 for i in range(8))
+        ring = HashRing(8, seed=3, domains=domains)
+        for key in range(0, 2**64, 2**57):
+            owners = ring.shards_for(key, 3)
+            assert len(owners) == len(set(owners)) == 3
+            assert len({domains[s] for s in owners}) == 3
+        assert ring.replica_collisions == 0
+
+    def test_fewer_domains_than_replicas_degrades_and_counts(self):
+        # 4 shards in 2 domains cannot place 3 domain-distinct
+        # replicas: the ring falls back to distinct shards (never
+        # fewer replicas) and counts each violation.
+        ring = HashRing(4, seed=1, domains=(0, 0, 1, 1))
+        owners = ring.shards_for(123, 3)
+        assert len(owners) == len(set(owners)) == 3
+        assert ring.replica_collisions >= 1
+
+    def test_rejects_wrong_domain_length(self):
+        with pytest.raises(ValueError):
+            HashRing(4, domains=(0, 1))
+
+    def test_cluster_pins_zero_collisions_with_enough_domains(self):
+        cluster = ClusterRouter(
+            n_shards=4,
+            replicas=3,
+            seed=2,
+            cache=None,
+            failure_domains=(0, 1, 2, 3),
+        )
+        cluster.submit_all(mixed_requests(6))
+        records = cluster.run()
+        assert cluster.report().replica_collisions == 0
+        for r in records:
+            assert (
+                r.result.extras["cluster.replica_collisions"] == 0
+            )
+
+    def test_cluster_counts_collisions_with_too_few_domains(self):
+        cluster = ClusterRouter(
+            n_shards=4,
+            replicas=3,
+            seed=2,
+            cache=None,
+            failure_domains=(0, 0, 1, 1),
+        )
+        cluster.submit_all(mixed_requests(6))
+        records = cluster.run()
+        report = cluster.report()
+        # Every request needs 3 replicas over 2 domains: at least
+        # one violation each.
+        assert report.replica_collisions >= len(records)
+        assert any(
+            r.result.extras["cluster.replica_collisions"] >= 1
+            for r in records
+        )
