@@ -31,6 +31,18 @@ undefended; seeded storms must replay bit-identically; a cluster
 storm with a mid-storm shard crash must still serve every request
 exactly once.  Measured numbers are recorded in
 ``benchmarks/REPORT_overload.md``.
+
+The retry-storm tier (``--retry-storm``, CI gate ``--retry-storm
+--smoke``) measures the closed-loop client layer from
+repro.serve.clients: the same seeded flash crowd with retrying
+clients must leave the *undefended* node metastably trapped (offered
+load stays above goodput long after the crowd clears) while the
+*defended* stack -- degradation ladder + server-side retry budget +
+per-client circuit breakers + adaptive throttling -- recovers
+post-crowd interactive attainment to >= 95%; both runs replay
+bit-identically, and a hedged cluster storm with a mid-storm shard
+crash still serves every request exactly once.  Measured numbers are
+recorded in ``benchmarks/REPORT_retrystorm.md``.
 """
 
 import sys
@@ -47,6 +59,7 @@ from repro.serve import (
     TraceConfig,
     WorkloadConfig,
     make_workload,
+    post_crowd_attainment,
     run_cluster_storm,
     run_storm,
 )
@@ -427,6 +440,233 @@ def render_storm_comparison(defended, undefended) -> str:
     )
 
 
+@dataclass(frozen=True)
+class RetryStormBenchConfig:
+    """Operating point for the retry-storm (metastability) gate.
+
+    Calibrated so the *base* load is comfortably sustainable (all
+    classes at 100% attainment with no crowd -- the healthy
+    equilibrium exists) while a 10x flash crowd plus aggressive
+    client retries tips the undefended node into the bad
+    equilibrium: queue wait blows every deadline, each miss mints a
+    retry, and offered load stays pinned above goodput long after
+    the crowd has cleared.  Deadlines sit just above the healthy
+    p99, so the trap is queue delay -- not an unmeetable SLO.
+    """
+
+    base_rate: float = 150.0
+    horizon_s: float = 1.0
+    crowd_start_s: float = 0.1
+    crowd_duration_s: float = 0.3
+    crowd: float = 10.0
+    budget_scale: float = 0.25
+    n_devices: int = 2
+    max_active: int = 16
+    max_queue: int = 64
+    #: Detector grace after crowd end before the post-crowd window.
+    settle_s: float = 0.1
+    seed: int = 11
+
+    def clear_s(self) -> float:
+        return self.crowd_start_s + self.crowd_duration_s
+
+    def trace(self, crowd: bool = True) -> TraceConfig:
+        components = (
+            (
+                FlashCrowd(
+                    start_s=self.crowd_start_s,
+                    duration_s=self.crowd_duration_s,
+                    multiplier=self.crowd,
+                ),
+            )
+            if crowd
+            else ()
+        )
+        return TraceConfig(
+            base_rate=self.base_rate,
+            horizon_s=self.horizon_s,
+            seed=self.seed,
+            components=components,
+            class_deadline_s=(
+                ("interactive", 0.1),
+                ("standard", 0.2),
+                ("batch", 0.4),
+            ),
+            workload=WorkloadConfig(
+                seed=self.seed,
+                engines=("sequential", "root:2"),
+                budget_scale=self.budget_scale,
+            ),
+        )
+
+    def retry_policy(self) -> dict:
+        """Aggressive-but-bounded client retries: short exponential
+        backoff, 10 attempts, multi-second patience -- enough
+        feedback gain to sustain the trap."""
+        return dict(
+            kind="exponential",
+            base_s=0.02,
+            cap_s=0.16,
+            jitter=0.3,
+            max_attempts=10,
+            give_up_s=(
+                ("interactive", 2.0),
+                ("standard", 3.0),
+                ("batch", 4.0),
+            ),
+        )
+
+    def clients(self, defended: bool) -> dict:
+        clients = dict(retry=self.retry_policy(), seed=self.seed)
+        if defended:
+            clients["breaker"] = dict(
+                failure_threshold=5, reset_timeout_s=0.1
+            )
+            clients["throttle"] = dict(k=1.5, window=64)
+        return clients
+
+    def detector(self) -> dict:
+        return dict(
+            bin_s=0.05,
+            settle_s=self.settle_s,
+            goodput_frac=0.5,
+            min_offered_rate=40.0,
+        )
+
+    def storm_config(
+        self, defended: bool, crowd: bool = True
+    ) -> StormConfig:
+        return StormConfig(
+            trace=self.trace(crowd=crowd),
+            n_devices=self.n_devices,
+            max_active=self.max_active,
+            max_queue=self.max_queue,
+            seed=self.seed,
+            # The ladder is tuned to *let go* quickly once pressure
+            # clears (small window, early release) -- a sticky ladder
+            # is itself a metastable state.
+            overload=(
+                dict(
+                    max_level=3,
+                    window=16,
+                    release=0.6,
+                    deescalate_after=3,
+                )
+                if defended
+                else None
+            ),
+            clients=self.clients(defended),
+            retry_budget=(
+                dict(fill_per_first_try=0.1, cap=10.0, initial=2.0)
+                if defended
+                else None
+            ),
+            detector=self.detector(),
+        )
+
+    @staticmethod
+    def for_tier(tier: str | None = None) -> "RetryStormBenchConfig":
+        resolve_tier(tier)
+        return RetryStormBenchConfig()
+
+
+def run_retry_storm_defended(cfg: RetryStormBenchConfig):
+    """Closed-loop crowd vs the full defense stack: degradation
+    ladder + retry budget + circuit breakers + adaptive throttle."""
+    return run_storm(cfg.storm_config(defended=True))
+
+
+def run_retry_storm_undefended(cfg: RetryStormBenchConfig):
+    """Same trace and clients, no admission control or defenses."""
+    return run_storm(cfg.storm_config(defended=False))
+
+
+def run_retry_storm_healthy(cfg: RetryStormBenchConfig):
+    """The base load alone (no crowd, no defenses): must be healthy,
+    proving the trap is metastability and not plain overload."""
+    return run_storm(cfg.storm_config(defended=False, crowd=False))
+
+
+def run_retry_storm_hedged_kill(cfg: RetryStormBenchConfig):
+    """A hedged cluster storm whose second epoch kills shard 0
+    mid-crowd: hedged backups and journal recovery must compose --
+    every request served exactly once, all leases drained."""
+    trace = cfg.trace()
+    with tempfile.TemporaryDirectory() as journal_dir:
+        return run_cluster_storm(
+            ClusterStormConfig(
+                trace=trace,
+                epochs=2,
+                initial_shards=2,
+                seed=cfg.seed,
+                journal_dir=journal_dir,
+                crash_epoch=1,
+                hedge=dict(trigger_percentile=90.0),
+                service_kwargs=(
+                    ("n_devices", cfg.n_devices),
+                    ("max_active", 8),
+                    ("overload", True),
+                ),
+            )
+        )
+
+
+def render_retry_storm(healthy, undefended, defended, clear_s) -> str:
+    from repro.util.tables import format_series
+
+    def column(out):
+        rep = out.report
+        verdict = out.metastability
+        pc = post_crowd_attainment(out.records, clear_s)
+        return [
+            str(rep.first_tries),
+            str(rep.retries_offered),
+            str(rep.completed),
+            str(rep.missed),
+            str(rep.rejected),
+            str(rep.shed),
+            f"{out.attainment('interactive') * 100:.0f}%",
+            f"{pc * 100:.0f}%",
+            "TRAPPED" if verdict.trapped else "recovered",
+            str(verdict.trapped_bins),
+            f"{verdict.goodput_ratio:.2f}",
+            str(rep.breaker_opens),
+            str(rep.budget_rejected),
+            str(rep.client_suppressed_breaker),
+            str(rep.client_suppressed_throttle),
+        ]
+
+    return format_series(
+        "metric",
+        [
+            "first tries",
+            "retries offered",
+            "completed",
+            "missed",
+            "rejected",
+            "shed",
+            "interactive SLO (all)",
+            "interactive SLO (post-crowd)",
+            "metastability verdict",
+            "trapped bins (consecutive)",
+            "post-crowd goodput/offered",
+            "breaker opens",
+            "budget-rejected retries",
+            "suppressed (breaker)",
+            "suppressed (throttle)",
+        ],
+        {
+            "healthy (no crowd)": column(healthy),
+            "undefended": column(undefended),
+            "defended": column(defended),
+        },
+        title=(
+            "retry storm: 10x flash crowd with closed-loop clients "
+            "(repro.serve.clients)"
+        ),
+    )
+
+
 def run_concurrent(cfg: ServeBenchConfig, n_requests: int | None = None):
     """Serve ``n_requests`` concurrently over the shared pool."""
     workload = make_workload(
@@ -754,6 +994,158 @@ def test_storm_cluster_shard_crash_exactly_once(run_once):
     assert outcome.mean_mttr_s > 0
 
 
+def test_retry_storm_metastable_differential(run_once):
+    """The closed-loop tentpole's headline: with retrying clients the
+    undefended node stays trapped after the crowd clears, while the
+    defended stack recovers post-crowd interactive attainment -- and
+    the base load alone is provably healthy, so the trap is
+    metastability, not plain overload."""
+    cfg = RetryStormBenchConfig.for_tier()
+
+    def compare():
+        return (
+            run_retry_storm_healthy(cfg),
+            run_retry_storm_undefended(cfg),
+            run_retry_storm_defended(cfg),
+        )
+
+    healthy, undefended, defended = run_once(compare)
+    clear_s = cfg.clear_s() + cfg.settle_s
+    print()
+    print(
+        render_retry_storm(healthy, undefended, defended, clear_s)
+    )
+    # The healthy equilibrium exists: base load alone meets every SLO
+    # and generates no retries.
+    assert healthy.attainment("interactive") >= 0.99
+    assert healthy.report.retries_offered == 0
+    assert not healthy.metastability.trapped
+    # Undefended: the trigger is gone but the bad equilibrium
+    # remains -- sustained trapped bins, goodput pinned below
+    # offered, fresh post-crowd interactive work still failing.
+    assert undefended.metastability.trapped
+    assert undefended.report.retries_offered > 1000
+    assert post_crowd_attainment(undefended.records, clear_s) < 0.50
+    # Defended: same trace, same clients -- the budget + breakers +
+    # throttle collapse the retry flood and the node escapes.
+    assert not defended.metastability.trapped
+    assert post_crowd_attainment(defended.records, clear_s) >= 0.95
+    assert defended.report.retries_offered < (
+        undefended.report.retries_offered // 4
+    )
+    # Each defense layer demonstrably engaged.
+    assert defended.report.budget_rejected > 0
+    assert defended.report.breaker_opens > 0
+    assert defended.report.client_suppressed_breaker > 0
+    assert defended.report.client_suppressed_throttle > 0
+    for outcome in (healthy, undefended, defended):
+        for stats in outcome.per_class.values():
+            assert stats.offered == (
+                stats.met + stats.degraded + stats.shed
+                + stats.rejected + stats.missed
+            )
+
+
+def test_retry_storm_replay_bit_identical(run_once):
+    """Closed-loop storms -- retries, breakers, jitter and all --
+    replay bit-identically from one seed, on both sides of the
+    differential."""
+    cfg = RetryStormBenchConfig.for_tier()
+
+    def replay():
+        return (
+            run_retry_storm_undefended(cfg),
+            run_retry_storm_undefended(cfg),
+            run_retry_storm_defended(cfg),
+            run_retry_storm_defended(cfg),
+        )
+
+    u1, u2, d1, d2 = run_once(replay)
+    assert storm_fingerprint(u1) == storm_fingerprint(u2)
+    assert storm_fingerprint(d1) == storm_fingerprint(d2)
+    assert storm_fingerprint(u1) != storm_fingerprint(d1)
+
+
+def test_retry_storm_hedged_cluster_crash_exactly_once(run_once):
+    """Hedged backups compose with mid-storm crash recovery: every
+    request ends in exactly one explicit terminal outcome (the
+    run_cluster_storm harness asserts explicit outcomes and each
+    shard asserts its leases drained)."""
+    cfg = RetryStormBenchConfig.for_tier()
+    outcome = run_once(run_retry_storm_hedged_kill, cfg)
+    rids = [r.request.request_id for r in outcome.records]
+    assert len(rids) == len(set(rids)), "request served twice"
+    assert len(rids) == len(outcome.requests), "request lost"
+    assert outcome.crashes == 1
+    assert outcome.recoveries == 1
+    assert sum(r.hedges_fired for r in outcome.reports) > 0
+
+
+def _retry_storm_main(smoke: bool) -> int:  # pragma: no cover
+    cfg = RetryStormBenchConfig.for_tier("quick" if smoke else None)
+    healthy = run_retry_storm_healthy(cfg)
+    undefended = run_retry_storm_undefended(cfg)
+    defended = run_retry_storm_defended(cfg)
+    clear_s = cfg.clear_s() + cfg.settle_s
+    print(render_retry_storm(healthy, undefended, defended, clear_s))
+    if healthy.attainment("interactive") < 0.99:
+        print("FAIL: base load alone is not healthy")
+        return 1
+    if not undefended.metastability.trapped:
+        print(
+            "FAIL: undefended node is not metastably trapped -- "
+            "the storm is not igniting"
+        )
+        return 1
+    u_pc = post_crowd_attainment(undefended.records, clear_s)
+    if u_pc >= 0.50:
+        print(
+            f"FAIL: undefended post-crowd interactive {u_pc:.1%} "
+            f">= 50%"
+        )
+        return 1
+    if defended.metastability.trapped:
+        print("FAIL: defended node is still trapped post-crowd")
+        return 1
+    d_pc = post_crowd_attainment(defended.records, clear_s)
+    if d_pc < 0.95:
+        print(
+            f"FAIL: defended post-crowd interactive {d_pc:.1%} "
+            f"< 95%"
+        )
+        return 1
+    replay = run_retry_storm_undefended(cfg)
+    if storm_fingerprint(replay) != storm_fingerprint(undefended):
+        print("FAIL: retry storm replay is not bit-identical")
+        return 1
+    kill = run_retry_storm_hedged_kill(cfg)
+    rids = [r.request.request_id for r in kill.records]
+    if len(rids) != len(set(rids)) or len(rids) != len(kill.requests):
+        print("FAIL: hedged shard crash lost or duplicated requests")
+        return 1
+    if kill.crashes != 1 or kill.recoveries != 1:
+        print(
+            f"FAIL: expected one crash+recovery, got "
+            f"{kill.crashes}/{kill.recoveries}"
+        )
+        return 1
+    hedges = sum(r.hedges_fired for r in kill.reports)
+    print(
+        f"hedged cluster storm: {len(kill.records)} requests, "
+        f"{hedges} hedges fired, {kill.crashes} crash, "
+        f"MTTR {kill.mean_mttr_s:.4f}s"
+    )
+    if smoke:
+        print(
+            f"smoke OK: post-crowd interactive {d_pc:.0%} defended "
+            f"vs {u_pc:.0%} undefended (trapped "
+            f"{undefended.metastability.trapped_bins} bins); replay "
+            f"bit-identical; hedged mid-storm shard crash recovered "
+            f"exactly-once"
+        )
+    return 0
+
+
 def _storm_main(smoke: bool) -> int:  # pragma: no cover
     cfg = StormBenchConfig.for_tier("quick" if smoke else None)
     defended = run_storm_defended(cfg)
@@ -840,6 +1232,10 @@ def _cluster_main(smoke: bool) -> int:  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover
+    if "--retry-storm" in sys.argv[1:]:
+        sys.exit(
+            _retry_storm_main(smoke="--smoke" in sys.argv[1:])
+        )
     if "--storm" in sys.argv[1:]:
         sys.exit(_storm_main(smoke="--smoke" in sys.argv[1:]))
     if "--cluster" in sys.argv[1:]:

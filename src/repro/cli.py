@@ -98,6 +98,24 @@ def _cmd_devices(_args) -> int:
     return 0
 
 
+def _budget_scale(args, default: float) -> float:
+    """--budget-scale with a per-mode default (the retry-storm
+    operating point is calibrated at 0.25; everything else at 1.0)."""
+    return default if args.budget_scale is None else args.budget_scale
+
+
+def _devices(args, default: int) -> int:
+    """--devices with a per-mode default (the retry-storm operating
+    point is calibrated at 2 devices; everything else at 4)."""
+    return default if args.devices is None else args.devices
+
+
+def _max_active(args, default: int) -> int:
+    """--max-active with a per-mode default (the retry-storm
+    operating point is calibrated at 16; everything else at 64)."""
+    return default if args.max_active is None else args.max_active
+
+
 def _cmd_serve_bench_storm(args) -> int:
     from repro.serve import (
         FlashCrowd,
@@ -108,25 +126,29 @@ def _cmd_serve_bench_storm(args) -> int:
     )
 
     t0 = time.perf_counter()
-    horizon = args.storm_horizon
+    horizon = (
+        0.6 if args.storm_horizon is None else args.storm_horizon
+    )
+    rate = 450.0 if args.storm_rate is None else args.storm_rate
+    crowd = 4.0 if args.storm_crowd is None else args.storm_crowd
     workload = WorkloadConfig(
         seed=args.seed,
         engines=("sequential", "root:2"),
-        budget_scale=args.budget_scale,
+        budget_scale=_budget_scale(args, 1.0),
         backend=args.backend,
         playout=args.playout,
         position_skew=args.skew,
         position_pool=args.position_pool,
     )
     trace = TraceConfig(
-        base_rate=args.storm_rate,
+        base_rate=rate,
         horizon_s=horizon,
         seed=args.seed,
         components=(
             FlashCrowd(
                 start_s=horizon * 0.15,
                 duration_s=horizon * 0.5,
-                multiplier=args.storm_crowd,
+                multiplier=crowd,
             ),
         ),
         class_deadline_s=(
@@ -144,8 +166,8 @@ def _cmd_serve_bench_storm(args) -> int:
     outcome = run_storm(
         StormConfig(
             trace=trace,
-            n_devices=args.devices,
-            max_active=args.max_active,
+            n_devices=_devices(args, 4),
+            max_active=_max_active(args, 64),
             seed=args.seed,
             overload=None if args.no_overload else True,
             autoscale=autoscale,
@@ -156,7 +178,7 @@ def _cmd_serve_bench_storm(args) -> int:
     defended = "undefended" if args.no_overload else "defended"
     print(
         f"--- storm: {len(outcome.requests)} arrivals over "
-        f"{horizon:.2f}s, {args.storm_crowd:.0f}x flash crowd, "
+        f"{horizon:.2f}s, {crowd:.0f}x flash crowd, "
         f"{defended} ---"
     )
     print(outcome.report.render(f"storm run ({defended})"))
@@ -165,6 +187,129 @@ def _cmd_serve_bench_storm(args) -> int:
             f"crashes: {outcome.crashes}  recoveries: "
             f"{outcome.recoveries}  MTTR: {outcome.mttr_s:.4f}s"
         )
+    print(
+        f"[serve-bench took {time.perf_counter() - t0:.1f}s wall]"
+    )
+    return 0
+
+
+def _cmd_serve_bench_retry_storm(args) -> int:
+    from repro.serve import (
+        FlashCrowd,
+        StormConfig,
+        TraceConfig,
+        WorkloadConfig,
+        post_crowd_attainment,
+        run_storm,
+    )
+
+    t0 = time.perf_counter()
+    # Calibrated retry-storm operating point (see
+    # benchmarks/REPORT_retrystorm.md): base load sustainable, crowd
+    # 10x, deadlines just above the healthy tail.
+    horizon = (
+        1.0 if args.storm_horizon is None else args.storm_horizon
+    )
+    rate = 150.0 if args.storm_rate is None else args.storm_rate
+    crowd = 10.0 if args.storm_crowd is None else args.storm_crowd
+    crowd_start = horizon * 0.1
+    crowd_duration = horizon * 0.3
+    trace = TraceConfig(
+        base_rate=rate,
+        horizon_s=horizon,
+        seed=args.seed,
+        components=(
+            FlashCrowd(
+                start_s=crowd_start,
+                duration_s=crowd_duration,
+                multiplier=crowd,
+            ),
+        ),
+        class_deadline_s=(
+            ("interactive", 0.1),
+            ("standard", 0.2),
+            ("batch", 0.4),
+        ),
+        workload=WorkloadConfig(
+            seed=args.seed,
+            engines=("sequential", "root:2"),
+            budget_scale=_budget_scale(args, 0.25),
+            backend=args.backend,
+            playout=args.playout,
+        ),
+    )
+    clients = dict(
+        retry=dict(
+            kind=args.retry_kind,
+            base_s=args.retry_base,
+            cap_s=max(args.retry_base * 8, args.retry_base),
+            jitter=0.3,
+            max_attempts=args.retry_attempts,
+            give_up_s=(
+                ("interactive", 2.0),
+                ("standard", 3.0),
+                ("batch", 4.0),
+            ),
+        ),
+        seed=args.seed if args.client_seed is None else args.client_seed,
+    )
+    if not args.no_breaker:
+        clients["breaker"] = dict(
+            failure_threshold=5, reset_timeout_s=0.1
+        )
+    if not args.no_throttle:
+        clients["throttle"] = dict(k=1.5, window=64)
+    outcome = run_storm(
+        StormConfig(
+            trace=trace,
+            n_devices=_devices(args, 2),
+            max_active=_max_active(args, 16),
+            max_queue=64,
+            seed=args.seed,
+            overload=(
+                None
+                if args.no_overload
+                else dict(
+                    max_level=3,
+                    window=16,
+                    release=0.6,
+                    deescalate_after=3,
+                )
+            ),
+            retry_budget=(
+                None
+                if args.no_budget
+                else dict(
+                    fill_per_first_try=0.1, cap=10.0, initial=2.0
+                )
+            ),
+            clients=clients,
+            detector=dict(
+                bin_s=0.05,
+                settle_s=0.1,
+                goodput_frac=0.5,
+                min_offered_rate=40.0,
+            ),
+        )
+    )
+    report = outcome.report
+    defended = "undefended" if args.no_overload else "defended"
+    print(
+        f"--- retry storm: {report.first_tries} first tries + "
+        f"{report.retries_offered} retries over {horizon:.2f}s, "
+        f"{crowd:.0f}x flash crowd, {defended} ---"
+    )
+    print(report.render(f"retry storm ({defended})"))
+    verdict = outcome.metastability
+    clear_s = crowd_start + crowd_duration + 0.1
+    attainment = post_crowd_attainment(outcome.records, clear_s)
+    state = "TRAPPED" if verdict.trapped else "recovered"
+    print(
+        f"metastability: {state} "
+        f"({verdict.trapped_bins} consecutive trapped bins, "
+        f"post-crowd goodput/offered {verdict.goodput_ratio:.2f}, "
+        f"post-crowd interactive SLO {attainment:.0%})"
+    )
     print(
         f"[serve-bench took {time.perf_counter() - t0:.1f}s wall]"
     )
@@ -180,7 +325,7 @@ def _cmd_serve_bench_cluster(args) -> int:
             WorkloadConfig(
                 n_requests=load,
                 seed=args.seed,
-                budget_scale=args.budget_scale,
+                budget_scale=_budget_scale(args, 1.0),
                 deadline_s=args.deadline,
                 backend=args.backend,
                 playout=args.playout,
@@ -194,8 +339,8 @@ def _cmd_serve_bench_cluster(args) -> int:
             seed=args.seed,
             cache=not args.no_cache,
             journal_dir=args.journal,
-            n_devices=args.devices,
-            max_active=args.max_active,
+            n_devices=_devices(args, 4),
+            max_active=_max_active(args, 64),
             faults=args.faults,
             backend=args.backend,
             playout=args.playout,
@@ -223,6 +368,25 @@ def _cmd_serve_bench(args) -> int:
 
     from repro.util.profile import NULL_PROFILER, Profiler
 
+    if args.retry_storm:
+        for flag, name in (
+            (args.resume, "--resume"),
+            (args.trace_out, "--trace-out"),
+            (args.profile, "--profile"),
+            (args.no_defenses, "--no-defenses"),
+            (args.cluster, "--cluster"),
+            (args.storm, "--storm"),
+            (args.faults, "--faults"),
+            (args.journal, "--journal"),
+        ):
+            if flag:
+                print(
+                    f"serve-bench: {name} is not supported with "
+                    f"--retry-storm",
+                    file=sys.stderr,
+                )
+                return 2
+        return _cmd_serve_bench_retry_storm(args)
     if args.storm:
         for flag, name in (
             (args.resume, "--resume"),
@@ -274,8 +438,8 @@ def _cmd_serve_bench(args) -> int:
 
                 integrity = IntegrityPolicy.disabled()
             service_kwargs = dict(
-                n_devices=args.devices,
-                max_active=args.max_active,
+                n_devices=_devices(args, 4),
+                max_active=_max_active(args, 64),
                 seed=args.seed,
                 tracer=tracer,
                 faults=args.faults,
@@ -303,7 +467,7 @@ def _cmd_serve_bench(args) -> int:
                         WorkloadConfig(
                             n_requests=load,
                             seed=args.seed,
-                            budget_scale=args.budget_scale,
+                            budget_scale=_budget_scale(args, 1.0),
                             deadline_s=args.deadline,
                             backend=args.backend,
                             playout=args.playout,
@@ -440,9 +604,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=(64,),
         help="comma-separated offered loads (requests per run)",
     )
-    bench.add_argument("--devices", type=int, default=4)
-    bench.add_argument("--max-active", type=int, default=64)
-    bench.add_argument("--budget-scale", type=float, default=1.0)
+    bench.add_argument("--devices", type=int, default=None)
+    bench.add_argument("--max-active", type=int, default=None)
+    bench.add_argument(
+        "--budget-scale",
+        type=float,
+        default=None,
+        help=(
+            "scale per-request search budgets (default 1.0; "
+            "0.25 with --retry-storm, its calibrated operating "
+            "point)"
+        ),
+    )
     bench.add_argument(
         "--deadline",
         type=float,
@@ -582,23 +755,97 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--storm-rate",
         type=float,
-        default=450.0,
+        default=None,
         metavar="R",
-        help="with --storm: baseline arrival rate (requests/s)",
+        help=(
+            "with --storm / --retry-storm: baseline arrival rate "
+            "(requests/s; default 450 storm, 150 retry-storm)"
+        ),
     )
     bench.add_argument(
         "--storm-horizon",
         type=float,
-        default=0.6,
+        default=None,
         metavar="S",
-        help="with --storm: trace horizon in virtual seconds",
+        help=(
+            "with --storm / --retry-storm: trace horizon in virtual "
+            "seconds (default 0.6 storm, 1.0 retry-storm)"
+        ),
     )
     bench.add_argument(
         "--storm-crowd",
         type=float,
-        default=4.0,
+        default=None,
         metavar="M",
-        help="with --storm: flash-crowd rate multiplier",
+        help=(
+            "with --storm / --retry-storm: flash-crowd rate "
+            "multiplier (default 4 storm, 10 retry-storm)"
+        ),
+    )
+    bench.add_argument(
+        "--retry-storm",
+        action="store_true",
+        help=(
+            "fire a closed-loop retry storm: every shed/rejected/"
+            "missed outcome is retried by seeded clients, and the "
+            "defense stack (ladder + retry budget + breakers + "
+            "throttle) is measured against the metastable trap; see "
+            "docs/overload.md"
+        ),
+    )
+    bench.add_argument(
+        "--retry-kind",
+        choices=("none", "immediate", "fixed", "exponential"),
+        default="exponential",
+        help="with --retry-storm: client backoff kind",
+    )
+    bench.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=10,
+        metavar="N",
+        help="with --retry-storm: max attempts per request lineage",
+    )
+    bench.add_argument(
+        "--retry-base",
+        type=float,
+        default=0.02,
+        metavar="S",
+        help="with --retry-storm: base backoff in virtual seconds",
+    )
+    bench.add_argument(
+        "--client-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --retry-storm: seed for the client population's "
+            "jitter/throttle streams (default: --seed)"
+        ),
+    )
+    bench.add_argument(
+        "--no-breaker",
+        action="store_true",
+        help=(
+            "with --retry-storm: disable the per-client circuit "
+            "breakers"
+        ),
+    )
+    bench.add_argument(
+        "--no-throttle",
+        action="store_true",
+        help=(
+            "with --retry-storm: disable client-side adaptive "
+            "throttling"
+        ),
+    )
+    bench.add_argument(
+        "--no-budget",
+        action="store_true",
+        help=(
+            "with --retry-storm: disable the server-side retry "
+            "budget (token-bucket admission for retries)"
+        ),
     )
     bench.add_argument(
         "--no-overload",

@@ -37,10 +37,24 @@ from repro.serve.cache import (
     cache_key_for,
     screen_result,
 )
+from repro.serve.clients import (
+    AdaptiveThrottle,
+    BreakerConfig,
+    CircuitBreaker,
+    ClientConfig,
+    ClientPopulation,
+    ClientRetryPolicy,
+    MetastabilityDetector,
+    MetastabilityVerdict,
+    RetryBudget,
+    ThrottleConfig,
+    post_crowd_attainment,
+)
 from repro.serve.cluster import (
     ClusterReport,
     ClusterRouter,
     HashRing,
+    HedgePolicy,
     ShardHandle,
 )
 from repro.serve.journal import (
@@ -87,6 +101,10 @@ from repro.serve.request import (
     TERMINAL_STATUSES,
     RequestRecord,
     SearchRequest,
+    attempt_of,
+    lineage_root,
+    retry_id,
+    tenant_of,
 )
 from repro.serve.scheduler import (
     FusedBatcher,
@@ -192,4 +210,20 @@ __all__ = [
     "run_cluster_storm",
     "assert_explicit_outcomes",
     "SilentOutcomeError",
+    "ClientRetryPolicy",
+    "ClientConfig",
+    "ClientPopulation",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "ThrottleConfig",
+    "AdaptiveThrottle",
+    "RetryBudget",
+    "MetastabilityDetector",
+    "MetastabilityVerdict",
+    "post_crowd_attainment",
+    "HedgePolicy",
+    "attempt_of",
+    "lineage_root",
+    "retry_id",
+    "tenant_of",
 ]

@@ -42,6 +42,12 @@ from repro.core.spec import EngineSpec
 from repro.games import make_game
 from repro.games.base import Game, GameState
 
+#: Virtual cost of answering a request from the result cache (lookup
+#: + response serialisation; no search, no device time).  Shared by
+#: the cluster router and the single-service cache path so a hit
+#: costs the same wherever it is served.
+CACHE_HIT_COST_S = 2e-5
+
 
 class CacheKey(NamedTuple):
     """Canonical identity of one search: position + spec + budget."""

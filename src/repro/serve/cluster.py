@@ -61,7 +61,12 @@ from repro.core.results import SearchResult
 from repro.faults import FaultPlan
 from repro.games import make_game
 from repro.games.base import Game
-from repro.serve.cache import CacheKey, ResultCache, cache_key_for
+from repro.serve.cache import (
+    CACHE_HIT_COST_S,
+    CacheKey,
+    ResultCache,
+    cache_key_for,
+)
 from repro.serve.metrics import (
     ClassStats,
     ServiceReport,
@@ -69,6 +74,7 @@ from repro.serve.metrics import (
     class_summary,
     latency_summary,
     outcome_rows,
+    percentile,
     render_metric_rows,
 )
 from repro.serve.request import (
@@ -86,10 +92,6 @@ from repro.serve.service import (
 )
 from repro.util.seeding import derive_seed
 from repro.util.tables import format_series
-
-#: Virtual cost of answering a request from the result cache (router
-#: lookup + response serialisation; no search, no device time).
-CACHE_HIT_COST_S = 2e-5
 
 register_extra_keys(
     "cluster",
@@ -205,6 +207,63 @@ class HashRing:
 
     def shard_for(self, key: int) -> int:
         return self.shards_for(key, 1)[0]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Cluster-level hedged requests (tail-latency defense).
+
+    After the dispatch waves settle, requests whose primary answer
+    was *slow* -- completed past the run's ``trigger_percentile`` of
+    completed latencies -- or missed outright get a **backup** clone
+    fired at ``arrival + trigger`` onto the next distinct shard on
+    the ring (a replica-placement successor, so the backup never
+    lands on the shard that was slow).  The faster side wins; the
+    loser is cancelled and its discarded work accounted as
+    ``hedge_wasted_s``.  The backup's relative deadline shrinks by
+    the trigger delay, preserving the request's absolute deadline --
+    a hedge can rescue a tail request, never extend its SLO.
+
+    Requests whose deadline is inside the trigger are not hedged (the
+    backup would be born dead), and cache-served answers never hedge
+    (there is no search to race).
+    """
+
+    #: Latency percentile of completed requests that arms the hedge.
+    trigger_percentile: float = 95.0
+    #: Floor on the trigger delay (guards degenerate tiny runs).
+    min_delay_s: float = 0.0
+    #: Also hedge requests whose primary missed its deadline.
+    include_missed: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trigger_percentile <= 100.0:
+            raise ValueError(
+                f"trigger_percentile must be in (0, 100]: "
+                f"{self.trigger_percentile}"
+            )
+        if self.min_delay_s < 0:
+            raise ValueError(
+                f"min_delay_s cannot be negative: {self.min_delay_s}"
+            )
+
+    @classmethod
+    def coerce(
+        cls, value: "HedgePolicy | dict | bool | None"
+    ) -> "HedgePolicy | None":
+        """``None``/``False`` -> no hedging; ``True`` -> defaults; a
+        dict -> kwargs; a policy -> itself."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, dict):
+            return cls(**value)
+        if isinstance(value, cls):
+            return value
+        raise TypeError(
+            f"cannot coerce {value!r} into a HedgePolicy"
+        )
 
 
 class ShardHandle:
@@ -328,6 +387,12 @@ class ClusterReport:
     coalesced: int = 0
     #: Replica results whose own move differed from the trimmed vote.
     replica_dissent: int = 0
+    #: Hedged-request accounting (zeros when hedging is off).
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    hedges_cancelled: int = 0
+    hedge_wasted_s: float = 0.0
+    hedge_trigger_s: float = 0.0
     #: Crash-recovery accounting across shards.
     shard_crashes: int = 0
     shard_recoveries: int = 0
@@ -393,6 +458,16 @@ class ClusterReport:
             rows["replica domain collisions"] = str(
                 self.replica_collisions
             )
+        if self.hedges_fired:
+            rows["hedges fired"] = str(self.hedges_fired)
+            rows["hedge wins"] = str(self.hedge_wins)
+            rows["hedges cancelled"] = str(self.hedges_cancelled)
+            rows["hedge trigger (ms)"] = (
+                f"{self.hedge_trigger_s * 1e3:.2f}"
+            )
+            rows["hedge wasted (ms)"] = (
+                f"{self.hedge_wasted_s * 1e3:.2f}"
+            )
         if self.shard_crashes or self.foreign_records:
             rows["shard crashes"] = str(self.shard_crashes)
             rows["shard recoveries"] = str(self.shard_recoveries)
@@ -454,6 +529,7 @@ class ClusterRouter:
         vnodes: int = 64,
         shard_overrides: "dict[int, dict] | None" = None,
         failure_domains: "tuple[int, ...] | list[int] | None" = None,
+        hedge: "HedgePolicy | dict | bool | None" = None,
         **service_kwargs,
     ) -> None:
         if replicas <= 0:
@@ -494,9 +570,18 @@ class ClusterRouter:
             )
             for i in range(n_shards)
         ]
+        self.hedge = HedgePolicy.coerce(hedge)
         self.waves = 0
         self.coalesced = 0
         self.replica_dissent = 0
+        #: Hedging accounting: backups fired, backups that beat their
+        #: primary, completed loser answers cancelled, virtual seconds
+        #: of loser work discarded, and the armed trigger delay.
+        self.hedges_fired = 0
+        self.hedge_wins = 0
+        self.hedges_cancelled = 0
+        self.hedge_wasted_s = 0.0
+        self.hedge_trigger_s = 0.0
         #: Per-request domain-collision counts from ring placement.
         self._collisions: "dict[str, int]" = {}
         self._requests: "list[SearchRequest]" = []
@@ -658,9 +743,127 @@ class ClusterRouter:
                     "cluster dispatch failed to converge"
                 )  # pragma: no cover - defensive
             pending = self._run_wave(pending)
+        if self.hedge is not None:
+            self._run_hedges()
         return [
             self._final[r.request_id] for r in self._requests
         ]
+
+    def _run_hedges(self) -> None:
+        """The hedged-request pass (see :class:`HedgePolicy`): fire
+        backups for tail/missed primaries onto their ring successor,
+        race them against the primaries, keep the winners.  Backups
+        run on fresh shard incarnations whose services drain their own
+        leases, so the cluster-wide lease invariant survives hedging.
+        """
+        latencies = [
+            self._final[r.request_id].latency_s
+            for r in self._requests
+            if self._final[r.request_id].status == COMPLETED
+            and self._final[r.request_id].latency_s is not None
+        ]
+        if not latencies:
+            return
+        trigger = max(
+            percentile(latencies, self.hedge.trigger_percentile),
+            self.hedge.min_delay_s,
+        )
+        self.hedge_trigger_s = trigger
+        by_shard: "dict[int, list[SearchRequest]]" = {}
+        backup_of: "dict[str, str]" = {}
+        for request in self._requests:
+            record = self._final[request.request_id]
+            if record.extras.get("cache_hit"):
+                continue
+            slow = (
+                record.status == COMPLETED
+                and record.latency_s is not None
+                and record.latency_s > trigger
+            )
+            missed = (
+                self.hedge.include_missed
+                and record.status == MISSED
+            )
+            if not slow and not missed:
+                continue
+            deadline = request.deadline_s
+            if deadline is not None and deadline <= trigger:
+                # By the time the hedge fires the deadline is gone.
+                continue
+            # The next distinct shard clockwise from the replica set:
+            # the backup never lands where the slow primary ran.
+            owners = self.ring.shards_for(
+                self._route_key(request), self.replicas + 1
+            )
+            backup_shard = owners[-1]
+            clone = replace(
+                request,
+                request_id=f"{request.request_id}::h",
+                seed=derive_seed(request.seed, "hedge"),
+                arrival_s=request.arrival_s + trigger,
+                deadline_s=(
+                    deadline - trigger
+                    if deadline is not None
+                    else None
+                ),
+            )
+            by_shard.setdefault(backup_shard, []).append(clone)
+            backup_of[request.request_id] = clone.request_id
+            self.hedges_fired += 1
+        if not backup_of:
+            return
+        backup_records: "dict[str, RequestRecord]" = {}
+        for shard_id in sorted(by_shard):
+            backup_records.update(
+                self.shards[shard_id].run(by_shard[shard_id])
+            )
+        for request in self._requests:
+            backup_rid = backup_of.get(request.request_id)
+            if backup_rid is None:
+                continue
+            primary = self._final[request.request_id]
+            backup = backup_records[backup_rid]
+            backup_won = backup.status == COMPLETED and (
+                primary.status != COMPLETED
+                or (
+                    backup.finish_s is not None
+                    and primary.finish_s is not None
+                    and backup.finish_s < primary.finish_s
+                )
+            )
+            loser = primary if backup_won else backup
+            if loser.status == COMPLETED:
+                # The slower side produced a full answer the race
+                # threw away -- the canonical hedging cost.
+                self.hedges_cancelled += 1
+                if (
+                    loser.start_s is not None
+                    and loser.finish_s is not None
+                ):
+                    self.hedge_wasted_s += (
+                        loser.finish_s - loser.start_s
+                    )
+            if not backup_won:
+                primary.extras["hedged"] = True
+                primary.extras["hedge_won"] = False
+                continue
+            self.hedge_wins += 1
+            self._final[request.request_id] = RequestRecord(
+                request=request,
+                status=COMPLETED,
+                result=backup.result,
+                start_s=backup.start_s,
+                finish_s=backup.finish_s,
+                ticks=primary.ticks + backup.ticks,
+                lanes=primary.lanes + backup.lanes,
+                degraded=backup.degraded,
+                lost_lanes=primary.lost_lanes + backup.lost_lanes,
+                extras={
+                    **primary.extras,
+                    "hedged": True,
+                    "hedge_won": True,
+                },
+            )
 
     def _run_wave(
         self, requests: "list[SearchRequest]"
@@ -835,6 +1038,11 @@ class ClusterRouter:
             ),
             coalesced=self.coalesced,
             replica_dissent=self.replica_dissent,
+            hedges_fired=self.hedges_fired,
+            hedge_wins=self.hedge_wins,
+            hedges_cancelled=self.hedges_cancelled,
+            hedge_wasted_s=self.hedge_wasted_s,
+            hedge_trigger_s=self.hedge_trigger_s,
             shard_crashes=sum(s.crashes for s in self.shards),
             shard_recoveries=sum(
                 s.recoveries for s in self.shards

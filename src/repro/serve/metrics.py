@@ -18,6 +18,7 @@ from repro.serve.request import (
     REJECTED,
     SHED,
     RequestRecord,
+    attempt_of,
 )
 from repro.util.tables import format_series
 
@@ -280,6 +281,37 @@ class ServiceReport:
     quarantined_trees: int = 0
     journal_corrupt: int = 0
     checkpoint_corrupt: int = 0
+    #: Closed-loop traffic decomposition (repro.serve.clients):
+    #: offered splits into first-tries and retries by attempt lineage
+    #: on request ids; ``retries_completed`` is the subset of retries
+    #: that completed.
+    first_tries: int = 0
+    retries_offered: int = 0
+    retries_completed: int = 0
+    #: Client-side defense accounting: retries the population chose
+    #: not to offer (open breakers / adaptive throttle), lineages
+    #: whose attempt cap or give-up deadline fired, and per-client
+    #: breaker transitions.
+    client_suppressed_breaker: int = 0
+    client_suppressed_throttle: int = 0
+    retry_exhausted: int = 0
+    retry_give_ups: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    #: Server-side retry-budget accounting: retries admitted on a
+    #: token vs refused at the front door.
+    budget_granted: int = 0
+    budget_rejected: int = 0
+    #: Per-tenant in-class fairness-cap evictions.
+    fairness_evictions: int = 0
+    #: Single-service result-cache accounting (the cluster's cache
+    #: reports through ClusterReport instead).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_expirations: int = 0
+    cache_stale_hits: int = 0
+    cache_sweeps: int = 0
 
     @property
     def requests_per_s(self) -> float:
@@ -382,6 +414,39 @@ class ServiceReport:
             rows["checkpoints corrupt"] = str(
                 self.checkpoint_corrupt
             )
+        if self.retries_offered or self.client_suppressed_breaker:
+            rows["first tries"] = str(self.first_tries)
+            rows["retries offered"] = str(self.retries_offered)
+            rows["retries completed"] = str(self.retries_completed)
+            rows["retries exhausted"] = str(self.retry_exhausted)
+            rows["retries gave up"] = str(self.retry_give_ups)
+            if self.client_suppressed_breaker or self.breaker_opens:
+                rows["breaker-suppressed retries"] = str(
+                    self.client_suppressed_breaker
+                )
+                rows["breaker opens"] = str(self.breaker_opens)
+                rows["breaker closes"] = str(self.breaker_closes)
+            if self.client_suppressed_throttle:
+                rows["throttle-suppressed retries"] = str(
+                    self.client_suppressed_throttle
+                )
+        if self.budget_granted or self.budget_rejected:
+            rows["retry budget granted"] = str(self.budget_granted)
+            rows["retry budget rejected"] = str(self.budget_rejected)
+        if self.fairness_evictions:
+            rows["fairness evictions"] = str(self.fairness_evictions)
+        if self.cache_hits or self.cache_misses:
+            lookups = self.cache_hits + self.cache_misses
+            rows["cache hits"] = (
+                f"{self.cache_hits} "
+                f"({self.cache_hits / lookups * 100:.0f}%)"
+            )
+            rows["cache misses"] = str(self.cache_misses)
+            rows["cache evictions"] = str(self.cache_evictions)
+            rows["cache expirations"] = str(self.cache_expirations)
+            if self.cache_stale_hits:
+                rows["cache stale hits"] = str(self.cache_stale_hits)
+            rows["cache sweeps"] = str(self.cache_sweeps)
         if self.recovered or self.resumed or self.restarted:
             rows["recovered (adopted)"] = str(self.recovered)
             rows["resumed from checkpoint"] = str(self.resumed)
@@ -424,10 +489,28 @@ def summarize(
     scale_ups: int = 0,
     scale_downs: int = 0,
     peak_devices: int = 0,
+    client_suppressed_breaker: int = 0,
+    client_suppressed_throttle: int = 0,
+    retry_exhausted: int = 0,
+    retry_give_ups: int = 0,
+    breaker_opens: int = 0,
+    breaker_closes: int = 0,
+    budget_granted: int = 0,
+    budget_rejected: int = 0,
+    fairness_evictions: int = 0,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+    cache_evictions: int = 0,
+    cache_expirations: int = 0,
+    cache_stale_hits: int = 0,
+    cache_sweeps: int = 0,
 ) -> ServiceReport:
     """Fold a run's request records into a :class:`ServiceReport`."""
     latencies = [
         r.latency_s for r in records if r.status == COMPLETED
+    ]
+    retry_records = [
+        r for r in records if attempt_of(r.request.request_id) > 0
     ]
     waits = [
         r.queue_wait_s
@@ -467,6 +550,26 @@ def summarize(
         scale_ups=scale_ups,
         scale_downs=scale_downs,
         peak_devices=peak_devices,
+        first_tries=len(records) - len(retry_records),
+        retries_offered=len(retry_records),
+        retries_completed=sum(
+            1 for r in retry_records if r.status == COMPLETED
+        ),
+        client_suppressed_breaker=client_suppressed_breaker,
+        client_suppressed_throttle=client_suppressed_throttle,
+        retry_exhausted=retry_exhausted,
+        retry_give_ups=retry_give_ups,
+        breaker_opens=breaker_opens,
+        breaker_closes=breaker_closes,
+        budget_granted=budget_granted,
+        budget_rejected=budget_rejected,
+        fairness_evictions=fairness_evictions,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_evictions=cache_evictions,
+        cache_expirations=cache_expirations,
+        cache_stale_hits=cache_stale_hits,
+        cache_sweeps=cache_sweeps,
         elapsed_s=elapsed_s,
         p50_latency_s=p50,
         p95_latency_s=p95,

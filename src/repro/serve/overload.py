@@ -370,6 +370,14 @@ class OverloadPolicy:
     window: int = 64
     #: Ratio a deadline miss contributes to the headroom window.
     miss_penalty: float = 2.0
+    #: Per-tenant in-class fairness cap: no tenant may occupy more
+    #: than this fraction of one class's wait queue (``max_queue``
+    #: scaled).  When a tenant is over its cap, its worst-deadline
+    #: queued request is shed (explicitly, with
+    #: ``extras["fairness_evicted"]``) to make room -- one hot tenant
+    #: cannot monopolise a class and starve its neighbours.  ``None``
+    #: disables the cap.
+    tenant_queue_frac: float | None = None
 
     def __post_init__(self) -> None:
         if self.queue_high <= 0 or self.headroom_high <= 0:
@@ -396,6 +404,13 @@ class OverloadPolicy:
         if self.window <= 0:
             raise ValueError(
                 f"window must be positive: {self.window}"
+            )
+        if self.tenant_queue_frac is not None and not (
+            0.0 < self.tenant_queue_frac <= 1.0
+        ):
+            raise ValueError(
+                f"tenant_queue_frac must be in (0, 1]: "
+                f"{self.tenant_queue_frac}"
             )
         from repro.core.spec import EngineSpec
 

@@ -39,6 +39,51 @@ PRIORITY_CLASSES = ("interactive", "standard", "batch")
 #: Class -> dequeue rank (lower dequeues first).
 CLASS_RANK = {name: i for i, name in enumerate(PRIORITY_CLASSES)}
 
+#: Attempt-lineage separator on request ids: a closed-loop client's
+#: n-th retry of request ``X`` is submitted as ``X~a<n>`` (see
+#: :mod:`repro.serve.clients`).  The suffix keeps every attempt's id
+#: unique (the journal and the duplicate-submission guard both key on
+#: ids) while the lineage stays recoverable from the id alone --
+#: recovery, routing and reporting need no side tables.
+ATTEMPT_SEP = "~a"
+
+
+def lineage_root(request_id: str) -> str:
+    """The first attempt's id: ``"t03-mix0042~a2"`` -> ``"t03-mix0042"``."""
+    head, sep, tail = request_id.rpartition(ATTEMPT_SEP)
+    if sep and tail.isdigit():
+        return head
+    return request_id
+
+
+def attempt_of(request_id: str) -> int:
+    """Zero-based attempt index carried by the id (0 = first try)."""
+    head, sep, tail = request_id.rpartition(ATTEMPT_SEP)
+    if sep and tail.isdigit():
+        return int(tail)
+    return 0
+
+
+def retry_id(request_id: str, attempt: int) -> str:
+    """The id of attempt ``attempt`` in ``request_id``'s lineage."""
+    if attempt <= 0:
+        raise ValueError(f"retry attempts start at 1: {attempt}")
+    return f"{lineage_root(request_id)}{ATTEMPT_SEP}{attempt}"
+
+
+def tenant_of(request_id: str) -> str | None:
+    """The tenant prefix of a trace-style request id
+    (``"t03-mix0042"`` -> ``"t03"``), or ``None`` when the id does
+    not carry one.  Tenant identity is what the per-tenant fairness
+    cap and the closed-loop client population key on."""
+    root = lineage_root(request_id)
+    if not root.startswith("t"):
+        return None
+    head = root.split("-", 1)[0]
+    if len(head) > 1 and head[1:].isdigit():
+        return head
+    return None
+
 
 @dataclass(frozen=True)
 class SearchRequest:

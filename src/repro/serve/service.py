@@ -39,6 +39,8 @@ time.
 
 from __future__ import annotations
 
+import heapq
+
 from collections import deque
 from dataclasses import dataclass
 
@@ -62,6 +64,8 @@ from repro.gpu.lease import DevicePool
 from repro.gpu.trace import Tracer
 from repro.integrity import IntegrityPolicy, IntegrityState
 from repro.serve.autoscale import Autoscaler, AutoscalerConfig
+from repro.serve.cache import CACHE_HIT_COST_S, ResultCache
+from repro.serve.clients import ClientPopulation, RetryBudget
 from repro.serve.journal import JournalWriter, read_journal
 from repro.serve.metrics import ServiceReport, percentile, summarize
 from repro.serve.overload import (
@@ -85,6 +89,8 @@ from repro.serve.request import (
     SHED,
     RequestRecord,
     SearchRequest,
+    attempt_of,
+    tenant_of,
 )
 from repro.serve.scheduler import (
     FusedBatcher,
@@ -151,6 +157,10 @@ class SearchService:
         integrity: "IntegrityPolicy | dict | None" = None,
         overload: "OverloadPolicy | dict | bool | None" = None,
         autoscale: "AutoscalerConfig | dict | bool | None" = None,
+        clients: "ClientPopulation | dict | bool | None" = None,
+        retry_budget: "RetryBudget | dict | bool | None" = None,
+        cache: "ResultCache | dict | bool | None" = None,
+        cache_sweep_every_s: float | None = None,
     ) -> None:
         if max_active <= 0:
             raise ValueError(f"max_active must be positive: {max_active}")
@@ -183,6 +193,37 @@ class SearchService:
             if autoscale_cfg is not None
             else None
         )
+        #: Closed-loop client population (repro.serve.clients): every
+        #: terminal outcome is offered back to the clients, and a
+        #: failed request may return as its next attempt -- injected
+        #: into the arrival stream mid-run.  ``None`` keeps the
+        #: service strictly open-loop (the legacy behaviour).
+        self.clients = ClientPopulation.coerce(clients)
+        #: Server-side retry budget: token-bucket admission over
+        #: retries (recognised by attempt lineage on request ids);
+        #: first-tries are never charged.
+        self.retry_budget = RetryBudget.coerce(retry_budget)
+        #: Single-service result cache (the cluster has its own at the
+        #: router): duplicate positions answered at admission for
+        #: ``CACHE_HIT_COST_S``, completions inserted, entries aged
+        #: out by periodic sweeps on the virtual clock.
+        self.cache = ResultCache.coerce(cache)
+        if cache_sweep_every_s is not None and cache_sweep_every_s <= 0:
+            raise ValueError(
+                f"cache_sweep_every_s must be positive: "
+                f"{cache_sweep_every_s}"
+            )
+        self.cache_sweep_every_s = cache_sweep_every_s
+        #: Cache sweeps actually performed during the run.
+        self.cache_sweeps = 0
+        #: Requests answered straight from the result cache.
+        self.cache_served = 0
+        #: Queued requests shed by the per-tenant in-class fairness
+        #: cap (``OverloadPolicy.tenant_queue_frac``).
+        self.fairness_evictions = 0
+        #: Mid-run arrival heap of ``(arrival_s, record_index)``; live
+        #: only while :meth:`run` executes (retry injection target).
+        self._arrivals: "list[tuple[float, int]] | None" = None
         #: Sliding window of completed latency/deadline ratios (and
         #: miss penalties) feeding controller and autoscaler.
         self._ratio_window: "deque[float] | None" = (
@@ -256,6 +297,10 @@ class SearchService:
         self.enforce_deadlines = enforce_deadlines
         self.ticks = 0
         self._records: list[RequestRecord] = []
+        #: Ids of every record (submissions + injected retries) --
+        #: duplicate-submission guard and crash-recovery dedup for
+        #: client retries.
+        self._record_ids: set[str] = set()
         self._ran = False
         self._games: dict[str, Game] = {}
         #: Write-ahead journal: every submission, periodic engine
@@ -291,15 +336,13 @@ class SearchService:
         """Register a request for the next :meth:`run`."""
         if self._ran:
             raise ServiceError("service already ran; build a new one")
-        if any(
-            r.request.request_id == request.request_id
-            for r in self._records
-        ):
+        if request.request_id in self._record_ids:
             raise ServiceError(
                 f"duplicate request id {request.request_id!r}"
             )
         record = RequestRecord(request=request, status=PENDING)
         self._records.append(record)
+        self._record_ids.add(request.request_id)
         if (
             self.journal is not None
             and request.request_id not in self._journal_known
@@ -472,8 +515,77 @@ class SearchService:
         record.result = result
         record.finish_s = self.clock.now
         active.pop(record.request.request_id, None)
+        if (
+            status == COMPLETED
+            and result is not None
+            and self.cache is not None
+            and not record.extras.get("cache_hit")
+        ):
+            req = record.request
+            game = self._game(req.game)
+            state = (
+                req.state
+                if req.state is not None
+                else game.initial_state()
+            )
+            self.cache.insert(
+                self.cache.key_for(req), state, result, self.clock.now
+            )
         self._observe_outcome(record)
         self._journal_terminal(record)
+        self._client_outcome(record)
+
+    def _serve_cache_hit(self, record: RequestRecord, entry) -> None:
+        """Answer a request straight from the result cache at
+        admission: no slot, no queue, no device time -- just the
+        modelled lookup/serialisation cost.  A hit whose deadline
+        cannot even cover that cost is still a miss (stale deadlines
+        do not resurrect)."""
+        req = record.request
+        now = self.clock.now
+        finish = now + CACHE_HIT_COST_S
+        record.extras["cache_hit"] = True
+        deadline = req.absolute_deadline_s
+        if (
+            self.enforce_deadlines
+            and deadline is not None
+            and finish > deadline
+        ):
+            record.status = MISSED
+            record.finish_s = finish
+        else:
+            record.status = COMPLETED
+            record.result = entry.result
+            record.start_s = now
+            record.finish_s = finish
+        self.cache_served += 1
+        self._observe_outcome(record)
+        self._journal_terminal(record)
+        self._client_outcome(record)
+
+    def _client_outcome(self, record: RequestRecord) -> None:
+        """Offer one terminal outcome to the closed-loop clients; a
+        returned retry joins the arrival stream mid-run.  Retry ids
+        already present (a crash-recovered run resubmits journalled
+        pre-crash retries) are never injected twice -- the client
+        population still observes the outcome, the arrival already
+        exists."""
+        if self.clients is None or self._arrivals is None:
+            return
+        retry = self.clients.on_outcome(record, self.clock.now)
+        if retry is None or retry.request_id in self._record_ids:
+            return
+        new_record = RequestRecord(request=retry, status=PENDING)
+        idx = len(self._records)
+        self._records.append(new_record)
+        self._record_ids.add(retry.request_id)
+        if (
+            self.journal is not None
+            and retry.request_id not in self._journal_known
+        ):
+            self.journal.submit(retry)
+            self._journal_known.add(retry.request_id)
+        heapq.heappush(self._arrivals, (retry.arrival_s, idx))
 
     def _observe_outcome(self, record: RequestRecord) -> None:
         """Feed one terminal outcome into the pressure window the
@@ -543,6 +655,7 @@ class SearchService:
         record.finish_s = self.clock.now
         self._observe_outcome(record)
         self._journal_terminal(record)
+        self._client_outcome(record)
 
     def run(self) -> list[RequestRecord]:
         """Serve every submitted request to a terminal status."""
@@ -564,16 +677,16 @@ class SearchService:
     def _run_loop(self) -> list[RequestRecord]:
         # Adopted (already-complete) records from a recovered journal
         # are terminal before the run starts; only pending ones arrive.
-        arrivals = deque(
-            sorted(
-                (
-                    i
-                    for i in range(len(self._records))
-                    if self._records[i].status == PENDING
-                ),
-                key=lambda i: (self._records[i].request.arrival_s, i),
-            )
-        )
+        # A heap (keyed exactly like the old sorted deque, so the
+        # open-loop pop order is bit-identical) because closed-loop
+        # clients inject retries into the arrival stream mid-run.
+        arrivals: "list[tuple[float, int]]" = [
+            (self._records[i].request.arrival_s, i)
+            for i in range(len(self._records))
+            if self._records[i].status == PENDING
+        ]
+        heapq.heapify(arrivals)
+        self._arrivals = arrivals
         # Per-priority-class wait queues.  With every request in the
         # default ``standard`` class this is exactly the legacy
         # single FIFO; with classes, dequeue order is strict priority
@@ -588,6 +701,56 @@ class SearchService:
 
         def queued_total() -> int:
             return sum(len(q) for q in queues.values())
+
+        def enqueue(record: RequestRecord) -> None:
+            """Admit ``record`` into its class queue, enforcing the
+            per-tenant in-class fairness cap: a tenant already holding
+            its configured fraction of the queue sheds its worst
+            (latest-deadline) member -- possibly the arrival itself --
+            to stay under the cap."""
+            q = queues[record.request.priority]
+            frac = (
+                policy.tenant_queue_frac
+                if policy is not None
+                else None
+            )
+            tenant = (
+                tenant_of(record.request.request_id)
+                if frac is not None
+                else None
+            )
+            if tenant is not None:
+                cap = max(1, int(frac * self.max_queue))
+                members = [
+                    r
+                    for r in q
+                    if tenant_of(r.request.request_id) == tenant
+                ]
+                if len(members) >= cap:
+                    victim = max(
+                        members + [record],
+                        key=lambda r: (
+                            r.request.absolute_deadline_s
+                            if r.request.absolute_deadline_s
+                            is not None
+                            else float("inf"),
+                            r.request.arrival_s,
+                        ),
+                    )
+                    victim.extras["fairness_evicted"] = True
+                    self.fairness_evictions += 1
+                    if victim is record:
+                        self._reject(record, SHED)
+                        return
+                    # Identity scan: RequestRecord equality is by
+                    # value, eviction must remove this exact object.
+                    for k in range(len(q)):
+                        if q[k] is victim:
+                            del q[k]
+                            break
+                    self._reject(victim, SHED)
+            record.status = QUEUED
+            q.append(record)
 
         def pop_next() -> RequestRecord | None:
             for name in PRIORITY_CLASSES:
@@ -653,26 +816,65 @@ class SearchService:
                     continue
                 self._activate(record, active, gen_pool)
 
+        # Periodic cache age-out on the virtual clock (the cluster
+        # sweeps at wave boundaries; a standalone service sweeps on
+        # its own cadence -- default one TTL -- so idle lulls actually
+        # empty the cache instead of leaving corpses to expire lazily
+        # at lookup).
+        sweep_every = None
+        if self.cache is not None:
+            sweep_every = (
+                self.cache_sweep_every_s
+                if self.cache_sweep_every_s is not None
+                else self.cache.ttl_s
+            )
+        next_sweep = (
+            sweep_every if sweep_every is not None else float("inf")
+        )
+
         while arrivals or queued_total() or active:
             now = self.clock.now
             # Idle service: jump to the next arrival.
             if not active and not queued_total() and arrivals:
-                next_arrival = self._records[arrivals[0]].request.arrival_s
+                next_arrival = arrivals[0][0]
                 if next_arrival > now:
                     self.clock.advance_to(next_arrival)
                     now = self.clock.now
+            if now >= next_sweep:
+                self.cache.sweep(now)
+                self.cache_sweeps += 1
+                next_sweep = now + sweep_every
 
             # Admission: activate, queue, shed, or reject in arrival
             # order.  Under a policy every arrival goes through the
             # class queues (no queue-jumping past waiting tenants);
             # without one, arrivals grab free slots directly -- the
             # legacy path, bit-for-bit.
-            while (
-                arrivals
-                and self._records[arrivals[0]].request.arrival_s <= now
-            ):
-                record = self._records[arrivals.popleft()]
+            while arrivals and arrivals[0][0] <= now:
+                record = self._records[heapq.heappop(arrivals)[1]]
                 priority = record.request.priority
+                rid = record.request.request_id
+                # Result cache consult: a duplicate position is
+                # answered on the spot -- no slot, no queue, no
+                # device time.
+                if self.cache is not None:
+                    entry = self.cache.lookup(
+                        self.cache.key_for(record.request), now
+                    )
+                    if entry is not None:
+                        self._serve_cache_hit(record, entry)
+                        continue
+                # Server-side retry budget: a retry (attempt lineage
+                # on the id) must win a token at the front door;
+                # first-tries are never charged and refill the bucket.
+                if self.retry_budget is not None:
+                    if attempt_of(rid) > 0:
+                        if not self.retry_budget.spend():
+                            record.extras["budget_rejected"] = True
+                            self._reject(record, REJECTED)
+                            continue
+                    else:
+                        self.retry_budget.on_first_try()
                 level = (
                     self.controller.level
                     if self.controller is not None
@@ -685,16 +887,14 @@ class SearchService:
                 elif policy is None and len(active) < self.max_active:
                     self._activate(record, active, gen_pool)
                 elif queued_total() < self.max_queue:
-                    record.status = QUEUED
-                    queues[priority].append(record)
+                    enqueue(record)
                 elif policy is not None:
                     victim = evict_for(priority)
                     if victim is not None:
                         # A full queue sheds its worst lower-class
                         # member to admit the better arrival.
                         self._reject(victim, SHED)
-                        record.status = QUEUED
-                        queues[priority].append(record)
+                        enqueue(record)
                     else:
                         self._reject(record, SHED)
                 else:
@@ -812,9 +1012,7 @@ class SearchService:
                     ]
                     target = min(ready) if ready else None
                     if arrivals:
-                        next_arrival = self._records[
-                            arrivals[0]
-                        ].request.arrival_s
+                        next_arrival = arrivals[0][0]
                         target = (
                             next_arrival
                             if target is None
@@ -909,6 +1107,10 @@ class SearchService:
         # Lease-resolution invariant: every launch issued during the
         # run must have been synchronized, completed, or abandoned.
         self.pool.assert_drained()
+        self._arrivals = None
+        if self.cache is not None and sweep_every is not None:
+            self.cache.sweep(self.clock.now)
+            self.cache_sweeps += 1
         return list(self._records)
 
     # -- crash recovery ----------------------------------------------------
@@ -972,6 +1174,7 @@ class SearchService:
                         finish_s=completion.finish_s,
                     )
                 )
+                service._record_ids.add(rid)
                 service.recovered_requests += 1
                 continue
             service.submit(request)
@@ -1075,6 +1278,67 @@ class SearchService:
                 if self.autoscaler is not None
                 else 0
             ),
+            client_suppressed_breaker=(
+                self.clients.suppressed_breaker
+                if self.clients is not None
+                else 0
+            ),
+            client_suppressed_throttle=(
+                self.clients.suppressed_throttle
+                if self.clients is not None
+                else 0
+            ),
+            retry_exhausted=(
+                self.clients.exhausted_attempts
+                if self.clients is not None
+                else 0
+            ),
+            retry_give_ups=(
+                self.clients.gave_up
+                if self.clients is not None
+                else 0
+            ),
+            breaker_opens=(
+                self.clients.breaker_opens
+                if self.clients is not None
+                else 0
+            ),
+            breaker_closes=(
+                self.clients.breaker_closes
+                if self.clients is not None
+                else 0
+            ),
+            budget_granted=(
+                self.retry_budget.granted
+                if self.retry_budget is not None
+                else 0
+            ),
+            budget_rejected=(
+                self.retry_budget.rejected
+                if self.retry_budget is not None
+                else 0
+            ),
+            fairness_evictions=self.fairness_evictions,
+            cache_hits=(
+                self.cache.hits if self.cache is not None else 0
+            ),
+            cache_misses=(
+                self.cache.misses if self.cache is not None else 0
+            ),
+            cache_evictions=(
+                self.cache.evictions if self.cache is not None else 0
+            ),
+            cache_expirations=(
+                self.cache.expirations
+                if self.cache is not None
+                else 0
+            ),
+            cache_stale_hits=(
+                self.cache.stale_hits
+                if self.cache is not None
+                else 0
+            ),
+            cache_sweeps=self.cache_sweeps,
         )
 
 

@@ -35,13 +35,24 @@ from repro.serve.autoscale import (
     ShardAutoscaler,
     ShardAutoscalerConfig,
 )
-from repro.serve.cluster import ClusterReport, ClusterRouter
+from repro.serve.clients import (
+    ClientPopulation,
+    MetastabilityDetector,
+    MetastabilityVerdict,
+    RetryBudget,
+)
+from repro.serve.cluster import (
+    ClusterReport,
+    ClusterRouter,
+    HedgePolicy,
+)
 from repro.serve.metrics import (
     ClassStats,
     ServiceReport,
     class_summary,
 )
 from repro.serve.overload import (
+    FlashCrowd,
     OverloadPolicy,
     TraceConfig,
     make_trace,
@@ -94,8 +105,30 @@ class StormConfig:
     #: ``journal`` to recover from).
     faults: "str | FaultPlan | None" = None
     journal: "str | Path | None" = None
+    #: Closed-loop client population (repro.serve.clients): retries
+    #: feed back into offered load (``None`` -> open-loop, the
+    #: legacy storm).
+    clients: "ClientPopulation | dict | bool | None" = None
+    #: Server-side retry budget (``None`` -> retries admitted like
+    #: first-tries).
+    retry_budget: "RetryBudget | dict | bool | None" = None
+    #: Post-crowd metastability analysis (``None`` -> no verdict).
+    detector: "MetastabilityDetector | dict | bool | None" = None
     #: Extra ``SearchService`` kwargs as ``(key, value)`` pairs.
     service_kwargs: tuple = ()
+
+    def crowd_clear_s(self) -> float:
+        """When the trace's last flash crowd ends (0.0 with none) --
+        the metastability detector's observation window opens after
+        this point."""
+        return max(
+            (
+                c.start_s + c.duration_s
+                for c in self.trace.components
+                if isinstance(c, FlashCrowd)
+            ),
+            default=0.0,
+        )
 
 
 @dataclass
@@ -109,6 +142,9 @@ class StormOutcome:
     recoveries: int = 0
     #: Recovered incarnation's elapsed time (restart -> drained).
     mttr_s: float = 0.0
+    #: Post-crowd metastability verdict (``None`` when the storm ran
+    #: without a detector).
+    metastability: "MetastabilityVerdict | None" = None
 
     @property
     def per_class(self) -> "dict[str, ClassStats]":
@@ -131,6 +167,8 @@ def run_storm(config: StormConfig) -> StormOutcome:
         overload=config.overload,
         autoscale=config.autoscale,
         faults=config.faults,
+        clients=config.clients,
+        retry_budget=config.retry_budget,
     )
     kwargs.update(dict(config.service_kwargs))
     service = SearchService(journal=config.journal, **kwargs)
@@ -152,6 +190,27 @@ def run_storm(config: StormConfig) -> StormOutcome:
         mttr_s = service.report().elapsed_s
     report = service.report()
     assert_explicit_outcomes(records)
+    detector = MetastabilityDetector.coerce(config.detector)
+    verdict = None
+    if detector is not None:
+        # The observation window runs from the end of the triggering
+        # crowd to the end of the run (arrivals stop at the trace
+        # horizon, but retries and backlogged work finish later).
+        verdict = detector.analyze(
+            records,
+            clear_s=config.crowd_clear_s(),
+            horizon_s=max(
+                config.trace.horizon_s,
+                max(
+                    (
+                        r.finish_s
+                        for r in records
+                        if r.finish_s is not None
+                    ),
+                    default=0.0,
+                ),
+            ),
+        )
     return StormOutcome(
         requests=requests,
         records=records,
@@ -159,6 +218,7 @@ def run_storm(config: StormConfig) -> StormOutcome:
         crashes=crashes,
         recoveries=recoveries,
         mttr_s=mttr_s,
+        metastability=verdict,
     )
 
 
@@ -178,6 +238,8 @@ class ClusterStormConfig:
     #: per shard, the legacy layout).
     n_domains: int = 0
     cache: "dict | bool | None" = None
+    #: Cluster-level hedged requests (``None`` -> no hedging).
+    hedge: "HedgePolicy | dict | bool | None" = None
     journal_dir: "str | Path | None" = None
     #: Epoch in which shard 0's fault plan fires (``None`` -> no
     #: crash); needs ``journal_dir`` to recover.
@@ -287,6 +349,7 @@ def run_cluster_storm(
             ),
             shard_overrides=overrides,
             failure_domains=domains,
+            hedge=config.hedge,
             **dict(config.service_kwargs),
         )
         router.submit_all(batch)

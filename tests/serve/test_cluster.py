@@ -9,6 +9,7 @@ from repro.serve import (
     MISSED,
     ClusterRouter,
     HashRing,
+    HedgePolicy,
     ResultCache,
     SearchRequest,
     SearchService,
@@ -542,3 +543,121 @@ class TestFailureDomains:
             r.result.extras["cluster.replica_collisions"] >= 1
             for r in records
         )
+
+
+class TestHedgePolicy:
+    """Validation and coercion of the hedged-request policy."""
+
+    def test_coerce_forms(self):
+        assert HedgePolicy.coerce(None) is None
+        assert HedgePolicy.coerce(False) is None
+        default = HedgePolicy.coerce(True)
+        assert default.trigger_percentile == 95.0
+        assert default.include_missed is True
+        custom = HedgePolicy.coerce(
+            dict(trigger_percentile=50.0, min_delay_s=0.01)
+        )
+        assert custom.trigger_percentile == 50.0
+        assert custom.min_delay_s == 0.01
+        policy = HedgePolicy(trigger_percentile=90.0)
+        assert HedgePolicy.coerce(policy) is policy
+        with pytest.raises(TypeError, match="coerce"):
+            HedgePolicy.coerce(42)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="trigger_percentile"):
+            HedgePolicy(trigger_percentile=0.0)
+        with pytest.raises(ValueError, match="trigger_percentile"):
+            HedgePolicy(trigger_percentile=101.0)
+        with pytest.raises(ValueError, match="min_delay_s"):
+            HedgePolicy(min_delay_s=-0.1)
+
+
+class TestHedgedRequests:
+    """Cluster-level hedged requests: tail primaries race a backup on
+    the next distinct shard; the faster side wins."""
+
+    @staticmethod
+    def tail_heavy_requests():
+        # Six quick requests set the latency percentile; two heavies
+        # land firmly in the tail above any p50 trigger.
+        quick = [request(i) for i in range(6)]
+        heavy = [
+            request(6 + i, budget_s=BUDGET * 10, seed=300 + i)
+            for i in range(2)
+        ]
+        return quick + heavy
+
+    def test_tail_requests_get_hedged(self):
+        router = ClusterRouter(
+            n_shards=2,
+            seed=9,
+            n_devices=1,
+            hedge=dict(trigger_percentile=50.0),
+        )
+        router.submit_all(self.tail_heavy_requests())
+        records = router.run()
+        report = router.report()
+        assert all(r.status == COMPLETED for r in records)
+        # The two heavies sit above the p50 trigger, so at least they
+        # fired backups; every hedged race left its mark.
+        assert report.hedges_fired >= 2
+        assert report.hedge_trigger_s > 0
+        hedged = [r for r in records if r.extras.get("hedged")]
+        assert len(hedged) == report.hedges_fired
+        assert (
+            sum(1 for r in hedged if r.extras.get("hedge_won"))
+            == report.hedge_wins
+        )
+        assert report.hedge_wins <= report.hedges_fired
+        # Backup clones never leak into the final records: results
+        # are reported under the original request ids.
+        assert all(
+            "::h" not in r.request.request_id for r in records
+        )
+        # Any completed loser is accounted as cancelled waste.
+        if report.hedges_cancelled:
+            assert report.hedge_wasted_s > 0
+
+    def test_deadline_inside_trigger_never_hedges(self):
+        # min_delay_s pins the trigger far past every deadline: by
+        # the time a backup could fire the SLO is already gone, so
+        # even a missed primary fires no hedge.
+        reqs = [
+            request(i, deadline_s=0.05) for i in range(4)
+        ] + [
+            request(4, budget_s=0.1, deadline_s=0.05, seed=400)
+        ]
+        router = ClusterRouter(
+            n_shards=2,
+            seed=9,
+            n_devices=1,
+            hedge=dict(trigger_percentile=50.0, min_delay_s=10.0),
+        )
+        router.submit_all(reqs)
+        records = router.run()
+        assert any(r.status == MISSED for r in records)
+        assert router.hedges_fired == 0
+        assert all(
+            not r.extras.get("hedged") for r in records
+        )
+
+    def test_hedged_run_replays_bit_identical(self):
+        def run_once():
+            router = ClusterRouter(
+                n_shards=2,
+                seed=9,
+                n_devices=1,
+                hedge=dict(trigger_percentile=50.0),
+            )
+            router.submit_all(self.tail_heavy_requests())
+            records = router.run()
+            return [fingerprint(r) for r in records], (
+                router.hedges_fired,
+                router.hedge_wins,
+                router.hedges_cancelled,
+                router.hedge_wasted_s,
+            )
+
+        first, second = run_once(), run_once()
+        assert first == second

@@ -331,6 +331,111 @@ class TestHysteresis:
         assert controller.peak_level == 2
 
 
+class TestHysteresisProperties:
+    """Property tests for the controller's boundary behaviour: any
+    pressure history keeps the level in range, moves it one rung at
+    a time, and never lets the mid-band (release < p < 1.0) change
+    it -- the no-chatter guarantee hysteresis exists for."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        pressures=st.lists(
+            st.floats(min_value=0.0, max_value=4.0),
+            min_size=1,
+            max_size=100,
+        ),
+        escalate_after=st.integers(min_value=1, max_value=4),
+        deescalate_after=st.integers(min_value=1, max_value=8),
+        max_level=st.integers(min_value=1, max_value=4),
+    )
+    def test_level_bounded_and_moves_one_rung_at_a_time(
+        self, pressures, escalate_after, deescalate_after, max_level
+    ):
+        controller = HysteresisController(
+            OverloadPolicy(
+                escalate_after=escalate_after,
+                deescalate_after=deescalate_after,
+                max_level=max_level,
+            )
+        )
+        previous = controller.level
+        for pressure in pressures:
+            level = controller.observe(pressure)
+            assert 0 <= level <= max_level
+            assert abs(level - previous) <= 1
+            previous = level
+        assert controller.peak_level <= max_level
+        assert controller.escalations >= controller.peak_level
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        pressures=st.lists(
+            st.floats(
+                min_value=0.41,
+                max_value=0.99,
+                exclude_min=True,
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        start_high=st.integers(min_value=0, max_value=5),
+    )
+    def test_mid_band_pressure_never_moves_the_level(
+        self, pressures, start_high
+    ):
+        policy = OverloadPolicy(
+            escalate_after=1, deescalate_after=1, release=0.4
+        )
+        controller = HysteresisController(policy)
+        for _ in range(start_high):
+            controller.observe(2.0)
+        level = controller.level
+        for pressure in pressures:
+            assert controller.observe(pressure) == level
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        threshold=st.sampled_from([0.4, 1.0]),
+        n=st.integers(min_value=1, max_value=20),
+    )
+    def test_exact_thresholds_are_inclusive(self, threshold, n):
+        """Pressure exactly at 1.0 escalates; exactly at release
+        de-escalates -- the boundaries belong to the active side, so
+        a plateau sitting on one cannot oscillate."""
+        policy = OverloadPolicy(
+            escalate_after=1, deescalate_after=1, release=0.4
+        )
+        controller = HysteresisController(policy)
+        if threshold == 1.0:
+            for i in range(n):
+                assert controller.observe(1.0) == min(
+                    i + 1, policy.max_level
+                )
+        else:
+            controller.observe(2.0)
+            assert controller.level == 1
+            controller.observe(0.4)
+            assert controller.level == 0
+            # Further release-boundary samples stay at the floor.
+            for _ in range(n):
+                assert controller.observe(0.4) == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pressures=st.lists(
+            st.floats(min_value=0.0, max_value=4.0),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_replay_is_deterministic(self, pressures):
+        def drive():
+            controller = HysteresisController(OverloadPolicy())
+            return [controller.observe(p) for p in pressures]
+
+        assert drive() == drive()
+
+
 # -- shedding and lease accounting -------------------------------------------
 
 
